@@ -1,0 +1,172 @@
+// Package canec is a complete, simulation-backed implementation of the
+// real-time event channel model for the CAN-Bus of Kaiser, Brudna and
+// Mitidieri (IPPS/WPDRTS 2003): a publisher/subscriber middleware with
+// hard real-time (HRTEC), soft real-time (SRTEC) and non real-time
+// (NRTEC) event channels, mapped onto a bit-accurate discrete-event model
+// of CAN 2.0B.
+//
+// The package is a facade: it re-exports the public surface of the
+// internal packages so downstream users program against one import.
+//
+//	sys, _ := canec.NewSystem(canec.SystemConfig{Nodes: 3, Seed: 1, Calendar: cal})
+//	ch, _  := sys.Node(0).MW.HRTEC(subject)
+//	ch.Announce(canec.ChannelAttrs{Payload: 7, Periodic: true}, nil)
+//	ch.Publish(canec.Event{Subject: subject, Payload: reading})
+//	sys.Run(10 * canec.Second)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's claims.
+package canec
+
+import (
+	"canec/internal/binding"
+	"canec/internal/calendar"
+	"canec/internal/can"
+	"canec/internal/clock"
+	"canec/internal/core"
+	"canec/internal/edf"
+	"canec/internal/sim"
+)
+
+// Virtual time (nanosecond resolution).
+type (
+	// Time is an absolute point in virtual time.
+	Time = sim.Time
+	// Duration is a span of virtual time.
+	Duration = sim.Duration
+)
+
+// Time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Event model.
+type (
+	// Subject is the system-wide unique name of an event channel.
+	Subject = binding.Subject
+	// Event is <subject, attributes, content>.
+	Event = core.Event
+	// EventAttrs carry per-event deadline/expiration attributes.
+	EventAttrs = core.EventAttrs
+	// ChannelAttrs describe a channel (class parameters).
+	ChannelAttrs = core.ChannelAttrs
+	// SubscribeAttrs carry subscriber-side filters.
+	SubscribeAttrs = core.SubscribeAttrs
+	// DeliveryInfo accompanies each notification.
+	DeliveryInfo = core.DeliveryInfo
+	// NotificationHandler is called on event delivery.
+	NotificationHandler = core.NotificationHandler
+	// Exception is a local exceptional condition notification.
+	Exception = core.Exception
+	// ExceptionKind classifies exceptions.
+	ExceptionKind = core.ExceptionKind
+	// ExceptionHandler is called on exceptional conditions.
+	ExceptionHandler = core.ExceptionHandler
+	// Counters aggregates middleware statistics.
+	Counters = core.Counters
+)
+
+// Exception kinds.
+const (
+	ExcDeadlineMissed  = core.ExcDeadlineMissed
+	ExcValidityExpired = core.ExcValidityExpired
+	ExcSlotMissed      = core.ExcSlotMissed
+	ExcQueueOverflow   = core.ExcQueueOverflow
+	ExcTxFailure       = core.ExcTxFailure
+	ExcFragError       = core.ExcFragError
+)
+
+// Channels and middleware.
+type (
+	// HRTEC is a hard real-time event channel.
+	HRTEC = core.HRTEC
+	// SRTEC is a soft real-time event channel.
+	SRTEC = core.SRTEC
+	// NRTEC is a non real-time event channel.
+	NRTEC = core.NRTEC
+	// Middleware is the per-node event channel layer.
+	Middleware = core.Middleware
+	// Node bundles a station's controller, clock and middleware.
+	Node = core.Node
+	// Bands is the global priority layout.
+	Bands = core.Bands
+	// System is a fully wired simulation instance.
+	System = core.System
+	// SystemConfig parameterises NewSystem.
+	SystemConfig = core.SystemConfig
+)
+
+// Calendar (hard real-time reservations).
+type (
+	// Calendar is the static round schedule.
+	Calendar = calendar.Calendar
+	// Slot is one reserved transmission window.
+	Slot = calendar.Slot
+	// CalendarConfig carries slot-geometry parameters.
+	CalendarConfig = calendar.Config
+)
+
+// Clock synchronization.
+type (
+	// SyncConfig parameterises the sync protocol.
+	SyncConfig = clock.SyncConfig
+	// Clock is a drifting local clock.
+	Clock = clock.Clock
+)
+
+// EDF band (soft real-time deadline→priority mapping).
+type (
+	// Band is the SRT priority band with slot length Δt_p.
+	Band = edf.Band
+)
+
+// Identifier fields.
+type (
+	// Prio is the 8-bit explicit priority field.
+	Prio = can.Prio
+	// TxNode is the 7-bit transmitting-node field.
+	TxNode = can.TxNode
+	// Etag is the 14-bit event tag field.
+	Etag = can.Etag
+)
+
+// NewSystem builds and validates a complete simulated CAN segment.
+func NewSystem(cfg SystemConfig) (*System, error) { return core.NewSystem(cfg) }
+
+// DefaultBands returns the priority layout used throughout the paper's
+// examples: HRT = 0, clock sync = 1, SRT = 2..250, NRT = 251..255.
+func DefaultBands() Bands { return core.DefaultBands() }
+
+// DefaultCalendarConfig returns the paper's slot-geometry parameters:
+// 1 Mbit/s, ΔG_min = 40 µs, worst-case ΔT_wait, omission degree 1.
+func DefaultCalendarConfig() CalendarConfig { return calendar.DefaultConfig() }
+
+// NewCalendar returns an empty calendar with the given round length.
+func NewCalendar(round Duration, cfg CalendarConfig) *Calendar {
+	return calendar.New(round, cfg)
+}
+
+// PackCalendar lays the given slots out back-to-back with minimal
+// admissible spacing and validates the result.
+func PackCalendar(cfg CalendarConfig, quantum Duration, slots ...Slot) (*Calendar, error) {
+	return calendar.PackSequential(cfg, quantum, slots...)
+}
+
+// SlotRequest describes one hard real-time stream for the off-line
+// planner.
+type SlotRequest = calendar.Request
+
+// PlanCalendar synthesises an admissible calendar from stream
+// requirements: the base round is the fastest period, slower streams
+// activate every N rounds, and phase-disjoint streams may share windows.
+func PlanCalendar(cfg CalendarConfig, reqs []SlotRequest) (*Calendar, error) {
+	return calendar.Plan(cfg, reqs)
+}
+
+// DefaultSyncConfig returns the clock synchronization defaults (100 ms
+// period, 1 µs timestamp quantization).
+func DefaultSyncConfig() SyncConfig { return clock.DefaultSyncConfig() }

@@ -1,0 +1,167 @@
+package canec_test
+
+// Facade-level integration tests: exercise the library exactly as a
+// downstream user would, through the public canec package only.
+
+import (
+	"testing"
+
+	"canec"
+	"canec/internal/can"
+)
+
+func buildCalendar(t *testing.T) *canec.Calendar {
+	t.Helper()
+	cal, err := canec.PackCalendar(canec.DefaultCalendarConfig(), 10*canec.Millisecond,
+		canec.Slot{Subject: 0x51, Publisher: 0, Payload: 8, Periodic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cal
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cal := buildCalendar(t)
+	sys, err := canec.NewSystem(canec.SystemConfig{
+		Nodes: 3, Seed: 1, Calendar: cal,
+		Sync: canec.DefaultSyncConfig(), MaxDriftPPM: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := sys.Node(0).MW.HRTEC(0x51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Announce(canec.ChannelAttrs{Payload: 7, Periodic: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	sub, err := sys.Node(1).MW.HRTEC(0x51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sub.Subscribe(canec.ChannelAttrs{Payload: 7, Periodic: true}, canec.SubscribeAttrs{},
+		func(canec.Event, canec.DeliveryInfo) { got++ }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := int64(0); r < 10; r++ {
+		sys.K.At(sys.Cfg.Epoch+canec.Time(r)*cal.Round-300*canec.Microsecond, func() {
+			pub.Publish(canec.Event{Subject: 0x51, Payload: []byte{1, 2}})
+		})
+	}
+	sys.Run(sys.Cfg.Epoch + 10*cal.Round - 1)
+	if got != 10 {
+		t.Fatalf("delivered %d, want 10", got)
+	}
+}
+
+func TestFacadeAllClasses(t *testing.T) {
+	sys, err := canec.NewSystem(canec.SystemConfig{Nodes: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SRT.
+	srt, _ := sys.Node(0).MW.SRTEC(0x61)
+	if err := srt.Announce(canec.ChannelAttrs{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	srtGot := 0
+	ssub, _ := sys.Node(1).MW.SRTEC(0x61)
+	ssub.Subscribe(canec.ChannelAttrs{}, canec.SubscribeAttrs{},
+		func(canec.Event, canec.DeliveryInfo) { srtGot++ }, nil)
+	// NRT with fragmentation.
+	nrt, _ := sys.Node(0).MW.NRTEC(0x62)
+	if err := nrt.Announce(canec.ChannelAttrs{Prio: 253, Fragmentation: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var blob []byte
+	nsub, _ := sys.Node(1).MW.NRTEC(0x62)
+	nsub.Subscribe(canec.ChannelAttrs{Fragmentation: true}, canec.SubscribeAttrs{},
+		func(ev canec.Event, _ canec.DeliveryInfo) { blob = ev.Payload }, nil)
+
+	sys.K.At(canec.Millisecond, func() {
+		now := sys.Node(0).MW.LocalTime()
+		srt.Publish(canec.Event{Subject: 0x61, Payload: []byte{9},
+			Attrs: canec.EventAttrs{Deadline: now + 5*canec.Millisecond}})
+		nrt.Publish(canec.Event{Subject: 0x62, Payload: make([]byte, 500)})
+	})
+	sys.Run(canec.Second)
+	if srtGot != 1 {
+		t.Fatalf("SRT deliveries = %d", srtGot)
+	}
+	if len(blob) != 500 {
+		t.Fatalf("NRT blob = %d bytes", len(blob))
+	}
+	c := sys.TotalCounters()
+	if c.DeliveredSRT != 1 || c.DeliveredNRT != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestFacadeDeterminism(t *testing.T) {
+	run := func() (canec.Counters, uint64) {
+		cal := buildCalendar(t)
+		sys, err := canec.NewSystem(canec.SystemConfig{
+			Nodes: 4, Seed: 99, Calendar: cal,
+			Sync: canec.DefaultSyncConfig(), MaxDriftPPM: 100,
+			Injector: can.RandomErrors{Rate: 0.05},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pub, _ := sys.Node(0).MW.HRTEC(0x51)
+		pub.Announce(canec.ChannelAttrs{Payload: 7, Periodic: true}, nil)
+		sub, _ := sys.Node(1).MW.HRTEC(0x51)
+		sub.Subscribe(canec.ChannelAttrs{Payload: 7, Periodic: true}, canec.SubscribeAttrs{},
+			func(canec.Event, canec.DeliveryInfo) {}, nil)
+		srt, _ := sys.Node(2).MW.SRTEC(0x71)
+		srt.Announce(canec.ChannelAttrs{}, nil)
+		var loop func()
+		loop = func() {
+			if sys.K.Now() > 500*canec.Millisecond {
+				return
+			}
+			now := sys.Node(2).MW.LocalTime()
+			srt.Publish(canec.Event{Subject: 0x71, Payload: []byte{1},
+				Attrs: canec.EventAttrs{Deadline: now + 3*canec.Millisecond}})
+			sys.K.After(sys.K.RNG().ExpDuration(2*canec.Millisecond), loop)
+		}
+		sys.K.At(sys.Cfg.Epoch, loop)
+		for r := int64(0); r < 20; r++ {
+			sys.K.At(sys.Cfg.Epoch+canec.Time(r)*cal.Round-300*canec.Microsecond, func() {
+				pub.Publish(canec.Event{Subject: 0x51, Payload: []byte{1}})
+			})
+		}
+		sys.Run(sys.Cfg.Epoch + 20*cal.Round - 1)
+		return sys.TotalCounters(), sys.K.Steps()
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Fatalf("same-seed runs diverged:\n%+v (%d steps)\n%+v (%d steps)", c1, s1, c2, s2)
+	}
+}
+
+func TestFacadeBandsAndConfig(t *testing.T) {
+	b := canec.DefaultBands()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := canec.DefaultCalendarConfig()
+	if cfg.GapMin != 40*canec.Microsecond {
+		t.Fatalf("ΔG_min = %v, want the paper's 40µs", cfg.GapMin)
+	}
+	if cfg.WaitTime() != 160*canec.Microsecond {
+		t.Fatalf("ΔT_wait = %v", cfg.WaitTime())
+	}
+	sc := canec.DefaultSyncConfig()
+	if sc.Period <= 0 || sc.Quantization <= 0 {
+		t.Fatalf("sync config defaults: %+v", sc)
+	}
+	cal := canec.NewCalendar(10*canec.Millisecond, cfg)
+	if err := cal.Admit(); err != nil {
+		t.Fatalf("empty calendar must admit: %v", err)
+	}
+}

@@ -1,0 +1,84 @@
+// canecbench regenerates the evaluation tables for every experiment
+// (E1–E10) described in DESIGN.md, reproducing the claims of "A Real-Time
+// Event Channel Model for the CAN-Bus" (Kaiser, Brudna, Mitidieri 2003).
+//
+// Usage:
+//
+//	canecbench                 # run all experiments
+//	canecbench -run E3,E4      # run a subset (by ID or name)
+//	canecbench -seed 7 -csv    # different seed, CSV output
+//	canecbench -list           # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"canec/internal/experiments"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated experiment IDs or names (default: all)")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list    = flag.Bool("list", false, "list available experiments")
+		seeds   = flag.Int("seeds", 1, "run each experiment over N seeds in parallel and report mean±sd")
+		outDir  = flag.String("out", "", "also write each table as <dir>/<id>.csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-20s %s\n", e.ID, e.Name, e.Short)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *runList == "" {
+		selected = experiments.All()
+	} else {
+		for _, key := range strings.Split(*runList, ",") {
+			key = strings.TrimSpace(key)
+			e, ok := experiments.Find(key)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", key)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		var res experiments.Result
+		if *seeds > 1 {
+			list := make([]uint64, *seeds)
+			for i := range list {
+				list[i] = *seed + uint64(i)
+			}
+			res = experiments.Aggregate(experiments.RunSeeds(e, list))
+		} else {
+			res = e.Run(*seed)
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n%s\n", res.ID, res.Title, res.Table.CSV())
+		} else {
+			fmt.Println(res.String())
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "canecbench:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, res.ID+".csv")
+			if err := os.WriteFile(path, []byte(res.Table.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "canecbench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

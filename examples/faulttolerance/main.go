@@ -1,0 +1,133 @@
+// Fault tolerance: hard real-time guarantees under injected bus faults.
+//
+// A 10 ms control channel is dimensioned for omission degree k = 2
+// (three transmission attempts fit inside its reserved slot). The bus is
+// subjected to random frame corruptions at increasing rates plus one
+// 5 ms EMI burst. The run shows the paper's two claims:
+//
+//  1. within the fault assumption, every event is still delivered at its
+//     exact delivery deadline — faults cost reserved bandwidth, never
+//     timeliness;
+//  2. redundancy suppression means the reserved retry bandwidth is only
+//     consumed when faults actually occur — the rest is reclaimed by a
+//     background bulk transfer, whose throughput degrades gracefully as
+//     the fault rate rises.
+package main
+
+import (
+	"fmt"
+
+	"canec"
+	"canec/internal/can"
+	"canec/internal/sim"
+)
+
+const (
+	subjCtrl canec.Subject = 0x21
+	subjBulk canec.Subject = 0x22
+)
+
+func run(errRate float64) (delivered, late, slotMissed int, bulkBytes int, copiesSent, copiesSuppressed uint64) {
+	cfg := canec.DefaultCalendarConfig()
+	cfg.OmissionDegree = 2
+	cal, err := canec.PackCalendar(cfg, 10*canec.Millisecond,
+		canec.Slot{Subject: uint64(subjCtrl), Publisher: 0, Payload: 8, Periodic: true})
+	if err != nil {
+		panic(err)
+	}
+	sys, err := canec.NewSystem(canec.SystemConfig{
+		Nodes: 3, Seed: 99, Calendar: cal, Epoch: canec.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Random corruption plus an EMI burst at 200–205 ms.
+	sys.Bus.Injector = can.Chain{
+		can.BurstErrors{Start: 200 * sim.Millisecond, End: 205 * sim.Millisecond},
+		can.RandomErrors{Rate: errRate},
+	}
+
+	pub, err := sys.Node(0).MW.HRTEC(subjCtrl)
+	if err != nil {
+		panic(err)
+	}
+	if err := pub.Announce(canec.ChannelAttrs{Payload: 7, Periodic: true}, nil); err != nil {
+		panic(err)
+	}
+	sub, err := sys.Node(1).MW.HRTEC(subjCtrl)
+	if err != nil {
+		panic(err)
+	}
+	err = sub.Subscribe(canec.ChannelAttrs{Payload: 7, Periodic: true}, canec.SubscribeAttrs{},
+		func(_ canec.Event, di canec.DeliveryInfo) {
+			delivered++
+			if di.Late {
+				late++
+			}
+		},
+		func(e canec.Exception) {
+			if e.Kind == canec.ExcSlotMissed {
+				slotMissed++
+			}
+		})
+	if err != nil {
+		panic(err)
+	}
+
+	const rounds = 50
+	for r := int64(0); r < rounds; r++ {
+		r := r
+		sys.K.At(sys.Cfg.Epoch+canec.Time(r)*cal.Round-200*canec.Microsecond, func() {
+			pub.Publish(canec.Event{Subject: subjCtrl, Payload: []byte{byte(r)}})
+		})
+	}
+
+	// Background bulk transfer with infinite backlog.
+	bulk, err := sys.Node(2).MW.NRTEC(subjBulk)
+	if err != nil {
+		panic(err)
+	}
+	if err := bulk.Announce(canec.ChannelAttrs{Prio: 254, Fragmentation: true}, nil); err != nil {
+		panic(err)
+	}
+	bsub, err := sys.Node(1).MW.NRTEC(subjBulk)
+	if err != nil {
+		panic(err)
+	}
+	bsub.Subscribe(canec.ChannelAttrs{Fragmentation: true}, canec.SubscribeAttrs{},
+		func(ev canec.Event, _ canec.DeliveryInfo) { bulkBytes += len(ev.Payload) }, nil)
+	var feed func()
+	feed = func() {
+		if sys.K.Now() >= sys.Cfg.Epoch+rounds*cal.Round {
+			return
+		}
+		if bulk.QueuedChains() < 2 {
+			bulk.Publish(canec.Event{Subject: subjBulk, Payload: make([]byte, 2048)})
+		}
+		sys.K.After(canec.Millisecond, feed)
+	}
+	sys.K.At(sys.Cfg.Epoch, feed)
+
+	sys.Run(sys.Cfg.Epoch + rounds*cal.Round - 1)
+	c := sys.TotalCounters()
+	return delivered, late, slotMissed, bulkBytes, c.RedundantCopiesSent, c.CopiesSuppressed
+}
+
+func main() {
+	fmt.Println("HRT channel dimensioned for omission degree k=2; EMI burst at t=200ms in every run")
+	fmt.Printf("%-10s %-10s %-6s %-8s %-12s %-12s\n",
+		"errRate", "delivered", "late", "missed", "bulk KiB", "suppressed")
+	for _, rate := range []float64{0, 0.01, 0.05, 0.10, 0.20} {
+		delivered, late, missed, bulkBytes, _, suppressed := run(rate)
+		fmt.Printf("%-10.2f %-10d %-6d %-8d %-12.1f %-12d\n",
+			rate, delivered, late, missed, float64(bulkBytes)/1024, suppressed)
+	}
+	fmt.Println("\nreading the table:")
+	fmt.Println(" - random errors up to 20% stay within the k=2 slot dimensioning: every such event")
+	fmt.Println("   is delivered exactly at its deadline (they never add to 'late');")
+	fmt.Println(" - the 5 ms EMI burst exceeds any per-frame assumption: exactly one event per run is")
+	fmt.Println("   delivered late and flagged, and the subscriber's exception handler fires (missed=1) —")
+	fmt.Println("   fault detection instead of silent failure;")
+	fmt.Println(" - 'suppressed' counts redundant HRT copies never sent (2 per event): that reserved")
+	fmt.Println("   bandwidth is what the bulk transfer runs on, shrinking as real faults consume it.")
+}

@@ -1,0 +1,107 @@
+package canec
+
+// Extensions beyond the paper's core model, built on the same substrate:
+// multi-network gateways (§2.2.1's spanning channels), Jensen-style
+// time-value functions (the paper's ref [11], used to derive expiration
+// attributes), and candump-style bus tracing.
+
+import (
+	"io"
+
+	"canec/internal/core"
+	"canec/internal/gateway"
+	"canec/internal/scenario"
+	"canec/internal/sim"
+	"canec/internal/trace"
+	"canec/internal/value"
+)
+
+// Gateway bridging between segments.
+type (
+	// Bridge forwards subjects between two bus segments that share one
+	// simulation kernel (build the second System with the first one's
+	// Kernel in SystemConfig.Kernel).
+	Bridge = gateway.Bridge
+	// Direction selects the forwarding direction of a bridged subject.
+	Direction = gateway.Direction
+)
+
+// Bridge directions.
+const (
+	AtoB = gateway.AtoB
+	BtoA = gateway.BtoA
+	Both = gateway.Both
+)
+
+// NewBridge creates a gateway between two middleware endpoints.
+func NewBridge(a, b *Middleware, delay Duration) *Bridge {
+	return gateway.New(a, b, delay)
+}
+
+// Time-value functions (Jensen): the worth of completing a transmission
+// as a function of its lateness.
+type (
+	// ValueFunc maps lateness to completion value (1 = on time).
+	ValueFunc = value.Function
+	// StepValue is the hard-deadline function.
+	StepValue = value.Step
+	// LinearValue decays linearly over a grace interval.
+	LinearValue = value.Linear
+	// ExponentialValue halves every half-life after the deadline.
+	ExponentialValue = value.Exponential
+	// PlateauValue grants a reduced constant value while late.
+	PlateauValue = value.Plateau
+)
+
+// ExpirationFor derives an event's Expiration attribute from its value
+// function, deadline and a residual-value threshold (§2.2.2: "the
+// expiration time ... may be defined according to some value function").
+func ExpirationFor(f ValueFunc, deadline Time, threshold float64, horizon Duration) Time {
+	return value.ExpirationFor(f, deadline, threshold, horizon)
+}
+
+// Bus tracing.
+type (
+	// TraceRing records the most recent bus events for candump-style
+	// inspection; install with sys.Bus.Trace = ring.Hook(sys.Bus.Trace).
+	TraceRing = trace.Ring
+)
+
+// NewTraceRing returns a recorder of the n most recent bus events.
+func NewTraceRing(n int) *TraceRing { return trace.NewRing(n) }
+
+// Kernel re-export so multi-segment systems can share a time base.
+type Kernel = sim.Kernel
+
+// NewKernel creates a standalone simulation kernel (for multi-segment
+// topologies; single-segment systems get one implicitly from NewSystem).
+func NewKernel(seed uint64) *Kernel { return sim.NewKernel(seed) }
+
+// Node liveness (§2.2.1 early failure detection).
+type (
+	// Watchdog tracks publisher liveness from the known slot schedule.
+	Watchdog = core.Watchdog
+	// NodeState is a watchdog verdict.
+	NodeState = core.NodeState
+	// ChannelInfo is a read-only channel snapshot (Middleware.Channels).
+	ChannelInfo = core.ChannelInfo
+)
+
+// Watchdog states.
+const (
+	NodeAlive     = core.NodeAlive
+	NodeSuspected = core.NodeSuspected
+	NodeFailed    = core.NodeFailed
+)
+
+// Declarative scenarios (JSON): see internal/scenario for the format and
+// cmd/canecsim -config for the CLI entry point.
+type (
+	// Scenario is a declarative mixed-traffic description.
+	Scenario = scenario.Scenario
+	// ScenarioReport summarises a scenario run.
+	ScenarioReport = scenario.Report
+)
+
+// LoadScenario parses and validates a JSON scenario.
+func LoadScenario(r io.Reader) (*Scenario, error) { return scenario.Load(r) }

@@ -1,0 +1,3 @@
+module canec
+
+go 1.22

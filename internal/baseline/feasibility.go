@@ -1,0 +1,76 @@
+package baseline
+
+import (
+	"fmt"
+
+	"canec/internal/calendar"
+	"canec/internal/sim"
+	"canec/internal/workload"
+)
+
+// Feasibility is the off-line schedulability verdict for a mixed system:
+// the hard real-time calendar claims its reserved share, and the soft
+// real-time stream set must fit into what remains. The paper assumes this
+// kind of check happens "before any new reservation is confirmed" (§3.1);
+// for the SRT band the classical non-preemptive EDF utilization condition
+// applies against the *residual* bandwidth.
+type Feasibility struct {
+	// HRTShare is the long-run bus fraction reserved by the calendar.
+	HRTShare float64
+	// SRTDemand is the stream set's long-run utilization (worst-case
+	// frame times).
+	SRTDemand float64
+	// Blocking is the largest non-preemptable lower-priority frame time
+	// that can delay an urgent message (one worst-case frame).
+	Blocking sim.Duration
+	// MinDeadline is the tightest relative deadline in the set.
+	MinDeadline sim.Duration
+	// Feasible reports the overall verdict.
+	Feasible bool
+	// Reason explains a negative verdict.
+	Reason string
+}
+
+// CheckMixed evaluates whether the SRT stream set fits alongside the HRT
+// calendar. The test is the standard sufficient condition for
+// non-preemptive EDF with blocking, applied to the residual bandwidth:
+//
+//	U_SRT / (1 − U_HRT) + B / D_min ≤ 1
+//
+// It is conservative (sufficient, not necessary): passing sets are
+// schedulable in the long run; failing sets may still mostly work but
+// carry no guarantee.
+func CheckMixed(cal *calendar.Calendar, streams []workload.Stream,
+	frameTime func(int) sim.Duration) Feasibility {
+
+	f := Feasibility{}
+	if cal != nil {
+		f.HRTShare = cal.Utilization()
+	}
+	f.SRTDemand = workload.Utilization(streams, frameTime)
+	f.Blocking = frameTime(8)
+	for i, s := range streams {
+		if s.RelDeadline <= 0 {
+			f.Reason = fmt.Sprintf("stream %d: non-positive deadline", i)
+			return f
+		}
+		if f.MinDeadline == 0 || s.RelDeadline < f.MinDeadline {
+			f.MinDeadline = s.RelDeadline
+		}
+	}
+	residual := 1 - f.HRTShare
+	if residual <= 0 {
+		f.Reason = "calendar reserves the whole bus"
+		return f
+	}
+	lhs := f.SRTDemand / residual
+	if f.MinDeadline > 0 {
+		lhs += float64(f.Blocking) / float64(f.MinDeadline)
+	}
+	if lhs > 1 {
+		f.Reason = fmt.Sprintf("demand %.2f of residual bandwidth exceeds 1", lhs)
+		return f
+	}
+	f.Feasible = true
+	return f
+}

@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"testing"
+
+	"canec/internal/calendar"
+	"canec/internal/can"
+	"canec/internal/core"
+	"canec/internal/sim"
+	"canec/internal/workload"
+)
+
+func ftWorst(p int) sim.Duration {
+	return can.BitTime(can.WorstCaseBits(p), can.DefaultBitRate)
+}
+
+func TestCheckMixedFeasible(t *testing.T) {
+	cfg := calendar.DefaultConfig()
+	cal, err := calendar.Plan(cfg, []calendar.Request{
+		{Subject: 1, Publisher: 0, Payload: 8, Period: 10 * sim.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := []workload.Stream{
+		{Period: 5 * sim.Millisecond, RelDeadline: 5 * sim.Millisecond, Payload: 8},
+		{Period: 10 * sim.Millisecond, RelDeadline: 8 * sim.Millisecond, Payload: 8},
+	}
+	f := CheckMixed(cal, streams, ftWorst)
+	if !f.Feasible {
+		t.Fatalf("light set infeasible: %+v", f)
+	}
+	if f.HRTShare <= 0 || f.SRTDemand <= 0 || f.MinDeadline != 5*sim.Millisecond {
+		t.Fatalf("metrics wrong: %+v", f)
+	}
+}
+
+func TestCheckMixedOverload(t *testing.T) {
+	streams := []workload.Stream{
+		{Period: 300 * sim.Microsecond, RelDeadline: 300 * sim.Microsecond, Payload: 8},
+		{Period: 300 * sim.Microsecond, RelDeadline: 300 * sim.Microsecond, Payload: 8},
+	}
+	f := CheckMixed(nil, streams, ftWorst)
+	if f.Feasible {
+		t.Fatalf("overloaded set passed: %+v", f)
+	}
+	if f.Reason == "" {
+		t.Fatal("no reason given")
+	}
+}
+
+func TestCheckMixedResidualMatters(t *testing.T) {
+	// A set that fits an empty bus but not the residual after a heavy
+	// calendar.
+	// Demand ≈ 0.64: fine alone (0.64 + blocking ≈ 0.72 ≤ 1), infeasible
+	// against the ≈0.40 residual left by the 60% calendar below.
+	streams := []workload.Stream{
+		{Period: 250 * sim.Microsecond, RelDeadline: 2 * sim.Millisecond, Payload: 8},
+	}
+	if f := CheckMixed(nil, streams, ftWorst); !f.Feasible {
+		t.Fatalf("set should fit an empty bus: %+v", f)
+	}
+	cfg := calendar.DefaultConfig()
+	var reqs []calendar.Request
+	for i := 0; i < 12; i++ {
+		reqs = append(reqs, calendar.Request{
+			Subject: uint64(i + 1), Publisher: can.TxNode(i), Payload: 8,
+			Period: 10 * sim.Millisecond,
+		})
+	}
+	cal, err := calendar.Plan(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := CheckMixed(cal, streams, ftWorst); f.Feasible {
+		t.Fatalf("set passed despite %.0f%% reservation: %+v", 100*cal.Utilization(), f)
+	}
+}
+
+func TestCheckMixedBadDeadline(t *testing.T) {
+	f := CheckMixed(nil, []workload.Stream{{Period: sim.Millisecond, Payload: 8}}, ftWorst)
+	if f.Feasible || f.Reason == "" {
+		t.Fatalf("zero deadline accepted: %+v", f)
+	}
+}
+
+// TestFeasibilityPredictsSimulation cross-validates the analysis with the
+// simulator: a set certified feasible must simulate with (near-)zero
+// misses.
+func TestFeasibilityPredictsSimulation(t *testing.T) {
+	streams := []workload.Stream{
+		{Node: 0, Period: 2 * sim.Millisecond, RelDeadline: 2 * sim.Millisecond, Payload: 8},
+		{Node: 1, Period: 4 * sim.Millisecond, RelDeadline: 4 * sim.Millisecond, Payload: 8},
+		{Node: 2, Period: 8 * sim.Millisecond, RelDeadline: 8 * sim.Millisecond, Payload: 8},
+	}
+	f := CheckMixed(nil, streams, ftWorst)
+	if !f.Feasible {
+		t.Fatalf("set infeasible: %+v", f)
+	}
+	jobs := workload.GenJobs(sim.NewRNG(3), streams, sim.Second)
+	out := RunEDF(streams, jobs, core.DefaultBands(), 3, 2*sim.Second)
+	if r := out.MissRatio(); r != 0 {
+		t.Fatalf("feasible set missed %.1f%% in simulation", 100*r)
+	}
+}

@@ -1,0 +1,343 @@
+package binding
+
+import (
+	"errors"
+	"fmt"
+
+	"canec/internal/can"
+	"canec/internal/sim"
+)
+
+// Wire message types (high nibble of payload byte 0 on the configuration
+// channel). Bind requests carry a 4-bit request id in the low nibble so a
+// client can tell replies to concurrent requests apart.
+const (
+	opBindReq = 0x1 // [op|rid][subject 7B]
+	opBindAck = 0x2 // [op|rid][etag 2B LE][subject low 40 bits 5B]
+	opBindErr = 0x3 // [op|rid][subject 7B]
+	opJoinReq = 0x4 // [op][uid 7B]
+	opJoinAck = 0x5 // [op][txnode 1B][uid low 48 bits 6B]
+)
+
+// DefaultPrio is the fixed priority of configuration traffic: the least
+// urgent non real-time level, as configuration and maintenance are exactly
+// what NRT channels are for (§2.2.3).
+const DefaultPrio can.Prio = can.MaxPrio
+
+// AgentTxNode is the pre-assigned node number of the configuration agent.
+const AgentTxNode can.TxNode = 0
+
+func put56(dst []byte, v uint64) {
+	for i := 0; i < 7; i++ {
+		dst[i] = byte(v >> (8 * i))
+	}
+}
+
+func get56(src []byte) uint64 {
+	var v uint64
+	for i := 0; i < 7; i++ {
+		v |= uint64(src[i]) << (8 * i)
+	}
+	return v
+}
+
+// Agent serves bind and join requests. It owns the authoritative Table
+// and the TxNode allocation. One agent exists per bus segment; the paper
+// acknowledges the criticism of master-based schemes but uses a
+// configuration master itself (ref [12]) since configuration is not on
+// the critical real-time path.
+type Agent struct {
+	K     *sim.Kernel
+	Ctrl  *can.Controller
+	Table *Table
+	Prio  can.Prio
+
+	nodesByUID map[uint64]can.TxNode
+	nextNode   can.TxNode
+}
+
+// NewAgent creates the configuration agent on the given controller (which
+// must have TxNode AgentTxNode).
+func NewAgent(k *sim.Kernel, ctrl *can.Controller) *Agent {
+	return &Agent{
+		K: k, Ctrl: ctrl, Table: NewTable(), Prio: DefaultPrio,
+		nodesByUID: make(map[uint64]can.TxNode),
+		nextNode:   AgentTxNode + 1,
+	}
+}
+
+// HandleFrame processes a configuration-channel frame. The owner of the
+// controller's receive path routes etag ConfigEtag frames here.
+func (a *Agent) HandleFrame(f can.Frame, _ sim.Time) {
+	if len(f.Data) < 8 {
+		return
+	}
+	op, rid := f.Data[0]>>4, f.Data[0]&0x0f
+	switch op {
+	case opBindReq:
+		subject := Subject(get56(f.Data[1:]))
+		etag, err := a.Table.Bind(subject)
+		out := make([]byte, 8)
+		if err != nil {
+			out[0] = opBindErr<<4 | rid
+			put56(out[1:], uint64(subject))
+		} else {
+			out[0] = opBindAck<<4 | rid
+			out[1] = byte(etag)
+			out[2] = byte(etag >> 8)
+			for i := 0; i < 5; i++ {
+				out[3+i] = byte(uint64(subject) >> (8 * i))
+			}
+		}
+		a.reply(out)
+
+	case opJoinReq:
+		uid := get56(f.Data[1:])
+		node, ok := a.nodesByUID[uid]
+		if !ok {
+			if a.nextNode >= tempNodeLo {
+				return // node space exhausted: stay silent, client times out
+			}
+			node = a.nextNode
+			a.nextNode++
+			a.nodesByUID[uid] = node
+		}
+		out := make([]byte, 8)
+		out[0] = opJoinAck << 4
+		out[1] = byte(node)
+		for i := 0; i < 6; i++ {
+			out[2+i] = byte(uid >> (8 * i))
+		}
+		a.reply(out)
+	}
+}
+
+func (a *Agent) reply(payload []byte) {
+	a.Ctrl.Submit(can.Frame{
+		ID:   can.MakeID(a.Prio, a.Ctrl.Node(), ConfigEtag),
+		Data: payload,
+	}, can.SubmitOpts{})
+}
+
+// Nodes returns the number of assigned node numbers.
+func (a *Agent) Nodes() int { return len(a.nodesByUID) }
+
+// Temporary TxNode range used by still-unconfigured nodes for their join
+// requests. Collisions inside this range are possible and are resolved by
+// the collision-detect/re-randomize loop in Client.Join.
+const (
+	tempNodeLo can.TxNode = 96
+	tempNodeHi can.TxNode = can.MaxTxNode
+)
+
+// ErrTimeout is reported when a request exhausts its retries.
+var ErrTimeout = errors.New("binding: request timed out")
+
+// ErrRejected is reported when the agent answered with a bind error
+// (etag space exhausted or invalid subject).
+var ErrRejected = errors.New("binding: request rejected by agent")
+
+// Client issues bind and join requests from a regular node.
+type Client struct {
+	K    *sim.Kernel
+	Ctrl *can.Controller
+	Prio can.Prio
+	// Timeout per attempt and the number of attempts before giving up.
+	Timeout  sim.Duration
+	Attempts int
+
+	nextRid uint8
+	pending map[uint8]*bindCall
+	joining *joinCall
+}
+
+type bindCall struct {
+	subject Subject
+	cb      func(can.Etag, error)
+	left    int
+	timer   sim.Timer
+}
+
+type joinCall struct {
+	uid   uint64
+	cb    func(can.TxNode, error)
+	left  int
+	timer sim.Timer
+}
+
+// NewClient creates a configuration client on the given controller.
+func NewClient(k *sim.Kernel, ctrl *can.Controller) *Client {
+	return &Client{
+		K: k, Ctrl: ctrl, Prio: DefaultPrio,
+		Timeout:  50 * sim.Millisecond,
+		Attempts: 5,
+		pending:  make(map[uint8]*bindCall),
+	}
+}
+
+// Bind asks the agent for the etag of subject; cb is invoked exactly once.
+func (c *Client) Bind(subject Subject, cb func(can.Etag, error)) {
+	if err := subject.Validate(); err != nil {
+		cb(0, err)
+		return
+	}
+	rid := c.nextRid & 0x0f
+	c.nextRid++
+	if _, busy := c.pending[rid]; busy {
+		cb(0, fmt.Errorf("binding: too many concurrent bind requests"))
+		return
+	}
+	call := &bindCall{subject: subject, cb: cb, left: c.Attempts}
+	c.pending[rid] = call
+	c.sendBind(rid, call)
+}
+
+func (c *Client) sendBind(rid uint8, call *bindCall) {
+	payload := make([]byte, 8)
+	payload[0] = opBindReq<<4 | rid
+	put56(payload[1:], uint64(call.subject))
+	c.Ctrl.Submit(can.Frame{
+		ID:   can.MakeID(c.Prio, c.Ctrl.Node(), ConfigEtag),
+		Data: payload,
+	}, can.SubmitOpts{})
+	call.left--
+	call.timer = c.K.After(c.Timeout, func() {
+		if c.pending[rid] != call {
+			return
+		}
+		if call.left <= 0 {
+			delete(c.pending, rid)
+			call.cb(0, ErrTimeout)
+			return
+		}
+		c.sendBind(rid, call)
+	})
+}
+
+// Join requests a TxNode assignment for this node's hardware UID. The
+// request is sent with a random temporary TxNode from the configuration
+// range; an identifier collision with another joining node corrupts the
+// frame for both (see can.Bus), is observed through single-shot failure,
+// and triggers re-randomization — the classic collision-resolution loop.
+func (c *Client) Join(uid uint64, cb func(can.TxNode, error)) {
+	if uid == 0 || uid > uint64(MaxSubject) {
+		cb(0, fmt.Errorf("binding: uid %#x out of range", uid))
+		return
+	}
+	if c.joining != nil {
+		cb(0, fmt.Errorf("binding: join already in progress"))
+		return
+	}
+	call := &joinCall{uid: uid, cb: cb, left: c.Attempts}
+	c.joining = call
+	c.sendJoin(call)
+}
+
+func (c *Client) sendJoin(call *joinCall) {
+	if c.Ctrl.Pending() > 0 {
+		// The previous attempt is still queued (congested bus): changing
+		// the node number now would orphan it. Wait another round.
+		call.timer = c.K.After(c.Timeout, func() {
+			if c.joining == call {
+				c.sendJoin(call)
+			}
+		})
+		return
+	}
+	temp := tempNodeLo + can.TxNode(c.K.RNG().Intn(int(tempNodeHi-tempNodeLo)+1))
+	c.Ctrl.SetNode(temp)
+	payload := make([]byte, 8)
+	payload[0] = opJoinReq << 4
+	put56(payload[1:], call.uid)
+	call.left--
+	c.Ctrl.Submit(can.Frame{
+		ID:   can.MakeID(c.Prio, temp, ConfigEtag),
+		Data: payload,
+	}, can.SubmitOpts{
+		SingleShot: true,
+		Done: func(ok bool, _ sim.Time) {
+			if ok || c.joining != call {
+				return
+			}
+			// Collision or corruption: back off a random interval and
+			// retry with a fresh temporary node number. The per-attempt
+			// timeout is superseded by this faster retry path.
+			c.K.Cancel(call.timer)
+			if call.left <= 0 {
+				c.joining = nil
+				call.cb(0, ErrTimeout)
+				return
+			}
+			c.K.After(c.K.RNG().ExpDuration(2*sim.Millisecond), func() {
+				if c.joining == call {
+					c.sendJoin(call)
+				}
+			})
+		},
+	})
+	call.timer = c.K.After(c.Timeout, func() {
+		if c.joining != call {
+			return
+		}
+		if call.left <= 0 {
+			c.joining = nil
+			call.cb(0, ErrTimeout)
+			return
+		}
+		c.sendJoin(call)
+	})
+}
+
+// HandleFrame processes a configuration-channel frame received by this
+// client's node.
+func (c *Client) HandleFrame(f can.Frame, _ sim.Time) {
+	if len(f.Data) < 8 {
+		return
+	}
+	op, rid := f.Data[0]>>4, f.Data[0]&0x0f
+	switch op {
+	case opBindAck:
+		call, ok := c.pending[rid]
+		if !ok {
+			return
+		}
+		var low40 uint64
+		for i := 0; i < 5; i++ {
+			low40 |= uint64(f.Data[3+i]) << (8 * i)
+		}
+		if uint64(call.subject)&(1<<40-1) != low40 {
+			return // reply to another node's request with the same rid
+		}
+		delete(c.pending, rid)
+		c.K.Cancel(call.timer)
+		etag := can.Etag(f.Data[1]) | can.Etag(f.Data[2])<<8
+		call.cb(etag, nil)
+
+	case opBindErr:
+		call, ok := c.pending[rid]
+		if !ok || uint64(call.subject) != get56(f.Data[1:]) {
+			return
+		}
+		delete(c.pending, rid)
+		c.K.Cancel(call.timer)
+		call.cb(0, ErrRejected)
+
+	case opJoinAck:
+		call := c.joining
+		if call == nil {
+			return
+		}
+		var low48 uint64
+		for i := 0; i < 6; i++ {
+			low48 |= uint64(f.Data[2+i]) << (8 * i)
+		}
+		if call.uid&(1<<48-1) != low48 {
+			return
+		}
+		c.joining = nil
+		c.K.Cancel(call.timer)
+		node := can.TxNode(f.Data[1])
+		c.Ctrl.SetNode(node)
+		call.cb(node, nil)
+	}
+}

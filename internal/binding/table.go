@@ -1,0 +1,142 @@
+// Package binding implements the paper's dynamic binding layer (§2.1,
+// §3.5, detailed in refs [13][12]): the mapping from application-level
+// subjects — system-wide unique identifiers naming an event channel — to
+// the 14-bit etag field of the CAN identifier, plus the configuration
+// protocol that assigns each node its unique 7-bit TxNode number.
+//
+// Two binding modes are provided. A static Table is computed off-line and
+// distributed with the calendar; this is how hard real-time channels are
+// bound, since their slot reservations are off-line anyway. The dynamic
+// protocol (Agent/Client) binds soft and non real-time channels at run
+// time over a reserved configuration channel.
+package binding
+
+import (
+	"errors"
+	"fmt"
+
+	"canec/internal/can"
+)
+
+// Subject is the application-level unique identifier of an event channel.
+// The wire protocol carries the low 56 bits; Validate rejects larger
+// values.
+type Subject uint64
+
+// MaxSubject is the largest subject the wire protocol can carry.
+const MaxSubject = Subject(1)<<56 - 1
+
+// Validate reports whether the subject fits the wire encoding.
+func (s Subject) Validate() error {
+	if s > MaxSubject {
+		return fmt.Errorf("binding: subject %#x exceeds 56 bits", uint64(s))
+	}
+	if s == 0 {
+		return errors.New("binding: subject 0 is reserved")
+	}
+	return nil
+}
+
+// Reserved etags.
+const (
+	// ConfigEtag is the configuration/binding channel (etag 0).
+	ConfigEtag can.Etag = 0
+	// SyncEtag is the clock synchronization channel (highest etag).
+	SyncEtag can.Etag = can.MaxEtag
+)
+
+// ErrExhausted is returned when no free etag remains.
+var ErrExhausted = errors.New("binding: etag space exhausted")
+
+// ErrConflict is returned when a fixed binding clashes with an existing
+// one.
+var ErrConflict = errors.New("binding: conflicting binding")
+
+// Table is a bidirectional subject↔etag map with allocation. It is pure
+// data — the Agent wraps it with the wire protocol — so off-line tools,
+// tests and the static HRT configuration can use it directly.
+type Table struct {
+	fwd  map[Subject]can.Etag
+	rev  map[can.Etag]Subject
+	next can.Etag
+}
+
+// NewTable returns an empty table whose allocator skips the reserved
+// etags.
+func NewTable() *Table {
+	return &Table{
+		fwd:  make(map[Subject]can.Etag),
+		rev:  make(map[can.Etag]Subject),
+		next: ConfigEtag + 1,
+	}
+}
+
+// Bind returns the etag bound to the subject, allocating one if needed.
+// Binding is idempotent: every node asking for the same subject receives
+// the same etag, which is what makes subject-based filtering work in the
+// communication controller.
+func (t *Table) Bind(s Subject) (can.Etag, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if e, ok := t.fwd[s]; ok {
+		return e, nil
+	}
+	for t.next < SyncEtag {
+		e := t.next
+		t.next++
+		if _, taken := t.rev[e]; taken {
+			continue
+		}
+		t.fwd[s] = e
+		t.rev[e] = s
+		return e, nil
+	}
+	return 0, ErrExhausted
+}
+
+// BindFixed installs a pre-computed binding (off-line HRT configuration).
+func (t *Table) BindFixed(s Subject, e can.Etag) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if e == ConfigEtag || e == SyncEtag {
+		return fmt.Errorf("binding: etag %d is reserved", e)
+	}
+	if cur, ok := t.fwd[s]; ok && cur != e {
+		return ErrConflict
+	}
+	if cur, ok := t.rev[e]; ok && cur != s {
+		return ErrConflict
+	}
+	t.fwd[s] = e
+	t.rev[e] = s
+	return nil
+}
+
+// Lookup returns the etag bound to a subject.
+func (t *Table) Lookup(s Subject) (can.Etag, bool) {
+	e, ok := t.fwd[s]
+	return e, ok
+}
+
+// SubjectOf returns the subject bound to an etag.
+func (t *Table) SubjectOf(e can.Etag) (Subject, bool) {
+	s, ok := t.rev[e]
+	return s, ok
+}
+
+// Len returns the number of bindings.
+func (t *Table) Len() int { return len(t.fwd) }
+
+// Clone returns an independent copy, used to distribute the off-line
+// configuration to every node.
+func (t *Table) Clone() *Table {
+	c := NewTable()
+	for s, e := range t.fwd {
+		c.fwd[s] = e
+		c.rev[e] = s
+	}
+	c.next = t.next
+	return c
+}

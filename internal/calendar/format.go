@@ -1,0 +1,69 @@
+package calendar
+
+import (
+	"fmt"
+	"strings"
+
+	"canec/internal/sim"
+)
+
+// Format renders the calendar as a human-readable report: one line per
+// slot with its Fig. 3 geometry, plus an ASCII timeline of one round
+// (multi-rate slots annotated with their activation pattern).
+func (c *Calendar) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "round %v, %d slots, %.1f%% of bandwidth reserved, ΔG_min %v, ΔT_wait %v, omission degree %d\n",
+		c.Round, len(c.Slots), 100*c.Utilization(), c.Cfg.GapMin, c.Cfg.WaitTime(), c.Cfg.OmissionDegree)
+	fmt.Fprintf(&b, "%-4s %-8s %-5s %-4s %-10s %-10s %-10s %-9s %s\n",
+		"slot", "subject", "node", "dlc", "ready µs", "LST µs", "deadline µs", "period", "kind")
+	for i, s := range c.Slots {
+		kind := "sporadic"
+		if s.Periodic {
+			kind = "periodic"
+		}
+		period := "1/round"
+		if s.every() > 1 {
+			period = fmt.Sprintf("1/%d rounds (phase %d)", s.every(), s.Phase)
+		}
+		fmt.Fprintf(&b, "%-4d %-8d %-5d %-4d %-10d %-10d %-10d %-9s %s\n",
+			i, s.Subject, s.Publisher, s.Payload,
+			s.Ready.Micros(), s.LST(c.Cfg).Micros(), s.Deadline(c.Cfg).Micros(),
+			period, kind)
+	}
+	b.WriteString(c.timeline())
+	return b.String()
+}
+
+// timeline draws one round as a fixed-width bar: digits mark the slot
+// occupying each column, '.' is unreserved.
+func (c *Calendar) timeline() string {
+	const width = 72
+	if c.Round <= 0 {
+		return ""
+	}
+	row := make([]byte, width)
+	for i := range row {
+		row[i] = '.'
+	}
+	col := func(t sim.Duration) int {
+		p := int(int64(t) * int64(width) / int64(c.Round))
+		if p >= width {
+			p = width - 1
+		}
+		if p < 0 {
+			p = 0
+		}
+		return p
+	}
+	for i, s := range c.Slots {
+		mark := byte('0' + i%10)
+		for p := col(s.Ready); p <= col(s.End(c.Cfg)); p++ {
+			if row[p] == '.' {
+				row[p] = mark
+			} else if row[p] != mark {
+				row[p] = '#' // phase-shared window
+			}
+		}
+	}
+	return fmt.Sprintf("|%s|  ('.' free, digits reserved, '#' phase-shared)\n", row)
+}

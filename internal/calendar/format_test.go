@@ -1,0 +1,56 @@
+package calendar
+
+import (
+	"strings"
+	"testing"
+
+	"canec/internal/sim"
+)
+
+func TestFormatReport(t *testing.T) {
+	cfg := DefaultConfig()
+	cal, err := Plan(cfg, []Request{
+		{Subject: 0x11, Publisher: 0, Payload: 8, Period: 5 * sim.Millisecond, Periodic: true},
+		{Subject: 0x12, Publisher: 1, Payload: 8, Period: 10 * sim.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := cal.Format()
+	for _, want := range []string{"round 0.005000s", "periodic", "sporadic", "1/2 rounds", "ΔG_min"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+	// Timeline line present with both reserved and free columns.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	timeline := ""
+	for _, l := range lines {
+		if strings.HasPrefix(l, "|") {
+			timeline = l
+		}
+	}
+	if timeline == "" || !strings.Contains(timeline, "0") || !strings.Contains(timeline, ".") {
+		t.Fatalf("timeline missing or empty: %q", timeline)
+	}
+}
+
+func TestFormatSharedWindowMarker(t *testing.T) {
+	cfg := DefaultConfig()
+	cal := New(10*sim.Millisecond, cfg)
+	cal.Add(Slot{Subject: 1, Publisher: 1, Ready: 0, Payload: 8, Every: 2, Phase: 0})
+	cal.Add(Slot{Subject: 2, Publisher: 2, Ready: 0, Payload: 8, Every: 2, Phase: 1})
+	if err := cal.Admit(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cal.Format(), "#") {
+		t.Fatal("phase-shared window not marked")
+	}
+}
+
+func TestFormatEmptyCalendar(t *testing.T) {
+	cal := New(0, DefaultConfig())
+	if out := cal.Format(); !strings.Contains(out, "0 slots") {
+		t.Fatalf("empty calendar format: %q", out)
+	}
+}

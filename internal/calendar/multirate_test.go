@@ -1,0 +1,148 @@
+package calendar
+
+import (
+	"testing"
+	"testing/quick"
+
+	"canec/internal/sim"
+)
+
+func TestSlotActivationPattern(t *testing.T) {
+	s := Slot{Every: 3, Phase: 1}
+	wantActive := map[int64]bool{1: true, 4: true, 7: true}
+	for r := int64(0); r < 9; r++ {
+		if s.ActiveIn(r) != wantActive[r] {
+			t.Fatalf("ActiveIn(%d) = %v", r, s.ActiveIn(r))
+		}
+	}
+	if s.NextActive(0) != 1 || s.NextActive(1) != 1 || s.NextActive(2) != 4 || s.NextActive(5) != 7 {
+		t.Fatalf("NextActive wrong: %d %d %d %d",
+			s.NextActive(0), s.NextActive(1), s.NextActive(2), s.NextActive(5))
+	}
+	// Default Every: every round.
+	d := Slot{}
+	for r := int64(0); r < 4; r++ {
+		if !d.ActiveIn(r) || d.NextActive(r) != r {
+			t.Fatal("default slot must be active every round")
+		}
+	}
+}
+
+func TestSlotPeriod(t *testing.T) {
+	s := Slot{Every: 4}
+	if s.Period(10*sim.Millisecond) != 40*sim.Millisecond {
+		t.Fatalf("Period = %v", s.Period(10*sim.Millisecond))
+	}
+}
+
+func TestRoundsCoincideCRT(t *testing.T) {
+	cases := []struct {
+		ea, pa, eb, pb, shift int
+		want                  bool
+	}{
+		{2, 0, 2, 1, 0, false}, // even vs odd rounds: disjoint
+		{2, 0, 2, 0, 0, true},
+		{2, 0, 4, 1, 0, false}, // gcd 2: 0 vs 1 mod 2
+		{2, 0, 4, 2, 0, true},  // 0 ≡ 2 (mod 2)
+		{3, 1, 5, 2, 0, true},  // gcd 1: always coincide
+		{2, 1, 2, 0, 1, true},  // shift: odd rounds then even next round
+		{4, 3, 4, 0, 1, true},  // r=3 active, r+1=4 ≡ 0 (mod 4)
+		{4, 2, 4, 0, 1, false},
+	}
+	for _, c := range cases {
+		if got := roundsCoincide(c.ea, c.pa, c.eb, c.pb, c.shift); got != c.want {
+			t.Errorf("roundsCoincide(%v) = %v, want %v", c, got, c.want)
+		}
+	}
+}
+
+func TestAdmitAllowsPhaseDisjointSharing(t *testing.T) {
+	// Two slots occupying the SAME window of alternating rounds: legal,
+	// because they are never active together.
+	cfg := DefaultConfig()
+	cal := New(10*sim.Millisecond, cfg)
+	cal.Add(Slot{Subject: 1, Publisher: 1, Ready: 0, Payload: 8, Every: 2, Phase: 0})
+	cal.Add(Slot{Subject: 2, Publisher: 2, Ready: 0, Payload: 8, Every: 2, Phase: 1})
+	if err := cal.Admit(); err != nil {
+		t.Fatalf("phase-disjoint sharing rejected: %v", err)
+	}
+	// Same phases: rejected.
+	cal2 := New(10*sim.Millisecond, cfg)
+	cal2.Add(Slot{Subject: 1, Publisher: 1, Ready: 0, Payload: 8, Every: 2, Phase: 0})
+	cal2.Add(Slot{Subject: 2, Publisher: 2, Ready: 0, Payload: 8, Every: 2, Phase: 0})
+	if cal2.Admit() == nil {
+		t.Fatal("same-phase overlap admitted")
+	}
+	// gcd-coinciding phases: Every 2/4 with phases 0/2 collide.
+	cal3 := New(10*sim.Millisecond, cfg)
+	cal3.Add(Slot{Subject: 1, Publisher: 1, Ready: 0, Payload: 8, Every: 2, Phase: 0})
+	cal3.Add(Slot{Subject: 2, Publisher: 2, Ready: 0, Payload: 8, Every: 4, Phase: 2})
+	if cal3.Admit() == nil {
+		t.Fatal("gcd-coinciding overlap admitted")
+	}
+}
+
+func TestAdmitRejectsBadPhase(t *testing.T) {
+	cfg := DefaultConfig()
+	cal := New(10*sim.Millisecond, cfg)
+	cal.Add(Slot{Subject: 1, Publisher: 1, Payload: 8, Every: 2, Phase: 2})
+	if cal.Admit() == nil {
+		t.Fatal("phase ≥ Every admitted")
+	}
+	cal.Slots[0].Phase = -1
+	if cal.Admit() == nil {
+		t.Fatal("negative phase admitted")
+	}
+}
+
+func TestAdmitWrapWithPhases(t *testing.T) {
+	cfg := DefaultConfig()
+	span := cfg.SlotSpan(8)
+	// Slot A at the very end of even rounds; slot B at offset 0 of odd
+	// rounds: A's end wraps into B's start — must be rejected.
+	round := span + cfg.GapMin/2 // too tight for the wrap
+	cal := New(round, cfg)
+	cal.Add(Slot{Subject: 1, Publisher: 1, Ready: 0, Payload: 8, Every: 2, Phase: 0})
+	cal.Add(Slot{Subject: 2, Publisher: 2, Ready: 0, Payload: 8, Every: 2, Phase: 1})
+	if cal.Admit() == nil {
+		t.Fatal("wrap violation between alternating slots admitted")
+	}
+	// With a round long enough the same calendar admits.
+	cal.Round = span + cfg.GapMin
+	if err := cal.Admit(); err != nil {
+		t.Fatalf("valid alternating calendar rejected: %v", err)
+	}
+}
+
+func TestUtilizationMultiRate(t *testing.T) {
+	cfg := DefaultConfig()
+	cal := New(10*sim.Millisecond, cfg)
+	cal.Add(Slot{Subject: 1, Publisher: 1, Ready: 0, Payload: 8, Every: 2, Phase: 0})
+	want := float64(cfg.SlotSpan(8)) / float64(10*sim.Millisecond) / 2
+	if got := cal.Utilization(); got != want {
+		t.Fatalf("Utilization = %v, want %v", got, want)
+	}
+}
+
+func TestNextActiveProperty(t *testing.T) {
+	f := func(everyRaw, phaseRaw uint8, fromRaw uint16) bool {
+		every := int(everyRaw%8) + 1
+		phase := int(phaseRaw) % every
+		from := int64(fromRaw)
+		s := Slot{Every: every, Phase: phase}
+		r := s.NextActive(from)
+		if r < from || !s.ActiveIn(r) {
+			return false
+		}
+		// No active round in (from, r).
+		for q := from; q < r; q++ {
+			if s.ActiveIn(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

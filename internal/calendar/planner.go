@@ -1,0 +1,146 @@
+package calendar
+
+import (
+	"fmt"
+	"sort"
+
+	"canec/internal/can"
+	"canec/internal/sim"
+)
+
+// Request describes one hard real-time stream that needs a reservation.
+// The paper assumes reservations "are made off-line" and checked by an
+// admission test (§3.1); Plan is that off-line tool: it synthesises an
+// admissible calendar from stream requirements.
+type Request struct {
+	Subject   uint64
+	Publisher can.TxNode
+	// Payload is the frame payload to dimension the slot for (includes
+	// the middleware header byte; ≤ 8).
+	Payload int
+	// Period is the desired activation period. The planner quantises it
+	// to a multiple of the base round, rounding *down* (the stream is
+	// served at least as often as requested).
+	Period sim.Duration
+	// Periodic enables subscriber-side missing-message detection.
+	Periodic bool
+}
+
+// Plan synthesises a calendar for the requests under cfg. The base round
+// is the smallest requested period; slower streams activate every
+// Period/round rounds and may share windows with phase-disjoint streams
+// (CRT sharing). Placement is first-fit by increasing activation period.
+// The result is guaranteed admissible (Admit is re-run before returning).
+func Plan(cfg Config, reqs []Request) (*Calendar, error) {
+	if len(reqs) == 0 {
+		return nil, &AdmissionError{"no requests"}
+	}
+	round := reqs[0].Period
+	for _, r := range reqs {
+		if r.Period <= 0 {
+			return nil, &AdmissionError{fmt.Sprintf("subject %d: non-positive period", r.Subject)}
+		}
+		if r.Payload < 0 || r.Payload > can.MaxPayload {
+			return nil, &AdmissionError{fmt.Sprintf("subject %d: payload %d", r.Subject, r.Payload)}
+		}
+		if r.Period < round {
+			round = r.Period
+		}
+	}
+	cal := &Calendar{Round: round, Cfg: cfg}
+
+	// Fastest (smallest Every) streams first: they are the hardest to
+	// place because they conflict with every phase.
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return reqs[order[a]].Period < reqs[order[b]].Period })
+
+	for _, idx := range order {
+		r := reqs[idx]
+		every := int(r.Period / round)
+		if every < 1 {
+			every = 1
+		}
+		slot, ok := placeFirstFit(cal, cfg, r, every)
+		if !ok {
+			return nil, &AdmissionError{fmt.Sprintf(
+				"subject %d (publisher %d) does not fit: %.1f%% already reserved in a %v round",
+				r.Subject, r.Publisher, 100*cal.Utilization(), round)}
+		}
+		cal.Slots = append(cal.Slots, slot)
+	}
+	if err := cal.Admit(); err != nil {
+		return nil, fmt.Errorf("planner produced inadmissible calendar (bug): %w", err)
+	}
+	return cal, nil
+}
+
+// placeFirstFit finds the earliest offset and a phase where the request's
+// slot conflicts with nothing already placed.
+func placeFirstFit(cal *Calendar, cfg Config, r Request, every int) (Slot, bool) {
+	span := cfg.SlotSpan(r.Payload)
+	// Candidate offsets: round start and just after each placed slot.
+	cands := []sim.Duration{0}
+	for _, s := range cal.Slots {
+		cands = append(cands, s.End(cfg)+cfg.GapMin)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	for _, off := range cands {
+		if off+span > cal.Round {
+			continue
+		}
+		for phase := 0; phase < every; phase++ {
+			slot := Slot{
+				Subject: r.Subject, Publisher: r.Publisher, Payload: r.Payload,
+				Periodic: r.Periodic, Ready: off, Every: every, Phase: phase,
+			}
+			if !conflicts(cal, cfg, slot) {
+				return slot, true
+			}
+		}
+	}
+	return Slot{}, false
+}
+
+// conflicts mirrors Admit's pairwise checks for one candidate against the
+// placed slots.
+func conflicts(cal *Calendar, cfg Config, s Slot) bool {
+	for _, p := range cal.Slots {
+		// Same-round overlap (either order).
+		if roundsCoincide(s.every(), s.Phase, p.every(), p.Phase, 0) {
+			if !(s.Ready >= p.End(cfg)+cfg.GapMin || p.Ready >= s.End(cfg)+cfg.GapMin) {
+				return true
+			}
+		}
+		// Wrap: s at round r end, p at round r+1 start.
+		if roundsCoincide(s.every(), s.Phase, p.every(), p.Phase, 1) {
+			if p.Ready+cal.Round < s.End(cfg)+cfg.GapMin {
+				return true
+			}
+		}
+		// Wrap: p at round r end, s at round r+1 start.
+		if roundsCoincide(p.every(), p.Phase, s.every(), s.Phase, 1) {
+			if s.Ready+cal.Round < p.End(cfg)+cfg.GapMin {
+				return true
+			}
+		}
+	}
+	// Self wrap for Every == 1.
+	if s.every() == 1 && s.Ready+cal.Round < s.End(cfg)+cfg.GapMin {
+		return true
+	}
+	return false
+}
+
+// AchievedPeriod returns the effective activation period the planner gave
+// a subject, or 0 if the subject has no slot.
+func (c *Calendar) AchievedPeriod(subject uint64) sim.Duration {
+	for _, s := range c.Slots {
+		if s.Subject == subject {
+			return s.Period(c.Round)
+		}
+	}
+	return 0
+}

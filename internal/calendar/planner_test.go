@@ -1,0 +1,198 @@
+package calendar
+
+import (
+	"testing"
+	"testing/quick"
+
+	"canec/internal/can"
+	"canec/internal/sim"
+)
+
+func TestPlanSingle(t *testing.T) {
+	cfg := DefaultConfig()
+	cal, err := Plan(cfg, []Request{
+		{Subject: 1, Publisher: 0, Payload: 8, Period: 10 * sim.Millisecond, Periodic: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Round != 10*sim.Millisecond {
+		t.Fatalf("round = %v", cal.Round)
+	}
+	if len(cal.Slots) != 1 || cal.Slots[0].every() != 1 {
+		t.Fatalf("slots = %+v", cal.Slots)
+	}
+	if got := cal.AchievedPeriod(1); got != 10*sim.Millisecond {
+		t.Fatalf("achieved period = %v", got)
+	}
+	if cal.AchievedPeriod(99) != 0 {
+		t.Fatal("phantom achieved period")
+	}
+}
+
+func TestPlanHarmonicSet(t *testing.T) {
+	cfg := DefaultConfig()
+	cal, err := Plan(cfg, []Request{
+		{Subject: 1, Publisher: 0, Payload: 8, Period: 5 * sim.Millisecond},
+		{Subject: 2, Publisher: 1, Payload: 8, Period: 10 * sim.Millisecond},
+		{Subject: 3, Publisher: 2, Payload: 8, Period: 20 * sim.Millisecond},
+		{Subject: 4, Publisher: 3, Payload: 8, Period: 20 * sim.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Round != 5*sim.Millisecond {
+		t.Fatalf("round = %v", cal.Round)
+	}
+	if got := cal.AchievedPeriod(2); got != 10*sim.Millisecond {
+		t.Fatalf("subject 2 period = %v", got)
+	}
+	// The two 20 ms streams should be able to share bandwidth with the
+	// 10 ms one via phases; overall utilization must reflect the periods.
+	u := cal.Utilization()
+	span := float64(cfg.SlotSpan(8))
+	want := span/float64(5*sim.Millisecond) + span/float64(10*sim.Millisecond) + 2*span/float64(20*sim.Millisecond)
+	if diff := u - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("utilization = %v, want %v", u, want)
+	}
+	if err := cal.Admit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanSharesWindows(t *testing.T) {
+	// A round that fits exactly two slots, one full-rate stream plus two
+	// half-rate streams: the planner must let the half-rate streams share
+	// the second window with disjoint phases.
+	cfg := DefaultConfig()
+	span := cfg.SlotSpan(8)
+	round := 2 * (span + cfg.GapMin)
+	reqs := []Request{
+		{Subject: 1, Publisher: 0, Payload: 8, Period: round},
+		{Subject: 2, Publisher: 1, Payload: 8, Period: 2 * round},
+		{Subject: 3, Publisher: 2, Payload: 8, Period: 2 * round},
+	}
+	cal, err := Plan(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b, c Slot
+	for _, s := range cal.Slots {
+		switch s.Subject {
+		case 2:
+			b = s
+		case 3:
+			c = s
+		}
+	}
+	if b.every() != 2 || c.every() != 2 {
+		t.Fatalf("everys = %d/%d", b.every(), c.every())
+	}
+	if b.Ready != c.Ready {
+		t.Fatalf("half-rate streams did not share a window: %v vs %v", b.Ready, c.Ready)
+	}
+	if b.Phase == c.Phase {
+		t.Fatal("shared window with identical phases")
+	}
+}
+
+func TestPlanNonHarmonicRoundsDown(t *testing.T) {
+	cfg := DefaultConfig()
+	cal, err := Plan(cfg, []Request{
+		{Subject: 1, Publisher: 0, Payload: 8, Period: 10 * sim.Millisecond},
+		{Subject: 2, Publisher: 1, Payload: 8, Period: 25 * sim.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 25 ms quantised down to 2×10 ms = 20 ms: served at least as often
+	// as requested.
+	if got := cal.AchievedPeriod(2); got != 20*sim.Millisecond {
+		t.Fatalf("achieved period = %v", got)
+	}
+}
+
+func TestPlanRejectsOverfull(t *testing.T) {
+	cfg := DefaultConfig()
+	// 30 full-rate streams in a 2 ms round cannot fit (each span ≈543µs).
+	var reqs []Request
+	for i := 0; i < 30; i++ {
+		reqs = append(reqs, Request{
+			Subject: uint64(i + 1), Publisher: can.TxNode(i), Payload: 8,
+			Period: 2 * sim.Millisecond,
+		})
+	}
+	if _, err := Plan(cfg, reqs); err == nil {
+		t.Fatal("overfull request set planned")
+	}
+}
+
+func TestPlanInputValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := Plan(cfg, nil); err == nil {
+		t.Fatal("empty request set planned")
+	}
+	if _, err := Plan(cfg, []Request{{Subject: 1, Payload: 8}}); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := Plan(cfg, []Request{{Subject: 1, Payload: 9, Period: sim.Millisecond}}); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestPlanPropertyAdmissibleAndComplete(t *testing.T) {
+	cfg := DefaultConfig()
+	periods := []sim.Duration{5 * sim.Millisecond, 10 * sim.Millisecond,
+		20 * sim.Millisecond, 40 * sim.Millisecond, 50 * sim.Millisecond}
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := sim.NewRNG(seed)
+		n := int(nRaw%12) + 1
+		reqs := make([]Request, n)
+		for i := range reqs {
+			reqs[i] = Request{
+				Subject:   uint64(i + 1),
+				Publisher: can.TxNode(i),
+				Payload:   1 + rng.Intn(8),
+				Period:    periods[rng.Intn(len(periods))],
+				Periodic:  rng.Bool(0.5),
+			}
+		}
+		cal, err := Plan(cfg, reqs)
+		if err != nil {
+			// Rejection is acceptable only if the set is actually heavy;
+			// with ≤12 streams and ≥5 ms periods it never should be here.
+			return false
+		}
+		if err := cal.Admit(); err != nil {
+			return false
+		}
+		for _, r := range reqs {
+			got := cal.AchievedPeriod(r.Subject)
+			if got == 0 || got > r.Period {
+				return false // missing or slower than requested
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlannedCalendarUtilizationBounded(t *testing.T) {
+	// A planned calendar's utilization must stay ≤ 1 and equal the sum of
+	// per-stream span/period quantised demands.
+	cfg := DefaultConfig()
+	reqs := []Request{
+		{Subject: 1, Publisher: 0, Payload: 8, Period: 4 * sim.Millisecond},
+		{Subject: 2, Publisher: 1, Payload: 4, Period: 8 * sim.Millisecond},
+		{Subject: 3, Publisher: 2, Payload: 2, Period: 16 * sim.Millisecond},
+	}
+	cal, err := Plan(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := cal.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+}

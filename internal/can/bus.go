@@ -1,0 +1,275 @@
+package can
+
+import (
+	"canec/internal/sim"
+)
+
+// DefaultBitRate is the 1 Mbit/s rate assumed throughout the paper.
+const DefaultBitRate = 1_000_000
+
+// TraceKind labels bus trace events.
+type TraceKind int
+
+const (
+	TraceTxStart TraceKind = iota // a frame won arbitration and started
+	TraceTxOK                     // transmitted without detected error
+	TraceTxError                  // error frame signalled; will retransmit
+	TraceTxAbort                  // abandoned (single-shot after error)
+	TraceRx                       // delivered to one receiver
+)
+
+// TraceEvent is emitted through Bus.Trace for observability and metrics.
+type TraceEvent struct {
+	Kind    TraceKind
+	At      sim.Time
+	Frame   Frame
+	Sender  int // controller index
+	Recv    int // controller index, TraceRx only
+	Attempt int
+}
+
+// Stats aggregates bus-level counters.
+type Stats struct {
+	FramesOK      uint64
+	FramesError   uint64 // error-frame signalling events
+	FramesAborted uint64
+	BusOffEvents  uint64       // controllers driven bus-off (fault confinement)
+	Omissions     uint64       // inconsistent-omission deliveries suppressed
+	BusyTime      sim.Duration // wire time consumed by frames + error frames
+	ArbRounds     uint64
+	IDRewrites    uint64 // priority promotions applied in controller buffers
+}
+
+// Bus is the shared CAN medium connecting a set of Controllers.
+//
+// The bus is event-driven: whenever it is idle and at least one controller
+// has a pending frame, an arbitration event resolves at the current instant
+// and the winning frame occupies the bus for its exact stuffed wire length.
+// Frames submitted while the bus is busy join the next arbitration, exactly
+// as in CAN.
+type Bus struct {
+	K        *sim.Kernel
+	BitRate  int
+	Injector Injector
+	Trace    func(TraceEvent)
+	// ConfineFaults enables CAN 2.0 fault confinement: TEC/REC error
+	// counters and bus-off with automatic recovery. Off by default — the
+	// paper's experiments assume error-active controllers.
+	ConfineFaults bool
+
+	ctrls      []*Controller
+	busy       bool
+	arbPending bool
+	stats      Stats
+
+	// current transmission; curTied holds same-ID collision partners.
+	cur        *txReq
+	curSender  int
+	curTied    []*txReq
+	curTiedIdx []int
+}
+
+// NewBus creates a bus on the given kernel. bitRate <= 0 selects the
+// default 1 Mbit/s.
+func NewBus(k *sim.Kernel, bitRate int) *Bus {
+	if bitRate <= 0 {
+		bitRate = DefaultBitRate
+	}
+	return &Bus{K: k, BitRate: bitRate, Injector: NoFaults{}}
+}
+
+// Stats returns a copy of the accumulated counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Controllers returns the number of attached controllers.
+func (b *Bus) Controllers() int { return len(b.ctrls) }
+
+// Controller returns the i-th attached controller.
+func (b *Bus) Controller(i int) *Controller { return b.ctrls[i] }
+
+// Busy reports whether a transmission is in progress.
+func (b *Bus) Busy() bool { return b.busy }
+
+// BitDuration returns the duration of n bit times on this bus.
+func (b *Bus) BitDuration(n int) sim.Duration { return BitTime(n, b.BitRate) }
+
+// Attach creates and registers a controller with the given 7-bit node
+// number. The returned controller index equals its position on the bus.
+func (b *Bus) Attach(txnode TxNode) *Controller {
+	c := &Controller{bus: b, index: len(b.ctrls), txnode: txnode, autoRecover: true}
+	b.ctrls = append(b.ctrls, c)
+	return c
+}
+
+// kick requests an arbitration round at the current instant if the bus is
+// idle. Multiple kicks in the same instant coalesce into one round, and the
+// round runs *after* all other events at this instant, so every frame
+// submitted "now" participates — mirroring CAN, where all nodes that are
+// ready when the bus turns idle join the same arbitration phase.
+func (b *Bus) kick() {
+	if b.busy || b.arbPending {
+		return
+	}
+	b.arbPending = true
+	b.K.After(0, b.arbitrate)
+}
+
+// arbitrate picks the smallest-ID pending frame across all controllers and
+// starts its transmission.
+func (b *Bus) arbitrate() {
+	b.arbPending = false
+	if b.busy {
+		return
+	}
+	var win *txReq
+	winIdx := -1
+	var tied []*txReq // duplicate-ID collision partners
+	var tiedIdx []int
+	for i, c := range b.ctrls {
+		if c.muted {
+			continue
+		}
+		if r := c.best(); r != nil {
+			switch {
+			case win == nil || r.frame.ID < win.frame.ID:
+				win, winIdx = r, i
+				tied, tiedIdx = nil, nil
+			case r.frame.ID == win.frame.ID:
+				// CAN requires unique identifiers. Two nodes driving the
+				// same ID pass arbitration together; the first differing
+				// payload/CRC bit is a bit error, so the whole attempt ends
+				// in an error frame for everyone. The dynamic configuration
+				// protocol relies on this collision signal (single-shot
+				// requests observe the failure and re-randomize).
+				tied = append(tied, r)
+				tiedIdx = append(tiedIdx, i)
+			}
+		}
+	}
+	if win == nil {
+		return
+	}
+	b.stats.ArbRounds++
+	b.busy = true
+	b.cur = win
+	b.curSender = winIdx
+	b.curTied = tied
+	b.curTiedIdx = tiedIdx
+	win.inFlight = true
+	win.attempt++
+	for _, r := range tied {
+		r.inFlight = true
+		r.attempt++
+	}
+	if b.Trace != nil {
+		b.Trace(TraceEvent{Kind: TraceTxStart, At: b.K.Now(), Frame: win.frame, Sender: winIdx, Attempt: win.attempt})
+	}
+	dur := b.BitDuration(WireBits(win.frame))
+	b.K.After(dur, func() { b.complete(dur) })
+}
+
+// complete finishes the in-flight transmission, consulting the fault
+// injector for its outcome.
+func (b *Bus) complete(dur sim.Duration) {
+	req := b.cur
+	sender := b.curSender
+	tied, tiedIdx := b.curTied, b.curTiedIdx
+	b.cur, b.curTied, b.curTiedIdx = nil, nil, nil
+	req.inFlight = false
+	for _, r := range tied {
+		r.inFlight = false
+	}
+	b.stats.BusyTime += dur
+
+	fault := b.Injector.Judge(req.frame, sender, req.attempt, b.K.Now(), b.K.RNG())
+	if len(tied) > 0 {
+		// A duplicate-ID collision always corrupts the attempt.
+		fault = Fault{Kind: FaultError}
+	}
+	if b.ConfineFaults {
+		if fault.Kind == FaultError {
+			b.confineTxError(sender)
+		} else {
+			b.confineTxSuccess(sender, fault.Victims)
+		}
+	}
+	switch fault.Kind {
+	case FaultError:
+		b.stats.FramesError++
+		if b.Trace != nil {
+			b.Trace(TraceEvent{Kind: TraceTxError, At: b.K.Now(), Frame: req.frame, Sender: sender, Attempt: req.attempt})
+		}
+		// The error frame occupies the bus; afterwards the frame is
+		// retransmitted automatically unless the request is single-shot.
+		errDur := b.BitDuration(ErrorOverheadBits)
+		b.stats.BusyTime += errDur
+		abortIfSingleShot := func(r *txReq, idx int) {
+			if !r.singleShot || r.removed {
+				// removed: fault confinement already flushed it (bus-off).
+				return
+			}
+			b.ctrls[idx].remove(r)
+			b.stats.FramesAborted++
+			if b.Trace != nil {
+				b.Trace(TraceEvent{Kind: TraceTxAbort, At: b.K.Now(), Frame: r.frame, Sender: idx, Attempt: r.attempt})
+			}
+			if r.done != nil {
+				r.done(false, b.K.Now())
+			}
+		}
+		abortIfSingleShot(req, sender)
+		for i, r := range tied {
+			abortIfSingleShot(r, tiedIdx[i])
+		}
+		b.K.After(errDur, func() {
+			b.busy = false
+			b.kick()
+		})
+		return
+
+	case FaultOmission:
+		b.stats.FramesOK++ // the sender and the bus observe success
+		if b.Trace != nil {
+			b.Trace(TraceEvent{Kind: TraceTxOK, At: b.K.Now(), Frame: req.frame, Sender: sender, Attempt: req.attempt})
+		}
+		b.deliver(req, sender, fault.Victims)
+
+	default:
+		b.stats.FramesOK++
+		if b.Trace != nil {
+			b.Trace(TraceEvent{Kind: TraceTxOK, At: b.K.Now(), Frame: req.frame, Sender: sender, Attempt: req.attempt})
+		}
+		b.deliver(req, sender, nil)
+	}
+
+	b.ctrls[sender].remove(req)
+	if req.done != nil {
+		req.done(true, b.K.Now())
+	}
+	b.busy = false
+	b.kick()
+}
+
+// deliver hands the frame to every operational receiver except the sender
+// and any inconsistent-omission victims.
+func (b *Bus) deliver(req *txReq, sender int, victims map[int]bool) {
+	now := b.K.Now()
+	for i, c := range b.ctrls {
+		if i == sender || c.muted {
+			continue
+		}
+		if victims[i] {
+			b.stats.Omissions++
+			continue
+		}
+		if !c.accepts(req.frame.ID) {
+			continue
+		}
+		if b.Trace != nil {
+			b.Trace(TraceEvent{Kind: TraceRx, At: now, Frame: req.frame, Sender: sender, Recv: i, Attempt: req.attempt})
+		}
+		if c.OnReceive != nil {
+			c.OnReceive(req.frame.Clone(), now)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package can
+
+import "canec/internal/sim"
+
+// FaultKind classifies what happens to one transmission attempt.
+type FaultKind int
+
+const (
+	// FaultNone: the frame is received by every operational node and the
+	// sender observes a successful, globally consistent transmission.
+	FaultNone FaultKind = iota
+
+	// FaultError: the frame is corrupted in a way some node detects; an
+	// error frame is signalled, every node discards the frame, the bus is
+	// occupied for ErrorOverheadBits extra bit times and the controller
+	// automatically retransmits (unless in single-shot mode). This models
+	// CAN's consistent omission handling: the sender *knows* the attempt
+	// failed.
+	FaultError
+
+	// FaultOmission: an inconsistent omission — a subset of receivers miss
+	// the frame (e.g. corruption in the last-but-one bit of EOF) while the
+	// rest, including the sender, observe success. No error frame is
+	// raised, so the sender cannot detect the loss. This is the failure
+	// mode that motivates proactive time redundancy in the paper's HRT
+	// scheme: "determine whether all operational nodes received the
+	// message" only covers consistently-signalled faults.
+	FaultOmission
+)
+
+// Fault describes the injected outcome of one transmission attempt.
+type Fault struct {
+	Kind FaultKind
+	// Victims lists the receiving controller indices that silently miss
+	// the frame when Kind == FaultOmission. Ignored otherwise.
+	Victims map[int]bool
+}
+
+// Injector decides the fate of each transmission attempt. Implementations
+// must draw all randomness from the supplied RNG so simulations stay
+// deterministic per seed.
+type Injector interface {
+	Judge(f Frame, sender int, attempt int, at sim.Time, rng *sim.RNG) Fault
+}
+
+// NoFaults is an Injector that never injects anything.
+type NoFaults struct{}
+
+// Judge implements Injector.
+func (NoFaults) Judge(Frame, int, int, sim.Time, *sim.RNG) Fault { return Fault{} }
+
+// RandomErrors corrupts each attempt independently with probability Rate,
+// producing consistent, detected errors (CAN error frames).
+type RandomErrors struct {
+	Rate float64
+}
+
+// Judge implements Injector.
+func (r RandomErrors) Judge(_ Frame, _ int, _ int, _ sim.Time, rng *sim.RNG) Fault {
+	if rng.Bool(r.Rate) {
+		return Fault{Kind: FaultError}
+	}
+	return Fault{}
+}
+
+// RandomOmissions injects inconsistent omissions: with probability Rate a
+// transmission is silently missed by each potential receiver independently
+// with probability VictimProb.
+type RandomOmissions struct {
+	Rate       float64
+	VictimProb float64
+	Receivers  int // total number of controllers on the bus
+}
+
+// Judge implements Injector.
+func (r RandomOmissions) Judge(_ Frame, sender int, _ int, _ sim.Time, rng *sim.RNG) Fault {
+	if !rng.Bool(r.Rate) {
+		return Fault{}
+	}
+	victims := make(map[int]bool)
+	for i := 0; i < r.Receivers; i++ {
+		if i == sender {
+			continue
+		}
+		if rng.Bool(r.VictimProb) {
+			victims[i] = true
+		}
+	}
+	if len(victims) == 0 {
+		return Fault{}
+	}
+	return Fault{Kind: FaultOmission, Victims: victims}
+}
+
+// BurstErrors corrupts every attempt inside [Start, End): an EMI burst.
+type BurstErrors struct {
+	Start, End sim.Time
+}
+
+// Judge implements Injector.
+func (b BurstErrors) Judge(_ Frame, _ int, _ int, at sim.Time, _ *sim.RNG) Fault {
+	if at >= b.Start && at < b.End {
+		return Fault{Kind: FaultError}
+	}
+	return Fault{}
+}
+
+// AdversarialK corrupts the first K attempts of every frame whose priority
+// matches Prio (use -1 to match all). It produces the exact worst case the
+// HRT slot dimensioning of the calendar must absorb: a message that fails
+// K times and succeeds on attempt K+1.
+type AdversarialK struct {
+	K    int
+	Prio int // -1 matches any priority
+}
+
+// Judge implements Injector.
+func (a AdversarialK) Judge(f Frame, _ int, attempt int, _ sim.Time, _ *sim.RNG) Fault {
+	if a.Prio >= 0 && int(f.ID.Prio()) != a.Prio {
+		return Fault{}
+	}
+	if attempt <= a.K {
+		return Fault{Kind: FaultError}
+	}
+	return Fault{}
+}
+
+// Chain applies multiple injectors and returns the first non-none verdict.
+type Chain []Injector
+
+// Judge implements Injector.
+func (c Chain) Judge(f Frame, sender int, attempt int, at sim.Time, rng *sim.RNG) Fault {
+	for _, in := range c {
+		if v := in.Judge(f, sender, attempt, at, rng); v.Kind != FaultNone {
+			return v
+		}
+	}
+	return Fault{}
+}
+
+// FuncInjector adapts a plain function to the Injector interface.
+type FuncInjector func(f Frame, sender int, attempt int, at sim.Time, rng *sim.RNG) Fault
+
+// Judge implements Injector.
+func (fn FuncInjector) Judge(f Frame, sender int, attempt int, at sim.Time, rng *sim.RNG) Fault {
+	return fn(f, sender, attempt, at, rng)
+}

@@ -1,0 +1,155 @@
+package can
+
+// CAN 2.0 fault confinement (§8 of the Bosch spec): every controller
+// keeps a transmit error counter (TEC) and receive error counter (REC).
+// Detected transmission errors add 8 to the sender's TEC and 1 to every
+// receiver's REC; successes decrement. A controller whose TEC exceeds 255
+// enters bus-off: it detaches from the bus, its pending transmissions are
+// abandoned, and (if recovery is enabled) it rejoins after observing 128
+// occurrences of 11 recessive bits.
+//
+// The model is opt-in (Bus.ConfineFaults): the paper's experiments assume
+// error-active controllers throughout — adversarial injectors at 50%+
+// error rates would otherwise drive senders bus-off, which real systems
+// dimension their fault hypotheses to avoid. Enabling it reproduces the
+// fault-confinement behaviour for experiments that want it.
+const (
+	// ErrorPassiveTEC is the error-passive threshold.
+	ErrorPassiveTEC = 128
+	// BusOffTEC is the bus-off threshold.
+	BusOffTEC = 256
+	// BusOffRecoveryBits is the recovery observation time: 128 sequences
+	// of 11 recessive bits.
+	BusOffRecoveryBits = 128 * 11
+)
+
+// ErrorState is a controller's fault-confinement state.
+type ErrorState int
+
+const (
+	// ErrorActive controllers participate fully.
+	ErrorActive ErrorState = iota
+	// ErrorPassive controllers participate but signal errors passively
+	// (tracked for observability; the timing model is unchanged).
+	ErrorPassive
+	// BusOff controllers are detached from the bus.
+	BusOff
+)
+
+// String implements fmt.Stringer.
+func (s ErrorState) String() string {
+	switch s {
+	case ErrorActive:
+		return "error-active"
+	case ErrorPassive:
+		return "error-passive"
+	case BusOff:
+		return "bus-off"
+	}
+	return "?"
+}
+
+// TEC returns the controller's transmit error counter.
+func (c *Controller) TEC() int { return c.tec }
+
+// REC returns the controller's receive error counter.
+func (c *Controller) REC() int { return c.rec }
+
+// State returns the controller's fault-confinement state.
+func (c *Controller) State() ErrorState {
+	switch {
+	case c.busOff:
+		return BusOff
+	case c.tec >= ErrorPassiveTEC || c.rec >= ErrorPassiveTEC:
+		return ErrorPassive
+	default:
+		return ErrorActive
+	}
+}
+
+// AutoRecover controls whether a bus-off controller rejoins automatically
+// after the recovery time (default when fault confinement is enabled).
+func (c *Controller) SetAutoRecover(v bool) { c.autoRecover = v }
+
+// onTxSuccess applies the success bookkeeping.
+func (c *Controller) onTxSuccess() {
+	if c.tec > 0 {
+		c.tec--
+	}
+}
+
+// onTxError applies the error bookkeeping and triggers bus-off when the
+// TEC crosses the threshold. Returns true if the controller went bus-off.
+func (c *Controller) onTxError() bool {
+	c.tec += 8
+	if c.tec >= BusOffTEC && !c.busOff {
+		c.enterBusOff()
+		return true
+	}
+	return false
+}
+
+// onRxSuccess / onRxError apply receiver-side bookkeeping.
+func (c *Controller) onRxSuccess() {
+	if c.rec > 0 {
+		c.rec--
+	}
+}
+
+func (c *Controller) onRxError() {
+	c.rec++
+}
+
+// enterBusOff detaches the controller: pending requests are abandoned
+// with done(false), and recovery is scheduled if enabled.
+func (c *Controller) enterBusOff() {
+	c.busOff = true
+	c.muted = true
+	pending := c.pending
+	c.pending = nil
+	for _, r := range pending {
+		r.removed = true
+		c.bus.stats.FramesAborted++
+		if r.done != nil {
+			r.done(false, c.bus.K.Now())
+		}
+	}
+	c.bus.stats.BusOffEvents++
+	if c.autoRecover {
+		c.bus.K.After(c.bus.BitDuration(BusOffRecoveryBits), func() {
+			c.Recover()
+		})
+	}
+}
+
+// Recover returns a bus-off controller to error-active state with cleared
+// counters, as after the 128×11 recessive-bit observation.
+func (c *Controller) Recover() {
+	if !c.busOff {
+		return
+	}
+	c.busOff = false
+	c.muted = false
+	c.tec, c.rec = 0, 0
+	c.bus.kick()
+}
+
+// confinement hooks called from Bus.complete when enabled.
+func (b *Bus) confineTxError(sender int) {
+	c := b.ctrls[sender]
+	c.onTxError()
+	for i, r := range b.ctrls {
+		if i != sender && !r.muted {
+			r.onRxError()
+		}
+	}
+}
+
+func (b *Bus) confineTxSuccess(sender int, victims map[int]bool) {
+	b.ctrls[sender].onTxSuccess()
+	for i, r := range b.ctrls {
+		if i != sender && !r.muted && !victims[i] {
+			r.onRxSuccess()
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package can
+
+import (
+	"fmt"
+
+	"canec/internal/sim"
+)
+
+// MaxPayload is the CAN frame payload limit in bytes.
+const MaxPayload = 8
+
+// Frame is a CAN 2.0B extended data frame as handed to a controller.
+type Frame struct {
+	ID   ID
+	Data []byte // 0..8 bytes
+}
+
+// Clone returns a deep copy of f.
+func (f Frame) Clone() Frame {
+	d := make([]byte, len(f.Data))
+	copy(d, f.Data)
+	return Frame{ID: f.ID, Data: d}
+}
+
+func (f Frame) String() string {
+	return fmt.Sprintf("frame{%v dlc=%d}", f.ID, len(f.Data))
+}
+
+// Validate reports an error for identifiers out of range or oversized
+// payloads.
+func (f Frame) Validate() error {
+	if !f.ID.Valid() {
+		return fmt.Errorf("can: identifier %#x exceeds 29 bits", uint32(f.ID))
+	}
+	if len(f.Data) > MaxPayload {
+		return fmt.Errorf("can: payload %d bytes exceeds %d", len(f.Data), MaxPayload)
+	}
+	return nil
+}
+
+// Frame-format constants for CAN 2.0B extended data frames.
+//
+// The stuffed region runs from the start-of-frame bit through the 15-bit
+// CRC sequence: SOF(1) + ID-A(11) + SRR(1) + IDE(1) + ID-B(18) + RTR(1) +
+// r1(1) + r0(1) + DLC(4) + data(8·s) + CRC(15) = 54 + 8·s bits. The tail —
+// CRC delimiter(1) + ACK slot(1) + ACK delimiter(1) + EOF(7) + inter-frame
+// space(3) — is never stuffed and adds 13 bits.
+const (
+	extStuffedOverheadBits = 54
+	frameTailBits          = 13
+)
+
+// crc15Poly is the CAN CRC-15 generator polynomial x^15+x^14+x^10+x^8+x^7+x^4+x^3+1.
+const crc15Poly = 0x4599
+
+// crc15 computes the CAN CRC over a bit sequence (one bit per byte element,
+// values 0 or 1), as specified in Bosch CAN 2.0 §3.1.1.
+func crc15(bits []byte) uint16 {
+	var crc uint16
+	for _, b := range bits {
+		bit14 := (crc >> 14) & 1
+		crc <<= 1
+		if b^byte(bit14) == 1 {
+			crc ^= crc15Poly
+		}
+		crc &= 0x7fff
+	}
+	return crc
+}
+
+// unstuffedBits builds the exact pre-stuffing bit sequence of the frame's
+// stuffed region (SOF through CRC sequence). It is exported through
+// WireBits and StuffBits so that tests can cross-check against the
+// worst-case formulas.
+func unstuffedBits(f Frame) []byte {
+	bits := make([]byte, 0, extStuffedOverheadBits+8*len(f.Data))
+	put := func(v uint32, n int) {
+		for i := n - 1; i >= 0; i-- {
+			bits = append(bits, byte((v>>uint(i))&1))
+		}
+	}
+	put(0, 1)                     // SOF (dominant)
+	put(uint32(f.ID)>>18, 11)     // ID-A: bits 28..18
+	put(1, 1)                     // SRR (recessive)
+	put(1, 1)                     // IDE (recessive: extended format)
+	put(uint32(f.ID)&0x3ffff, 18) // ID-B: bits 17..0
+	put(0, 1)                     // RTR (dominant: data frame)
+	put(0, 2)                     // r1, r0
+	put(uint32(len(f.Data)), 4)   // DLC
+	for _, b := range f.Data {
+		put(uint32(b), 8)
+	}
+	put(uint32(crc15(bits)), 15) // CRC over everything so far
+	return bits
+}
+
+// StuffBits returns the exact number of stuff bits the CAN bit-stuffing
+// rule inserts for this frame: after five consecutive bits of equal value
+// in the stuffed region, a complementary bit is inserted (and itself
+// participates in subsequent runs).
+func StuffBits(f Frame) int {
+	bits := unstuffedBits(f)
+	stuffed := 0
+	run := 1
+	prev := bits[0]
+	for i := 1; i < len(bits); i++ {
+		b := bits[i]
+		if b == prev {
+			run++
+			if run == 5 {
+				stuffed++
+				// The inserted complement bit restarts the run.
+				prev = 1 - b
+				run = 1
+			}
+		} else {
+			prev = b
+			run = 1
+		}
+	}
+	return stuffed
+}
+
+// WireBits returns the exact on-wire length of the frame in bit times,
+// including stuff bits, CRC/ACK/EOF overhead and the 3-bit inter-frame
+// space.
+func WireBits(f Frame) int {
+	return extStuffedOverheadBits + 8*len(f.Data) + StuffBits(f) + frameTailBits
+}
+
+// WorstCaseBits returns the classical worst-case extended-frame length in
+// bit times for a payload of s bytes (Tindell's bound with g = 54 stuffed
+// overhead bits): g + 8s + 13 + ⌊(g + 8s − 1)/4⌋.
+//
+// For s = 8 this is 160 bit times — 160 µs at 1 Mbit/s. The paper quotes
+// 154 µs for "the longest CAN message"; the 6-bit delta comes from a less
+// pessimistic stuffing assumption. ΔT_wait in this repository defaults to
+// the safe 160-bit bound (configurable in calendar.Config).
+func WorstCaseBits(s int) int {
+	g := extStuffedOverheadBits
+	return g + 8*s + frameTailBits + (g+8*s-1)/4
+}
+
+// MinFrameBits returns the minimum possible extended frame length for a
+// payload of s bytes (no stuff bits).
+func MinFrameBits(s int) int {
+	return extStuffedOverheadBits + 8*s + frameTailBits
+}
+
+// ErrorOverheadBits is the bus time consumed by an error signalling
+// sequence: error flag (6) + up to 6 superposed echo flag bits + error
+// delimiter (8) + intermission (3). We charge the worst case.
+const ErrorOverheadBits = 23
+
+// BitTime converts a bit count to virtual time at the given bit rate.
+func BitTime(bits int, bitRate int) sim.Duration {
+	// One bit lasts 1e9/bitRate nanoseconds. For the standard 1 Mbit/s this
+	// is exactly 1 µs per bit.
+	return sim.Duration(int64(bits) * int64(sim.Second) / int64(bitRate))
+}

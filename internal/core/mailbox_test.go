@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"canec/internal/sim"
+)
+
+func TestGetEventMailbox(t *testing.T) {
+	cal := testCalendar(t, 1)
+	sys := idealSystem(t, 2, cal)
+	pub, _ := sys.Node(0).MW.HRTEC(subjTemp)
+	pub.Announce(ChannelAttrs{Payload: 7, Periodic: true}, nil)
+	sub, _ := sys.Node(1).MW.HRTEC(subjTemp)
+	// The paper's style: the notification handler is a pure signal and the
+	// application fetches the event from middleware memory.
+	notified := 0
+	sub.Subscribe(ChannelAttrs{Payload: 7, Periodic: true}, SubscribeAttrs{},
+		func(Event, DeliveryInfo) { notified++ }, nil)
+	if _, _, ok := sub.GetEvent(); ok {
+		t.Fatal("mailbox filled before any delivery")
+	}
+	for r := int64(0); r < 3; r++ {
+		r := r
+		sys.K.At(sys.Cfg.Epoch+sim.Time(r)*cal.Round-100*sim.Microsecond, func() {
+			pub.Publish(Event{Subject: subjTemp, Payload: []byte{byte(10 + r)}})
+		})
+	}
+	sys.Run(sys.Cfg.Epoch + 3*cal.Round - 1)
+	if notified != 3 {
+		t.Fatalf("notified = %d", notified)
+	}
+	ev, di, ok := sub.GetEvent()
+	if !ok || ev.Payload[0] != 12 {
+		t.Fatalf("mailbox = %v %v %v, want latest event 12", ev, di, ok)
+	}
+	if di.DeliveredAt == 0 || di.Publisher != 0 {
+		t.Fatalf("mailbox delivery info = %+v", di)
+	}
+}
+
+func TestGetEventSRTAndNRT(t *testing.T) {
+	sys := idealSystem(t, 2, nil)
+	srtP, _ := sys.Node(0).MW.SRTEC(subjDiag)
+	srtP.Announce(ChannelAttrs{}, nil)
+	srtS, _ := sys.Node(1).MW.SRTEC(subjDiag)
+	srtS.Subscribe(ChannelAttrs{}, SubscribeAttrs{}, nil, nil) // mailbox-only subscriber
+	nrtP, _ := sys.Node(0).MW.NRTEC(subjBulk)
+	nrtP.Announce(ChannelAttrs{Prio: 255, Fragmentation: true}, nil)
+	nrtS, _ := sys.Node(1).MW.NRTEC(subjBulk)
+	nrtS.Subscribe(ChannelAttrs{Fragmentation: true}, SubscribeAttrs{}, nil, nil)
+	sys.K.At(sim.Millisecond, func() {
+		srtP.Publish(Event{Subject: subjDiag, Payload: []byte{0x5A}})
+		nrtP.Publish(Event{Subject: subjBulk, Payload: make([]byte, 50)})
+	})
+	sys.Run(100 * sim.Millisecond)
+	if ev, _, ok := srtS.GetEvent(); !ok || ev.Payload[0] != 0x5A {
+		t.Fatalf("SRT mailbox = %v %v", ev, ok)
+	}
+	if ev, _, ok := nrtS.GetEvent(); !ok || len(ev.Payload) != 50 {
+		t.Fatalf("NRT mailbox = %v %v", ev, ok)
+	}
+}
+
+func TestQueueCapConfigurable(t *testing.T) {
+	cal := testCalendar(t, 1)
+	sys := idealSystem(t, 2, cal)
+	pub, _ := sys.Node(0).MW.HRTEC(subjTemp)
+	overflow := 0
+	pub.Announce(ChannelAttrs{Payload: 7, Periodic: true, QueueCap: 2},
+		func(e Exception) {
+			if e.Kind == ExcQueueOverflow {
+				overflow++
+			}
+		})
+	for i := 0; i < 3; i++ {
+		pub.Publish(Event{Subject: subjTemp, Payload: []byte{byte(i)}})
+	}
+	if overflow != 1 {
+		t.Fatalf("overflow = %d with cap 2 and 3 publishes", overflow)
+	}
+}

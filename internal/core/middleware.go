@@ -1,0 +1,354 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"canec/internal/binding"
+	"canec/internal/calendar"
+	"canec/internal/can"
+	"canec/internal/clock"
+	"canec/internal/edf"
+	"canec/internal/sim"
+)
+
+// Bands fixes the global priority layout. The middleware rigorously
+// enforces the paper's relation 0 ≤ P_HRT < P_SRT < P_NRT (§3.3): HRT
+// traffic owns priority 0, clock synchronization runs directly below it,
+// the SRT band maps deadlines, and the NRT band provides fixed low
+// priorities.
+type Bands struct {
+	// HRTPrio is the single reserved hard real-time priority (0).
+	HRTPrio can.Prio
+	// SyncPrio carries clock synchronization (directly below HRT).
+	SyncPrio can.Prio
+	// SRT is the EDF band.
+	SRT edf.Band
+	// NRTMin..NRTMax is the non real-time band (NRTMax = lowest priority).
+	NRTMin, NRTMax can.Prio
+}
+
+// DefaultBands returns the layout used throughout the experiments:
+// HRT = 0, sync = 1, SRT = 2..250 (the paper's 250-level example less the
+// sync level), NRT = 251..255 (5 levels).
+func DefaultBands() Bands {
+	b := edf.DefaultBand()
+	b.Min = 2
+	return Bands{HRTPrio: 0, SyncPrio: 1, SRT: b, NRTMin: 251, NRTMax: 255}
+}
+
+// Validate checks the band ordering invariant.
+func (b Bands) Validate() error {
+	if err := b.SRT.Validate(); err != nil {
+		return err
+	}
+	if !(b.HRTPrio < b.SyncPrio && b.SyncPrio < b.SRT.Min && b.SRT.Max < b.NRTMin && b.NRTMin <= b.NRTMax) {
+		return fmt.Errorf("core: band ordering violated: hrt=%d sync=%d srt=[%d,%d] nrt=[%d,%d]",
+			b.HRTPrio, b.SyncPrio, b.SRT.Min, b.SRT.Max, b.NRTMin, b.NRTMax)
+	}
+	return nil
+}
+
+// Node bundles one station's controller, clock and middleware.
+type Node struct {
+	Index int
+	Ctrl  *can.Controller
+	Clock *clock.Clock
+	MW    *Middleware
+}
+
+// Middleware is the per-node event channel layer.
+type Middleware struct {
+	K     *sim.Kernel
+	node  *Node
+	bands Bands
+
+	// Bindings is this node's (static) subject→etag table, distributed
+	// with the off-line configuration.
+	Bindings *binding.Table
+	// Cal is the hard real-time calendar (may be nil if the node uses no
+	// HRT channels). Epoch is the local time of round 0's start.
+	Cal   *calendar.Calendar
+	Epoch sim.Time
+
+	// SuppressRedundancy enables the paper's bandwidth optimisation: stop
+	// sending redundant HRT copies once one transmission was consistently
+	// successful (§3.2). Disabling it always sends OmissionDegree+1
+	// copies, like TTP/TTCAN-style static redundancy.
+	SuppressRedundancy bool
+
+	// DisablePromotion freezes each SRT message at the priority computed
+	// when it was enqueued (ablation of the §3.4 dynamic priority
+	// increase: "static deadline priorities").
+	DisablePromotion bool
+
+	// DeliverOnArrival bypasses the HRT delivery-at-deadline machinery
+	// and notifies subscribers as soon as the frame leaves the bus
+	// (ablation of the §3.2 middleware de-jittering).
+	DeliverOnArrival bool
+
+	// MaxQueuedSRT bounds the node's total queued SRT events across all
+	// channels. When a publish would exceed it, value-based load shedding
+	// removes the queued event with the least residual value (Jensen, ref
+	// [11]); channels without a value function count as value 1 while
+	// before their deadline and 0 after. Zero disables shedding.
+	MaxQueuedSRT int
+
+	// Syncer, if set, receives frames on the sync etag.
+	Syncer interface {
+		HandleFrame(node int, f can.Frame, at sim.Time)
+	}
+	// ConfigRx, if set, receives frames on the config etag (binding
+	// agent or client).
+	ConfigRx func(f can.Frame, at sim.Time)
+
+	channels map[can.Etag]*channelState
+	counters Counters
+	stopped  bool
+	watchdog *Watchdog
+	srtSeq   uint64
+}
+
+// NewMiddleware wires a middleware onto a node. The caller retains
+// ownership of calendar/bindings configuration before Start.
+func NewMiddleware(k *sim.Kernel, node *Node, bands Bands) *Middleware {
+	mw := &Middleware{
+		K:                  k,
+		node:               node,
+		bands:              bands,
+		Bindings:           binding.NewTable(),
+		SuppressRedundancy: true,
+		channels:           make(map[can.Etag]*channelState),
+	}
+	node.MW = mw
+	node.Ctrl.OnReceive = mw.dispatch
+	// The controller filter starts selective with the two system channels
+	// admitted; each Subscribe adds its channel's etag. Subject filtering
+	// thus happens in the communication controller, not the node CPU —
+	// the dynamic-binding optimisation of §2.1.
+	node.Ctrl.AddFilter(binding.SyncEtag)
+	node.Ctrl.AddFilter(binding.ConfigEtag)
+	return mw
+}
+
+// Node returns the owning node.
+func (mw *Middleware) Node() *Node { return mw.node }
+
+// Bands returns the priority layout.
+func (mw *Middleware) Bands() Bands { return mw.bands }
+
+// Counters returns a snapshot of the node's statistics.
+func (mw *Middleware) Counters() Counters { return mw.counters }
+
+// LocalTime returns the node's current local clock reading.
+func (mw *Middleware) LocalTime() sim.Time { return mw.node.Clock.Read(mw.K.Now()) }
+
+// Stop halts all channel activity (slot schedulers, promotion timers stop
+// re-arming). Used by experiments to end a run cleanly.
+func (mw *Middleware) Stop() { mw.stopped = true }
+
+// dispatch routes received frames: sync and configuration channels first,
+// then per-etag channel state.
+func (mw *Middleware) dispatch(f can.Frame, at sim.Time) {
+	etag := f.ID.Etag()
+	switch etag {
+	case binding.SyncEtag:
+		if mw.Syncer != nil {
+			mw.Syncer.HandleFrame(mw.node.Index, f, at)
+		}
+		return
+	case binding.ConfigEtag:
+		if mw.ConfigRx != nil {
+			mw.ConfigRx(f, at)
+		}
+		return
+	}
+	ch, ok := mw.channels[etag]
+	if !ok || !ch.subscribed {
+		return
+	}
+	switch ch.class {
+	case HRT:
+		ch.hrtReceive(f, at)
+	case SRT:
+		ch.srtReceive(f, at)
+	case NRT:
+		ch.nrtReceive(f, at)
+	}
+}
+
+// channelState is the middleware-internal representation of one event
+// channel on one node (§2: "an event channel is dynamically created
+// whenever a publisher makes an announcement ... or a subscriber
+// subscribes").
+type channelState struct {
+	mw      *Middleware
+	subject binding.Subject
+	etag    can.Etag
+	class   Class
+	attrs   ChannelAttrs
+
+	// publisher side
+	announced bool
+	pubExc    ExceptionHandler
+	// subscriber side
+	subscribed bool
+	subAttrs   SubscribeAttrs
+	notify     NotificationHandler
+	subExc     ExceptionHandler
+
+	// HRT publisher: pending events waiting for slots, per-slot sequence.
+	hrtQueue    []Event
+	hrtQueueCap int
+	hrtSeq      uint8
+	// HRT subscriber: per-publisher dedup, arrival stash and last
+	// delivered round (for missing-message detection).
+	hrtLastSeq   map[can.TxNode]uint8
+	hrtSeen      map[can.TxNode]bool
+	hrtStash     map[can.TxNode]*hrtArrival
+	hrtDelivered map[can.TxNode]int64
+
+	// SRT publisher bookkeeping (promotion, expiration).
+	srtActive map[*srtEntry]bool
+
+	// NRT publisher: send queue of fragment chains.
+	nrtBusy  bool
+	nrtQueue [][]can.Frame
+	// NRT subscriber: per-publisher reassembly.
+	reasm map[can.TxNode]*reasmState
+
+	// Mailbox: the most recently delivered event (§2.2.1: the middleware
+	// stores the event in a predefined memory area; the notification
+	// handler retrieves it with getEvent()).
+	lastEvent *Event
+	lastInfo  DeliveryInfo
+}
+
+// getEvent returns the mailbox contents.
+func (ch *channelState) getEvent() (Event, DeliveryInfo, bool) {
+	if ch.lastEvent == nil {
+		return Event{}, DeliveryInfo{}, false
+	}
+	return *ch.lastEvent, ch.lastInfo, true
+}
+
+// store fills the mailbox prior to notification.
+func (ch *channelState) store(ev Event, di DeliveryInfo) {
+	ch.lastEvent = &ev
+	ch.lastInfo = di
+}
+
+var (
+	// ErrNotAnnounced is returned by Publish before Announce.
+	ErrNotAnnounced = errors.New("core: channel not announced")
+	// ErrPayload is returned for payloads beyond the channel's capacity.
+	ErrPayload = errors.New("core: payload exceeds channel capacity")
+	// ErrClassMismatch is returned when a subject is reused with a
+	// different channel class: every subject has at most one channel.
+	ErrClassMismatch = errors.New("core: subject already bound to a different channel class")
+	// ErrNoSlot is returned when an HRT announce finds no reserved slot
+	// for (subject, node) in the calendar.
+	ErrNoSlot = errors.New("core: no calendar slot reserved for this publisher")
+	// ErrPrioOutOfBand is returned when an NRT announce requests a
+	// priority outside the NRT band: the middleware "rigorously has to
+	// enforce" the band relation (§3.3).
+	ErrPrioOutOfBand = errors.New("core: NRT priority outside the configured band")
+	// ErrStopped is returned after Stop.
+	ErrStopped = errors.New("core: middleware stopped")
+)
+
+// channel returns or creates the state for a subject, checking class
+// consistency ("for every event type there is at most one event channel",
+// §2).
+func (mw *Middleware) channel(subject binding.Subject, class Class) (*channelState, error) {
+	if mw.stopped {
+		return nil, ErrStopped
+	}
+	etag, err := mw.Bindings.Bind(subject)
+	if err != nil {
+		return nil, err
+	}
+	if ch, ok := mw.channels[etag]; ok {
+		if ch.class != class {
+			return nil, ErrClassMismatch
+		}
+		return ch, nil
+	}
+	ch := &channelState{
+		mw:           mw,
+		subject:      subject,
+		etag:         etag,
+		class:        class,
+		hrtQueueCap:  8,
+		hrtLastSeq:   make(map[can.TxNode]uint8),
+		hrtSeen:      make(map[can.TxNode]bool),
+		hrtStash:     make(map[can.TxNode]*hrtArrival),
+		hrtDelivered: make(map[can.TxNode]int64),
+		srtActive:    make(map[*srtEntry]bool),
+		reasm:        make(map[can.TxNode]*reasmState),
+	}
+	mw.channels[etag] = ch
+	return ch, nil
+}
+
+// raisePub invokes the publisher-side exception handler if installed.
+func (ch *channelState) raisePub(e Exception) {
+	switch e.Kind {
+	case ExcDeadlineMissed:
+		ch.mw.counters.DeadlineMissed++
+	case ExcValidityExpired:
+		ch.mw.counters.Expired++
+	case ExcQueueOverflow:
+		ch.mw.counters.Overflows++
+	case ExcLoadShed:
+		ch.mw.counters.Shed++
+	case ExcTxFailure:
+		ch.mw.counters.TxFailures++
+	}
+	if ch.pubExc != nil {
+		ch.pubExc(e)
+	}
+}
+
+// raiseSub invokes the subscriber-side exception handler if installed.
+func (ch *channelState) raiseSub(e Exception) {
+	switch e.Kind {
+	case ExcSlotMissed:
+		ch.mw.counters.SlotMissed++
+	case ExcFragError:
+		ch.mw.counters.FragErrors++
+	}
+	if ch.subExc != nil {
+		ch.subExc(e)
+	}
+}
+
+// ChannelInfo is a read-only snapshot of one channel's state, for
+// monitoring and debugging.
+type ChannelInfo struct {
+	Subject    binding.Subject
+	Etag       can.Etag
+	Class      Class
+	Announced  bool
+	Subscribed bool
+	Attrs      ChannelAttrs
+}
+
+// Channels lists the channels this node's middleware currently holds,
+// in etag order.
+func (mw *Middleware) Channels() []ChannelInfo {
+	out := make([]ChannelInfo, 0, len(mw.channels))
+	for _, ch := range mw.channels {
+		out = append(out, ChannelInfo{
+			Subject:    ch.subject,
+			Etag:       ch.etag,
+			Class:      ch.class,
+			Announced:  ch.announced,
+			Subscribed: ch.subscribed,
+			Attrs:      ch.attrs,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Etag < out[j].Etag })
+	return out
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+
+	"canec/internal/binding"
+	"canec/internal/can"
+	"canec/internal/frag"
+	"canec/internal/sim"
+)
+
+// NRTEC is a non real-time event channel (§2.2.3): a fixed application-
+// chosen priority inside the NRT band (the middleware only accepts
+// priorities within the predefined range), no timeliness machinery, and
+// optional fragmentation so configuration and maintenance data — memory
+// images, electronic data sheets, test patterns — can be published as one
+// large event spread over a chain of CAN frames.
+type NRTEC struct {
+	ch *channelState
+}
+
+// NRTEC returns the non real-time channel for a subject on this node.
+func (mw *Middleware) NRTEC(subject binding.Subject) (*NRTEC, error) {
+	ch, err := mw.channel(subject, NRT)
+	if err != nil {
+		return nil, err
+	}
+	return &NRTEC{ch: ch}, nil
+}
+
+// reasmState holds per-publisher reassembly for a fragmented channel.
+type reasmState struct {
+	r     frag.Reassembler
+	start sim.Time
+}
+
+// Announce prepares the channel for publication. The priority is fixed at
+// announcement time and must lie inside the NRT band; fragmentation is an
+// inherent channel attribute declared here (§2.2.3).
+func (c *NRTEC) Announce(attrs ChannelAttrs, exc ExceptionHandler) error {
+	ch := c.ch
+	mw := ch.mw
+	if mw.stopped {
+		return ErrStopped
+	}
+	if attrs.Prio == 0 {
+		attrs.Prio = mw.bands.NRTMax
+	}
+	if attrs.Prio < mw.bands.NRTMin || attrs.Prio > mw.bands.NRTMax {
+		return fmt.Errorf("%w: %d not in [%d,%d]", ErrPrioOutOfBand,
+			attrs.Prio, mw.bands.NRTMin, mw.bands.NRTMax)
+	}
+	if !attrs.Fragmentation && (attrs.Payload < 0 || attrs.Payload > can.MaxPayload) {
+		return fmt.Errorf("%w: NRT payload %d (max %d without fragmentation)",
+			ErrPayload, attrs.Payload, can.MaxPayload)
+	}
+	if !attrs.Fragmentation && attrs.Payload == 0 {
+		attrs.Payload = can.MaxPayload
+	}
+	ch.attrs = attrs
+	ch.pubExc = exc
+	ch.announced = true
+	return nil
+}
+
+// CancelPublication withdraws the announcement; queued fragment chains
+// are dropped.
+func (c *NRTEC) CancelPublication() {
+	c.ch.nrtQueue = nil
+	c.ch.announced = false
+}
+
+// Publish sends an event. On a fragmenting channel the payload may be
+// arbitrarily long; it is split into a chain of frames transmitted
+// back-to-back at the channel's fixed priority, so bulk transfers consume
+// exactly the bandwidth that HRT/SRT traffic leaves over.
+func (c *NRTEC) Publish(ev Event) error {
+	ch := c.ch
+	mw := ch.mw
+	if !ch.announced {
+		return ErrNotAnnounced
+	}
+	if mw.stopped {
+		return ErrStopped
+	}
+	ev.Attrs.Timestamp = mw.LocalTime()
+	if !ch.attrs.Fragmentation {
+		if len(ev.Payload) > ch.attrs.Payload {
+			return fmt.Errorf("%w: %d > %d (announce with Fragmentation for bulk)",
+				ErrPayload, len(ev.Payload), ch.attrs.Payload)
+		}
+		// Unfragmented NRT payloads still travel as single-frame transport
+		// messages so the receiver can tell them from fragment chains.
+		frames, err := frag.Fragment(ev.Payload)
+		if err != nil {
+			return err
+		}
+		c.enqueueChain(c.toFrames(frames))
+		mw.counters.PublishedNRT++
+		return nil
+	}
+	payloads, err := frag.Fragment(ev.Payload)
+	if err != nil {
+		return err
+	}
+	c.enqueueChain(c.toFrames(payloads))
+	mw.counters.PublishedNRT++
+	return nil
+}
+
+// toFrames wraps fragment payloads into CAN frames at the channel's
+// fixed priority.
+func (c *NRTEC) toFrames(payloads [][]byte) []can.Frame {
+	ch := c.ch
+	mw := ch.mw
+	id := can.MakeID(ch.attrs.Prio, mw.node.Ctrl.Node(), ch.etag)
+	frames := make([]can.Frame, len(payloads))
+	for i, p := range payloads {
+		frames[i] = can.Frame{ID: id, Data: p}
+	}
+	return frames
+}
+
+// enqueueChain appends a fragment chain to the send queue and starts the
+// sender if idle. Chains are sent strictly one frame at a time — each
+// fragment is submitted when its predecessor completes — so a bulk
+// transfer never floods the controller and interleaves fairly with other
+// traffic at every arbitration point.
+func (c *NRTEC) enqueueChain(frames []can.Frame) {
+	ch := c.ch
+	ch.nrtQueue = append(ch.nrtQueue, frames)
+	if !ch.nrtBusy {
+		c.sendNext()
+	}
+}
+
+// sendNext transmits the head fragment of the head chain.
+func (c *NRTEC) sendNext() {
+	ch := c.ch
+	mw := ch.mw
+	if mw.stopped || len(ch.nrtQueue) == 0 {
+		ch.nrtBusy = false
+		return
+	}
+	ch.nrtBusy = true
+	chain := ch.nrtQueue[0]
+	frame := chain[0]
+	mw.node.Ctrl.Submit(frame, can.SubmitOpts{Done: func(ok bool, _ sim.Time) {
+		if !ok {
+			ch.raisePub(Exception{
+				Kind: ExcTxFailure, Subject: ch.subject,
+				At: mw.K.Now(), Detail: "NRT fragment abandoned",
+			})
+			// Drop the rest of the chain: the receiver cannot complete it.
+			ch.nrtQueue = ch.nrtQueue[1:]
+			c.sendNext()
+			return
+		}
+		if len(chain) > 1 {
+			ch.nrtQueue[0] = chain[1:]
+		} else {
+			ch.nrtQueue = ch.nrtQueue[1:]
+		}
+		c.sendNext()
+	}})
+}
+
+// QueuedChains reports how many messages (fragment chains) await
+// transmission, including the one in progress.
+func (c *NRTEC) QueuedChains() int { return len(c.ch.nrtQueue) }
+
+// Subscribe installs the handlers and acceptance filter. Completed
+// messages are delivered on arrival of their last fragment; reassembly
+// failures (sequence gaps after silent losses, stalled transfers) raise
+// FragError.
+func (c *NRTEC) Subscribe(attrs ChannelAttrs, sub SubscribeAttrs, notify NotificationHandler, exc ExceptionHandler) error {
+	ch := c.ch
+	if ch.mw.stopped {
+		return ErrStopped
+	}
+	if !ch.announced {
+		ch.attrs = attrs
+	}
+	ch.subAttrs = sub
+	ch.notify = notify
+	ch.subExc = exc
+	if !ch.subscribed {
+		ch.subscribed = true
+		ch.mw.node.Ctrl.AddFilter(ch.etag)
+	}
+	return nil
+}
+
+// CancelSubscription removes the subscription (strictly local).
+func (c *NRTEC) CancelSubscription() {
+	ch := c.ch
+	ch.subscribed = false
+	ch.notify = nil
+	ch.reasm = make(map[can.TxNode]*reasmState)
+	ch.mw.node.Ctrl.RemoveFilter(ch.etag)
+}
+
+// nrtReceive feeds an arriving fragment into the per-publisher
+// reassembler and notifies on completion.
+func (ch *channelState) nrtReceive(f can.Frame, at sim.Time) {
+	pub := f.ID.TxNode()
+	rs, ok := ch.reasm[pub]
+	if !ok {
+		rs = &reasmState{r: frag.Reassembler{Timeout: 5 * sim.Second}, start: at}
+		ch.reasm[pub] = rs
+	}
+	if !rs.r.Active() {
+		rs.start = at
+	}
+	msg, err := rs.r.Push(f.Data, at)
+	if err != nil {
+		ch.raiseSub(Exception{
+			Kind: ExcFragError, Subject: ch.subject, At: at,
+			Detail: err.Error(),
+		})
+		return
+	}
+	if msg == nil {
+		return
+	}
+	ev := Event{Subject: ch.subject, Payload: msg}
+	if !ch.subAttrs.accepts(pub, ev) {
+		return
+	}
+	ch.mw.counters.DeliveredNRT++
+	di := DeliveryInfo{Publisher: pub, ArrivedAt: at, DeliveredAt: at}
+	ch.store(ev, di)
+	if ch.notify != nil {
+		ch.notify(ev, di)
+	}
+}
+
+// GetEvent retrieves the most recently delivered event from the
+// middleware's memory area — the paper's getEvent() primitive (§2.2.1).
+func (c *NRTEC) GetEvent() (ev Event, di DeliveryInfo, ok bool) { return c.ch.getEvent() }

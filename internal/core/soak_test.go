@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"canec/internal/binding"
+	"canec/internal/calendar"
+	"canec/internal/can"
+	"canec/internal/clock"
+	"canec/internal/sim"
+)
+
+// TestSoakLongRun drives the full stack — synchronization, drifting
+// clocks, a planned multi-rate HRT calendar, SRT traffic, NRT bulk and
+// random faults within the assumption — for five virtual minutes (30k
+// rounds) and checks the cumulative invariants: no HRT misses or late
+// deliveries, conservation between published and delivered counts, and a
+// still-converged clock ensemble at the end.
+func TestSoakLongRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five virtual minutes of full-stack traffic")
+	}
+	cfg := calendar.DefaultConfig()
+	cfg.OmissionDegree = 2
+	cal, err := calendar.Plan(cfg, []calendar.Request{
+		{Subject: 0xF1, Publisher: 0, Payload: 8, Period: 10 * sim.Millisecond, Periodic: true},
+		{Subject: 0xF2, Publisher: 1, Payload: 8, Period: 20 * sim.Millisecond, Periodic: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(SystemConfig{
+		Nodes: 6, Seed: 77, Calendar: cal,
+		Sync:             clock.DefaultSyncConfig(),
+		MaxDriftPPM:      100,
+		MaxInitialOffset: 200 * sim.Microsecond,
+		Injector:         can.RandomErrors{Rate: 0.02},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 5 * 60 * sim.Second
+	end := sys.Cfg.Epoch + horizon
+
+	// HRT publishers keyed to their slots' activation patterns.
+	publishers := []struct {
+		subj uint64
+		node int
+	}{{0xF1, 0}, {0xF2, 1}}
+	late, missed := 0, 0
+	for _, p := range publishers {
+		p := p
+		slot := cal.SlotsForSubject(p.subj)[0]
+		ch, err := sys.Node(p.node).MW.HRTEC(binding.Subject(p.subj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ch.Announce(ChannelAttrs{Payload: 7, Periodic: true}, nil); err != nil {
+			t.Fatal(err)
+		}
+		var loop func(r int64)
+		loop = func(r int64) {
+			local := sys.Cfg.Epoch + sim.Time(r)*cal.Round + slot.Ready - 300*sim.Microsecond
+			at := sys.Clocks[p.node].WhenLocal(sys.K.Now(), local)
+			if at >= end {
+				return
+			}
+			sys.K.At(at, func() {
+				ch.Publish(Event{Subject: binding.Subject(p.subj), Payload: []byte{byte(r)}})
+				loop(slot.NextActive(r + 1))
+			})
+			_ = r
+		}
+		loop(slot.NextActive(0))
+		sub, err := sys.Node(2).MW.HRTEC(binding.Subject(p.subj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub.Subscribe(ChannelAttrs{Payload: 7, Periodic: true}, SubscribeAttrs{},
+			func(_ Event, di DeliveryInfo) {
+				if di.Late {
+					late++
+				}
+			},
+			func(e Exception) {
+				if e.Kind == ExcSlotMissed {
+					missed++
+				}
+			})
+	}
+
+	// SRT chatter from three nodes.
+	for i := 3; i < 6; i++ {
+		i := i
+		ch, err := sys.Node(i).MW.SRTEC(binding.Subject(0xE0 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch.Announce(ChannelAttrs{}, nil)
+		sub, err := sys.Node((i + 1) % 3).MW.SRTEC(binding.Subject(0xE0 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub.Subscribe(ChannelAttrs{}, SubscribeAttrs{}, func(Event, DeliveryInfo) {}, nil)
+		var loop func()
+		loop = func() {
+			if sys.K.Now() >= end {
+				return
+			}
+			now := sys.Node(i).MW.LocalTime()
+			ch.Publish(Event{Subject: binding.Subject(0xE0 + i), Payload: make([]byte, 8),
+				Attrs: EventAttrs{Deadline: now + 10*sim.Millisecond, Expiration: now + 40*sim.Millisecond}})
+			sys.K.After(sys.K.RNG().ExpDuration(5*sim.Millisecond), loop)
+		}
+		sys.K.At(sys.Cfg.Epoch, loop)
+	}
+
+	// NRT bulk drip.
+	bulk, err := sys.Node(5).MW.NRTEC(binding.Subject(0xEE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bulk.Announce(ChannelAttrs{Prio: 254, Fragmentation: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	bsub, _ := sys.Node(0).MW.NRTEC(binding.Subject(0xEE))
+	bsub.Subscribe(ChannelAttrs{Fragmentation: true}, SubscribeAttrs{}, func(Event, DeliveryInfo) {}, nil)
+	var feed func()
+	feed = func() {
+		if sys.K.Now() >= end {
+			return
+		}
+		if bulk.QueuedChains() == 0 {
+			bulk.Publish(Event{Subject: binding.Subject(0xEE), Payload: make([]byte, 2048)})
+		}
+		sys.K.After(50*sim.Millisecond, feed)
+	}
+	sys.K.At(sys.Cfg.Epoch, feed)
+
+	sys.Run(end - 600*sim.Microsecond)
+
+	c := sys.TotalCounters()
+	if late != 0 || missed != 0 {
+		t.Fatalf("soak: late=%d missed=%d over %v", late, missed, horizon)
+	}
+	// HRT conservation: every fired slot delivered exactly once.
+	if c.DeliveredHRT != c.SlotsFired {
+		t.Fatalf("soak: fired %d slots, delivered %d", c.SlotsFired, c.DeliveredHRT)
+	}
+	if c.SlotsFired < 40_000 { // 30k + 15k occurrences minus tail
+		t.Fatalf("soak: only %d slot occurrences", c.SlotsFired)
+	}
+	// SRT conservation: delivered + expired + still-queued == published.
+	if c.DeliveredSRT+c.Expired > c.PublishedSRT {
+		t.Fatalf("soak: SRT counts inconsistent: %+v", c)
+	}
+	if got := float64(c.DeliveredSRT) / float64(c.PublishedSRT); got < 0.99 {
+		t.Fatalf("soak: only %.3f of SRT events delivered", got)
+	}
+	// Clocks still converged after 5 minutes.
+	bound := clock.PrecisionBound(clock.DefaultSyncConfig(), 100)
+	if sk := clock.MaxSkew(sys.K.Now(), sys.Clocks); sk > bound {
+		t.Fatalf("soak: clock ensemble diverged to %v (bound %v)", sk, bound)
+	}
+	if c.FragErrors != 0 {
+		t.Fatalf("soak: %d fragmentation errors without inconsistent faults", c.FragErrors)
+	}
+}

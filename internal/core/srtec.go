@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+
+	"canec/internal/binding"
+	"canec/internal/can"
+	"canec/internal/clock"
+	"canec/internal/sim"
+)
+
+// SRTEC is a soft real-time event channel (Fig. 2): no reservations;
+// events carry transmission deadlines and are scheduled EDF by encoding
+// their laxity in the priority field of the CAN identifier and promoting
+// queued messages as their deadlines approach (§3.4). Deadline misses and
+// validity expirations raise local exceptions for application awareness.
+type SRTEC struct {
+	ch *channelState
+}
+
+// SRTEC returns the soft real-time channel for a subject on this node.
+func (mw *Middleware) SRTEC(subject binding.Subject) (*SRTEC, error) {
+	ch, err := mw.channel(subject, SRT)
+	if err != nil {
+		return nil, err
+	}
+	return &SRTEC{ch: ch}, nil
+}
+
+// srtEntry tracks one queued SRT event through promotion, expiration and
+// completion.
+type srtEntry struct {
+	ev         Event
+	ch         *channelState
+	handle     can.TxHandle
+	deadline   sim.Time // local clock
+	expiration sim.Time // local clock, 0 = none
+	seq        uint64   // node-wide enqueue order, for deterministic shedding
+	done       bool
+}
+
+// valueAt returns the entry's residual value at local time now under its
+// channel's value function (default: 1 before the deadline, 0 after).
+func (e *srtEntry) valueAt(now sim.Time) float64 {
+	if fn := e.ch.attrs.Value; fn != nil {
+		return fn.At(now - e.deadline)
+	}
+	if now <= e.deadline {
+		return 1
+	}
+	return 0
+}
+
+// Announce prepares the channel for publication. SRT channels need no
+// reservation; announcing binds the subject and installs the exception
+// handler for deadline-miss and expiration notifications.
+func (c *SRTEC) Announce(attrs ChannelAttrs, exc ExceptionHandler) error {
+	ch := c.ch
+	if ch.mw.stopped {
+		return ErrStopped
+	}
+	if attrs.Payload < 0 || attrs.Payload > can.MaxPayload {
+		return fmt.Errorf("%w: SRT payload %d (max %d)", ErrPayload, attrs.Payload, can.MaxPayload)
+	}
+	if attrs.Payload == 0 {
+		attrs.Payload = can.MaxPayload
+	}
+	ch.attrs = attrs
+	ch.pubExc = exc
+	ch.announced = true
+	return nil
+}
+
+// CancelPublication withdraws the announcement and aborts all queued
+// events (without exceptions: the application asked for it).
+func (c *SRTEC) CancelPublication() {
+	ch := c.ch
+	for e := range ch.srtActive {
+		if !e.done {
+			ch.mw.node.Ctrl.Abort(e.handle)
+			e.done = true
+		}
+	}
+	ch.srtActive = make(map[*srtEntry]bool)
+	ch.announced = false
+}
+
+// Publish hands an event to the EDF transmission scheduler. The event's
+// Deadline attribute (publisher-local clock) drives its priority; the
+// Expiration attribute bounds how long it may stay queued (§2.2.2).
+func (c *SRTEC) Publish(ev Event) error {
+	ch := c.ch
+	mw := ch.mw
+	if !ch.announced {
+		return ErrNotAnnounced
+	}
+	if mw.stopped {
+		return ErrStopped
+	}
+	if len(ev.Payload) > ch.attrs.Payload {
+		return fmt.Errorf("%w: %d > %d", ErrPayload, len(ev.Payload), ch.attrs.Payload)
+	}
+	now := mw.LocalTime()
+	ev.Attrs.Timestamp = now
+	if ev.Attrs.Deadline == 0 {
+		// No deadline given: treat as "end of horizon" (least urgent).
+		ev.Attrs.Deadline = now + mw.bands.SRT.Horizon()
+	}
+	if mw.MaxQueuedSRT > 0 && mw.srtQueuedTotal() >= mw.MaxQueuedSRT {
+		if !mw.shedLowestValue(now) {
+			// Nothing sheddable (everything in flight): reject the new
+			// event as the implicit lowest-priority citizen.
+			ch.raisePub(Exception{
+				Kind: ExcLoadShed, Subject: ch.subject, Event: &ev,
+				At: mw.K.Now(), Detail: "send queue full, no sheddable entry",
+			})
+			return fmt.Errorf("core: SRT send queue full on node %d", mw.node.Index)
+		}
+	}
+	mw.srtSeq++
+	e := &srtEntry{ev: ev, ch: ch, deadline: ev.Attrs.Deadline,
+		expiration: ev.Attrs.Expiration, seq: mw.srtSeq}
+	prio := mw.bands.SRT.PrioFor(now, e.deadline)
+	frame := can.Frame{
+		ID:   can.MakeID(prio, mw.node.Ctrl.Node(), ch.etag),
+		Data: append([]byte(nil), ev.Payload...),
+	}
+	e.handle = mw.node.Ctrl.Submit(frame, can.SubmitOpts{Done: func(ok bool, at sim.Time) {
+		e.done = true
+		delete(ch.srtActive, e)
+		if !ok {
+			ch.raisePub(Exception{
+				Kind: ExcTxFailure, Subject: ch.subject, Event: &e.ev,
+				At: at, Detail: "SRT transmission abandoned",
+			})
+			return
+		}
+		if mw.node.Clock.Read(at) > e.deadline {
+			// Transmitted, but after the transmission deadline: transient
+			// overload or a non-preemptable lower-priority frame got in
+			// the way. The application is notified for awareness (§2.2.2).
+			ch.raisePub(Exception{
+				Kind: ExcDeadlineMissed, Subject: ch.subject, Event: &e.ev,
+				At: at, Detail: fmt.Sprintf("transmitted %v after deadline",
+					mw.node.Clock.Read(at)-e.deadline),
+			})
+		}
+	}})
+	ch.srtActive[e] = true
+	mw.counters.PublishedSRT++
+	c.armPromotion(e, prio)
+	c.armExpiration(e)
+	return nil
+}
+
+// armPromotion schedules the next identifier rewrite for a queued entry:
+// the dynamic priority increase with granularity Δt_p of §3.4. Each
+// rewrite is counted by the controller (promotion overhead, experiment E7).
+func (c *SRTEC) armPromotion(e *srtEntry, cur can.Prio) {
+	ch := c.ch
+	mw := ch.mw
+	if mw.DisablePromotion || cur <= mw.bands.SRT.Min {
+		return
+	}
+	next := mw.bands.SRT.NextChange(mw.LocalTime(), e.deadline)
+	if next == 0 {
+		return
+	}
+	scheduleLocalGuarded(mw, next, func() {
+		if e.done || mw.stopped {
+			return
+		}
+		now := mw.LocalTime()
+		p := mw.bands.SRT.PrioFor(now, e.deadline)
+		if p < cur {
+			if mw.node.Ctrl.Update(e.handle, can.MakeID(p, mw.node.Ctrl.Node(), ch.etag)) {
+				mw.counters.PromotionsApplied++
+			}
+		}
+		c.armPromotion(e, p)
+	})
+}
+
+// armExpiration schedules removal of the event at the end of its temporal
+// validity: "the event is completely removed from the local send queue"
+// and the application is notified (§2.2.2).
+func (c *SRTEC) armExpiration(e *srtEntry) {
+	ch := c.ch
+	mw := ch.mw
+	if e.expiration == 0 {
+		return
+	}
+	scheduleLocalGuarded(mw, e.expiration, func() {
+		if e.done || mw.stopped {
+			return
+		}
+		if mw.node.Ctrl.Abort(e.handle) {
+			e.done = true
+			delete(ch.srtActive, e)
+			ch.raisePub(Exception{
+				Kind: ExcValidityExpired, Subject: ch.subject, Event: &e.ev,
+				At: mw.K.Now(), Detail: "validity expired in send queue",
+			})
+		}
+		// Abort failing means the frame is on the wire right now; it will
+		// complete and the Done callback handles the bookkeeping.
+	})
+}
+
+// scheduleLocalGuarded arms fn at a local-clock instant, re-arming across
+// clock adjustments (see clock.ScheduleLocal) and suppressing the firing
+// after the middleware stopped.
+func scheduleLocalGuarded(mw *Middleware, local sim.Time, fn func()) {
+	clock.ScheduleLocal(mw.K, mw.node.Clock, local, func() {
+		if mw.stopped {
+			return
+		}
+		fn()
+	})
+}
+
+// Pending reports how many events of this channel are still queued.
+func (c *SRTEC) Pending() int { return len(c.ch.srtActive) }
+
+// srtQueuedTotal counts queued SRT events across the node's channels.
+func (mw *Middleware) srtQueuedTotal() int {
+	n := 0
+	for _, ch := range mw.channels {
+		if ch.class == SRT {
+			n += len(ch.srtActive)
+		}
+	}
+	return n
+}
+
+// shedLowestValue removes the queued (not in-flight) SRT entry with the
+// least residual value across all of the node's channels, raising a
+// LoadShed exception on its channel. Ties break on the earlier deadline,
+// then the older enqueue — a total order, so shedding is deterministic
+// (map iteration order never decides). It reports whether an entry was
+// shed.
+func (mw *Middleware) shedLowestValue(now sim.Time) bool {
+	excluded := make(map[*srtEntry]bool)
+	for {
+		var victim *srtEntry
+		worst := 0.0
+		better := func(e *srtEntry, v float64) bool {
+			if victim == nil || v != worst {
+				return victim == nil || v < worst
+			}
+			if e.deadline != victim.deadline {
+				return e.deadline < victim.deadline
+			}
+			return e.seq < victim.seq
+		}
+		for _, ch := range mw.channels {
+			if ch.class != SRT {
+				continue
+			}
+			for e := range ch.srtActive {
+				if excluded[e] {
+					continue
+				}
+				if v := e.valueAt(now); better(e, v) {
+					victim, worst = e, v
+				}
+			}
+		}
+		if victim == nil {
+			return false // nothing abortable left
+		}
+		if !mw.node.Ctrl.Abort(victim.handle) {
+			// On the wire right now: it will complete anyway; fall back to
+			// the next-least-valuable entry.
+			excluded[victim] = true
+			continue
+		}
+		victim.done = true
+		delete(victim.ch.srtActive, victim)
+		victim.ch.raisePub(Exception{
+			Kind: ExcLoadShed, Subject: victim.ch.subject, Event: &victim.ev,
+			At: mw.K.Now(), Detail: fmt.Sprintf("shed with residual value %.2f", worst),
+		})
+		return true
+	}
+}
+
+// Subscribe installs the handlers and the acceptance filter. SRT events
+// are delivered immediately on arrival (no de-jittering: deadlines are a
+// transmission property).
+func (c *SRTEC) Subscribe(attrs ChannelAttrs, sub SubscribeAttrs, notify NotificationHandler, exc ExceptionHandler) error {
+	ch := c.ch
+	if ch.mw.stopped {
+		return ErrStopped
+	}
+	if !ch.announced {
+		ch.attrs = attrs
+	}
+	ch.subAttrs = sub
+	ch.notify = notify
+	ch.subExc = exc
+	if !ch.subscribed {
+		ch.subscribed = true
+		ch.mw.node.Ctrl.AddFilter(ch.etag)
+	}
+	return nil
+}
+
+// CancelSubscription removes the subscription (strictly local).
+func (c *SRTEC) CancelSubscription() {
+	ch := c.ch
+	ch.subscribed = false
+	ch.notify = nil
+	ch.mw.node.Ctrl.RemoveFilter(ch.etag)
+}
+
+// srtReceive delivers an arriving SRT event.
+func (ch *channelState) srtReceive(f can.Frame, at sim.Time) {
+	pub := f.ID.TxNode()
+	ev := Event{
+		Subject: ch.subject,
+		Payload: append([]byte(nil), f.Data...),
+	}
+	if !ch.subAttrs.accepts(pub, ev) {
+		return
+	}
+	ch.mw.counters.DeliveredSRT++
+	di := DeliveryInfo{Publisher: pub, ArrivedAt: at, DeliveredAt: at}
+	ch.store(ev, di)
+	if ch.notify != nil {
+		ch.notify(ev, di)
+	}
+}
+
+// GetEvent retrieves the most recently delivered event from the
+// middleware's memory area — the paper's getEvent() primitive (§2.2.1).
+func (c *SRTEC) GetEvent() (ev Event, di DeliveryInfo, ok bool) { return c.ch.getEvent() }

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+
+	"canec/internal/binding"
+	"canec/internal/calendar"
+	"canec/internal/can"
+	"canec/internal/clock"
+	"canec/internal/sim"
+)
+
+// SystemConfig assembles a complete simulated CAN segment: bus, drifting
+// clocks with synchronization, the hard real-time calendar and one
+// middleware per node.
+type SystemConfig struct {
+	// Nodes is the number of stations (TxNode i for station i).
+	Nodes int
+	// BitRate of the bus; 0 selects 1 Mbit/s.
+	BitRate int
+	// Seed drives all randomness (clock drifts, fault injection,
+	// workloads using the kernel RNG). Ignored when Kernel is supplied.
+	Seed uint64
+	// Kernel, if non-nil, hosts this segment on an existing simulation
+	// kernel so that several bus segments (e.g. bridged by a gateway)
+	// share one virtual time base.
+	Kernel *sim.Kernel
+	// Bands is the priority layout; zero value selects DefaultBands.
+	Bands Bands
+	// Calendar is the validated HRT schedule (nil if no HRT channels).
+	Calendar *calendar.Calendar
+	// Epoch is the synchronized local time of calendar round 0. It should
+	// leave room for clock synchronization to converge; DefaultEpoch is
+	// used when zero and synchronization is enabled.
+	Epoch sim.Time
+	// Sync configures clock synchronization; a zero Period disables it
+	// (all clocks then free-run, which is only sensible with zero drift).
+	Sync clock.SyncConfig
+	// MaxDriftPPM bounds the per-node clock rate error; each node draws
+	// uniformly from ±MaxDriftPPM.
+	MaxDriftPPM float64
+	// MaxInitialOffset bounds the initial clock offsets (uniform ±).
+	MaxInitialOffset sim.Duration
+	// NoSuppressRedundancy disables the paper's bandwidth reclamation of
+	// redundant HRT copies (then OmissionDegree+1 copies are always sent,
+	// TTP-style).
+	NoSuppressRedundancy bool
+	// Injector is the fault model (nil = fault-free).
+	Injector can.Injector
+}
+
+// DefaultEpoch leaves three synchronization periods for convergence
+// before calendar round 0.
+func DefaultEpoch(sync clock.SyncConfig) sim.Time {
+	return 3 * sync.Period
+}
+
+// System is a fully wired simulation instance.
+type System struct {
+	K      *sim.Kernel
+	Bus    *can.Bus
+	Nodes  []*Node
+	Clocks []*clock.Clock
+	Syncer *clock.Syncer
+	Cfg    SystemConfig
+	// Bindings is the shared (statically distributed) subject→etag table.
+	Bindings *binding.Table
+}
+
+// NewSystem builds and validates a system. The caller typically announces
+// and subscribes channels next, then calls Run.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("core: need at least one node, got %d", cfg.Nodes)
+	}
+	if cfg.Nodes > can.MaxTxNode {
+		return nil, fmt.Errorf("core: %d nodes exceed the 7-bit TxNode space", cfg.Nodes)
+	}
+	if (cfg.Bands == Bands{}) {
+		cfg.Bands = DefaultBands()
+	}
+	if err := cfg.Bands.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Calendar != nil {
+		if err := cfg.Calendar.Admit(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Sync.Period > 0 {
+		cfg.Sync.Prio = cfg.Bands.SyncPrio
+		cfg.Sync.Etag = binding.SyncEtag
+		if cfg.Epoch == 0 {
+			cfg.Epoch = DefaultEpoch(cfg.Sync)
+		}
+	}
+
+	k := cfg.Kernel
+	if k == nil {
+		k = sim.NewKernel(cfg.Seed)
+	}
+	bus := can.NewBus(k, cfg.BitRate)
+	if cfg.Injector != nil {
+		bus.Injector = cfg.Injector
+	}
+	sys := &System{K: k, Bus: bus, Cfg: cfg, Bindings: binding.NewTable()}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		drift := 0.0
+		if cfg.MaxDriftPPM > 0 {
+			drift = (k.RNG().Float64()*2 - 1) * cfg.MaxDriftPPM
+		}
+		var off sim.Duration
+		if cfg.MaxInitialOffset > 0 {
+			off = k.RNG().Jitter(cfg.MaxInitialOffset)
+		}
+		clk := clock.New(drift, off)
+		ctrl := bus.Attach(can.TxNode(i))
+		node := &Node{Index: i, Ctrl: ctrl, Clock: clk}
+		mw := NewMiddleware(k, node, cfg.Bands)
+		mw.Bindings = sys.Bindings
+		mw.Cal = cfg.Calendar
+		mw.Epoch = cfg.Epoch
+		mw.SuppressRedundancy = !cfg.NoSuppressRedundancy
+		sys.Nodes = append(sys.Nodes, node)
+		sys.Clocks = append(sys.Clocks, clk)
+	}
+
+	if cfg.Sync.Period > 0 {
+		sys.Syncer = clock.NewSyncer(k, bus, cfg.Sync, 0, sys.Clocks)
+		for _, n := range sys.Nodes {
+			n.MW.Syncer = sys.Syncer
+		}
+		sys.Syncer.Start()
+	}
+	return sys, nil
+}
+
+// Node returns station i.
+func (s *System) Node(i int) *Node { return s.Nodes[i] }
+
+// Run advances the simulation to the given kernel time.
+func (s *System) Run(until sim.Time) { s.K.Run(until) }
+
+// Stop halts all middleware activity so the event queue can drain.
+func (s *System) Stop() {
+	for _, n := range s.Nodes {
+		n.MW.Stop()
+	}
+}
+
+// TotalCounters sums the per-node middleware counters.
+func (s *System) TotalCounters() Counters {
+	var t Counters
+	for _, n := range s.Nodes {
+		c := n.MW.Counters()
+		t.PublishedHRT += c.PublishedHRT
+		t.PublishedSRT += c.PublishedSRT
+		t.PublishedNRT += c.PublishedNRT
+		t.DeliveredHRT += c.DeliveredHRT
+		t.DeliveredSRT += c.DeliveredSRT
+		t.DeliveredNRT += c.DeliveredNRT
+		t.SlotsFired += c.SlotsFired
+		t.SlotsUnused += c.SlotsUnused
+		t.RedundantCopiesSent += c.RedundantCopiesSent
+		t.CopiesSuppressed += c.CopiesSuppressed
+		t.DuplicatesDropped += c.DuplicatesDropped
+		t.SlotMissed += c.SlotMissed
+		t.DeadlineMissed += c.DeadlineMissed
+		t.Expired += c.Expired
+		t.Shed += c.Shed
+		t.Overflows += c.Overflows
+		t.TxFailures += c.TxFailures
+		t.FragErrors += c.FragErrors
+		t.LateHRTDeliveries += c.LateHRTDeliveries
+		t.PromotionsApplied += c.PromotionsApplied
+	}
+	return t
+}
+
+// Utilization returns the fraction of elapsed time the bus was busy.
+func (s *System) Utilization() float64 {
+	if s.K.Now() == 0 {
+		return 0
+	}
+	return float64(s.Bus.Stats().BusyTime) / float64(s.K.Now())
+}

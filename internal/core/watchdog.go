@@ -1,0 +1,98 @@
+package core
+
+import (
+	"canec/internal/can"
+	"canec/internal/sim"
+)
+
+// NodeState is the liveness verdict the watchdog assigns to a publisher.
+type NodeState int
+
+const (
+	// NodeAlive publishers delivered in their most recent slots.
+	NodeAlive NodeState = iota
+	// NodeSuspected publishers missed at least one slot but fewer than
+	// the failure threshold.
+	NodeSuspected
+	// NodeFailed publishers missed Threshold consecutive slots.
+	NodeFailed
+)
+
+// String implements fmt.Stringer.
+func (s NodeState) String() string {
+	switch s {
+	case NodeAlive:
+		return "alive"
+	case NodeSuspected:
+		return "suspected"
+	case NodeFailed:
+		return "failed"
+	}
+	return "?"
+}
+
+// Watchdog turns the middleware's missing-message detection into a node
+// liveness service: because every periodic HRT publisher has a known
+// transmission schedule, its silence is observable within one round —
+// "local exception handling may contribute to an early detection of a
+// fault and thus may increase the safety of the system" (§2.2.1). A
+// publisher that misses Threshold consecutive slot occurrences (across
+// all of its channels this node subscribes to) is declared failed; one
+// delivery restores it to alive.
+type Watchdog struct {
+	mw *Middleware
+	// Threshold is the number of consecutive misses before failure.
+	Threshold int
+	// OnChange is invoked on every state transition.
+	OnChange func(pub can.TxNode, state NodeState, at sim.Time)
+
+	misses map[can.TxNode]int
+	state  map[can.TxNode]NodeState
+}
+
+// Watchdog installs (or returns the already-installed) liveness monitor
+// on this middleware. Threshold must be ≥ 1.
+func (mw *Middleware) Watchdog(threshold int, onChange func(can.TxNode, NodeState, sim.Time)) *Watchdog {
+	if mw.watchdog == nil {
+		if threshold < 1 {
+			threshold = 1
+		}
+		mw.watchdog = &Watchdog{
+			mw:        mw,
+			Threshold: threshold,
+			OnChange:  onChange,
+			misses:    make(map[can.TxNode]int),
+			state:     make(map[can.TxNode]NodeState),
+		}
+	}
+	return mw.watchdog
+}
+
+// State returns the current verdict for a publisher (alive by default).
+func (w *Watchdog) State(pub can.TxNode) NodeState { return w.state[pub] }
+
+// noteAlive records a successful delivery from pub.
+func (w *Watchdog) noteAlive(pub can.TxNode) {
+	w.misses[pub] = 0
+	w.transition(pub, NodeAlive)
+}
+
+// noteMiss records a missed slot occurrence of pub.
+func (w *Watchdog) noteMiss(pub can.TxNode) {
+	w.misses[pub]++
+	if w.misses[pub] >= w.Threshold {
+		w.transition(pub, NodeFailed)
+	} else {
+		w.transition(pub, NodeSuspected)
+	}
+}
+
+func (w *Watchdog) transition(pub can.TxNode, s NodeState) {
+	if w.state[pub] == s {
+		return
+	}
+	w.state[pub] = s
+	if w.OnChange != nil {
+		w.OnChange(pub, s, w.mw.K.Now())
+	}
+}

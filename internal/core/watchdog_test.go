@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"canec/internal/can"
+	"canec/internal/sim"
+)
+
+func TestWatchdogDetectsCrashAndRecovery(t *testing.T) {
+	cal := testCalendar(t, 1)
+	sys := idealSystem(t, 2, cal)
+	pub, _ := sys.Node(0).MW.HRTEC(subjTemp)
+	pub.Announce(ChannelAttrs{Payload: 7, Periodic: true}, nil)
+	sub, _ := sys.Node(1).MW.HRTEC(subjTemp)
+	sub.Subscribe(ChannelAttrs{Payload: 7, Periodic: true}, SubscribeAttrs{},
+		func(Event, DeliveryInfo) {}, nil)
+
+	type change struct {
+		pub   can.TxNode
+		state NodeState
+		at    sim.Time
+	}
+	var changes []change
+	wd := sys.Node(1).MW.Watchdog(3, func(p can.TxNode, s NodeState, at sim.Time) {
+		changes = append(changes, change{p, s, at})
+	})
+
+	// Publish rounds 0..4, silence for rounds 5..9 (crash), resume 10..14.
+	publish := func(r int64) {
+		sys.K.At(sys.Cfg.Epoch+sim.Time(r)*cal.Round-100*sim.Microsecond, func() {
+			pub.Publish(Event{Subject: subjTemp, Payload: []byte{byte(r)}})
+		})
+	}
+	for r := int64(0); r < 5; r++ {
+		publish(r)
+	}
+	for r := int64(10); r < 15; r++ {
+		publish(r)
+	}
+	sys.Run(sys.Cfg.Epoch + 15*cal.Round - 1)
+
+	// Expected transitions (alive is the default state, so the first
+	// delivery is not a transition): suspected (miss 1 at round 5),
+	// failed (miss 3 at round 7), alive again (round 10).
+	want := []NodeState{NodeSuspected, NodeFailed, NodeAlive}
+	if len(changes) != len(want) {
+		t.Fatalf("transitions = %+v", changes)
+	}
+	for i, w := range want {
+		if changes[i].state != w || changes[i].pub != 0 {
+			t.Fatalf("transition %d = %+v, want %v", i, changes[i], w)
+		}
+	}
+	// Failure declared at round 7's grace check, well before round 10.
+	failAt := changes[1].at
+	lo := sys.Cfg.Epoch + 7*cal.Round
+	hi := sys.Cfg.Epoch + 8*cal.Round
+	if failAt < lo || failAt > hi {
+		t.Fatalf("failure declared at %v, want within round 7 (%v..%v)", failAt, lo, hi)
+	}
+	if wd.State(0) != NodeAlive {
+		t.Fatalf("final state = %v", wd.State(0))
+	}
+}
+
+func TestWatchdogIdempotentInstall(t *testing.T) {
+	sys := idealSystem(t, 2, nil)
+	a := sys.Node(1).MW.Watchdog(3, nil)
+	b := sys.Node(1).MW.Watchdog(5, nil)
+	if a != b {
+		t.Fatal("second Watchdog call created a new instance")
+	}
+	if a.Threshold != 3 {
+		t.Fatalf("threshold overwritten: %d", a.Threshold)
+	}
+	if a.State(9) != NodeAlive {
+		t.Fatal("unknown publisher should default to alive")
+	}
+}
+
+func TestNodeStateString(t *testing.T) {
+	if NodeAlive.String() != "alive" || NodeSuspected.String() != "suspected" ||
+		NodeFailed.String() != "failed" || NodeState(9).String() != "?" {
+		t.Fatal("state strings")
+	}
+}

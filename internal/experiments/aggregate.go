@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// RunSeeds executes an experiment across several seeds concurrently. Each
+// seed builds completely independent simulation instances (kernel, bus,
+// clocks), so the runs parallelise perfectly across cores; results come
+// back in seed order.
+func RunSeeds(e Experiment, seeds []uint64) []Result {
+	results := make([]Result, len(seeds))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = e.Run(seeds[i])
+			}
+		}()
+	}
+	for i := range seeds {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// Aggregate folds the tables of several same-experiment runs into one
+// table whose numeric cells carry mean±sd across the runs. Non-numeric
+// cells (labels) are taken from the first run; runs whose shape diverges
+// from the first are skipped with a note.
+func Aggregate(results []Result) Result {
+	if len(results) == 0 {
+		return Result{}
+	}
+	base := results[0]
+	out := Result{
+		ID:    base.ID,
+		Title: base.Title + fmt.Sprintf(" — aggregated over %d seeds", len(results)),
+		Notes: base.Notes,
+	}
+	out.Table.Title = base.Table.Title
+	out.Table.Headers = base.Table.Headers
+
+	used := 0
+	compatible := make([]Result, 0, len(results))
+	for _, r := range results {
+		if len(r.Table.Rows) == len(base.Table.Rows) {
+			compatible = append(compatible, r)
+			used++
+		}
+	}
+	for ri, baseRow := range base.Table.Rows {
+		row := make([]string, len(baseRow))
+		for ci, cell := range baseRow {
+			vals := make([]float64, 0, len(compatible))
+			suffix := ""
+			ok := true
+			for _, r := range compatible {
+				if ci >= len(r.Table.Rows[ri]) {
+					ok = false
+					break
+				}
+				v, sfx, e := parseNumeric(r.Table.Rows[ri][ci])
+				if e != nil {
+					ok = false
+					break
+				}
+				vals = append(vals, v)
+				suffix = sfx
+			}
+			if !ok || len(vals) == 0 {
+				row[ci] = cell
+				continue
+			}
+			mean, sd := meanSD(vals)
+			if sd == 0 {
+				row[ci] = fmt.Sprintf("%.2f%s", mean, suffix)
+			} else {
+				row[ci] = fmt.Sprintf("%.2f±%.2f%s", mean, sd, suffix)
+			}
+		}
+		out.Table.Rows = append(out.Table.Rows, row)
+	}
+	if used < len(results) {
+		out.Notes = append(out.Notes, fmt.Sprintf(
+			"%d of %d runs had divergent table shapes and were skipped", len(results)-used, len(results)))
+	}
+	return out
+}
+
+// parseNumeric extracts the numeric value and preserved suffix (%, x)
+// from a table cell.
+func parseNumeric(s string) (float64, string, error) {
+	s = strings.TrimSpace(s)
+	suffix := ""
+	for _, sfx := range []string{"%", "x"} {
+		if strings.HasSuffix(s, sfx) {
+			suffix = sfx
+			s = strings.TrimSuffix(s, sfx)
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	return v, suffix, err
+}
+
+func meanSD(vals []float64) (mean, sd float64) {
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	for _, v := range vals {
+		d := v - mean
+		sd += d * d
+	}
+	sd = math.Sqrt(sd / float64(len(vals)))
+	return mean, sd
+}

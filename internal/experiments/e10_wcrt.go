@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"canec/internal/baseline"
+	"canec/internal/can"
+	"canec/internal/sim"
+	"canec/internal/stats"
+	"canec/internal/workload"
+)
+
+// E10WCRTAnalysis validates the fixed-priority machinery against theory:
+// for an SAE-benchmark-style periodic message set under deadline-monotonic
+// priorities (the off-line feasibility approach of Tindell & Burns the
+// paper cites in §4), the classical worst-case response-time analysis
+// must upper-bound — and reasonably track — the simulated worst observed
+// response times.
+func E10WCRTAnalysis(seed uint64) Result {
+	tbl := stats.Table{
+		Title:   "Tindell/Burns WCRT bound vs simulated worst response time (DM priorities, 2 s run)",
+		Headers: []string{"stream", "period ms", "payload", "prio", "bound µs", "simWorst µs", "bound/sim", "deadlineOK"},
+	}
+
+	// SAE-flavoured set: a few fast control signals, mid-rate sensors,
+	// slow status messages, across 6 nodes.
+	streams := []workload.Stream{
+		{Node: 0, Period: 5 * sim.Millisecond, RelDeadline: 5 * sim.Millisecond, Payload: 8},
+		{Node: 1, Period: 5 * sim.Millisecond, RelDeadline: 5 * sim.Millisecond, Payload: 8},
+		{Node: 2, Period: 10 * sim.Millisecond, RelDeadline: 10 * sim.Millisecond, Payload: 6},
+		{Node: 3, Period: 10 * sim.Millisecond, RelDeadline: 10 * sim.Millisecond, Payload: 8},
+		{Node: 4, Period: 20 * sim.Millisecond, RelDeadline: 20 * sim.Millisecond, Payload: 4},
+		{Node: 0, Period: 50 * sim.Millisecond, RelDeadline: 50 * sim.Millisecond, Payload: 8},
+		{Node: 1, Period: 100 * sim.Millisecond, RelDeadline: 100 * sim.Millisecond, Payload: 8},
+		{Node: 5, Period: 1000 * sim.Millisecond, RelDeadline: 1000 * sim.Millisecond, Payload: 8},
+	}
+	deadlines := make([]sim.Duration, len(streams))
+	for i, s := range streams {
+		deadlines[i] = s.RelDeadline
+	}
+	prios, err := baseline.DeadlineMonotonic(deadlines, 2, 250)
+	if err != nil {
+		panic(err)
+	}
+	set := make([]baseline.MsgSpec, len(streams))
+	for i, s := range streams {
+		set[i] = baseline.MsgSpec{Prio: prios[i], Period: s.Period, Payload: s.Payload}
+	}
+
+	jobs := workload.GenJobs(sim.NewRNG(seed), streams, 2*sim.Second)
+	out := baseline.RunDM(streams, jobs, 2, 250, seed, 3*sim.Second)
+	worst := make([]sim.Duration, len(streams))
+	for _, jd := range out.Jobs {
+		if jd.Completed > 0 {
+			if rt := jd.Completed - jd.Job.Release; rt > worst[jd.Job.Stream] {
+				worst[jd.Job.Stream] = rt
+			}
+		}
+	}
+	for i, s := range streams {
+		bound, err := baseline.WCRT(set, set[i], can.DefaultBitRate)
+		boundStr, ratio, ok := "unschedulable", "-", "?"
+		if err == nil {
+			boundStr = stats.Micros(float64(bound))
+			if worst[i] > 0 {
+				ratio = fmt.Sprintf("%.2f", float64(bound)/float64(worst[i]))
+			}
+			ok = fmt.Sprint(bound <= s.RelDeadline)
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(i),
+			fmt.Sprintf("%.0f", float64(s.Period)/float64(sim.Millisecond)),
+			fmt.Sprint(s.Payload),
+			fmt.Sprint(prios[i]),
+			boundStr,
+			stats.Micros(float64(worst[i])),
+			ratio,
+			ok,
+		})
+	}
+	return Result{
+		ID:    "E10",
+		Title: "Tindell WCRT analysis vs simulation (§4)",
+		Table: tbl,
+		Notes: []string{
+			"invariant: bound ≥ simWorst for every stream (analysis is safe);",
+			"bound/sim close to 1 for low-priority streams (they actually see the interference),",
+			"larger for high-priority ones (worst-case release phasing is rare in simulation)",
+		},
+	}
+}

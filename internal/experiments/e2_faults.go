@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"canec/internal/calendar"
+	"canec/internal/can"
+	"canec/internal/core"
+	"canec/internal/sim"
+	"canec/internal/stats"
+)
+
+// E2FaultTolerance checks the HRT latency bound against its fault
+// assumption: a channel dimensioned for omission degree k masks exactly
+// up to k consistent faults per transmission — every event still delivered
+// precisely at the deadline — while j > k adversarial faults push the
+// delivery past the deadline and are detected (late deliveries, missed
+// slots) rather than silent.
+func E2FaultTolerance(seed uint64) Result {
+	tbl := stats.Table{
+		Title:   "HRT guarantee vs fault assumption (adversarial j faults/frame, slot dimensioned for k)",
+		Headers: []string{"k", "j", "delivered", "atDeadline", "maxLateness µs", "slotMissed", "slotSpan µs"},
+	}
+	for k := 0; k <= 3; k++ {
+		for j := 0; j <= 4; j++ {
+			row := e2Run(seed, k, j)
+			tbl.Rows = append(tbl.Rows, row)
+		}
+	}
+	return Result{
+		ID:    "E2",
+		Title: "HRT latency bound under omission faults (§3.2)",
+		Table: tbl,
+		Notes: []string{
+			"guarantee: j ≤ k ⇒ every event delivered exactly at the deadline (maxLateness = 0);",
+			"j = k+1 can still squeak through: the WCTT uses worst-case bit stuffing, and real frames",
+			"are a few bit-times shorter, leaving slack for roughly one extra retry; j ≥ k+2 is late",
+			"and detected (lateness > 0, subscriber SlotMissed exceptions); slotSpan grows with k",
+		},
+	}
+}
+
+func e2Run(seed uint64, k, j int) []string {
+	const rounds = 100
+	cfg := calendar.DefaultConfig()
+	cfg.OmissionDegree = k
+	cal, err := calendar.PackSequential(cfg, 10*sim.Millisecond,
+		calendar.Slot{Subject: uint64(e1Subject), Publisher: 0, Payload: 8, Periodic: true})
+	if err != nil {
+		panic(err)
+	}
+	sys, err := core.NewSystem(core.SystemConfig{
+		Nodes: 2, Seed: seed, Calendar: cal, Epoch: sim.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sys.Bus.Injector = can.AdversarialK{K: j, Prio: 0}
+
+	pub, _ := sys.Node(0).MW.HRTEC(e1Subject)
+	if err := pub.Announce(core.ChannelAttrs{Payload: 7, Periodic: true}, nil); err != nil {
+		panic(err)
+	}
+	slotDeadline := cal.Slots[0].Deadline(cfg)
+	delivered, atDeadline, missed := 0, 0, 0
+	var maxLate sim.Duration
+	sub, _ := sys.Node(1).MW.HRTEC(e1Subject)
+	err = sub.Subscribe(core.ChannelAttrs{Payload: 7, Periodic: true}, core.SubscribeAttrs{},
+		func(ev core.Event, di core.DeliveryInfo) {
+			delivered++
+			// Perfect clocks in this rig: the expected delivery instant of
+			// round r is exact, so lateness is measured analytically.
+			r := sim.Time(ev.Payload[0])
+			expect := sys.Cfg.Epoch + r*cal.Round + slotDeadline
+			if di.DeliveredAt == expect {
+				atDeadline++
+			} else if d := di.DeliveredAt - expect; d > maxLate {
+				maxLate = d
+			}
+		},
+		func(e core.Exception) {
+			if e.Kind == core.ExcSlotMissed {
+				missed++
+			}
+		})
+	if err != nil {
+		panic(err)
+	}
+	for r := int64(0); r < rounds; r++ {
+		r := r
+		sys.K.At(sys.Cfg.Epoch+sim.Time(r)*cal.Round-100*sim.Microsecond, func() {
+			// 7-byte zero payload: maximises stuff bits, approaching the
+			// worst-case frame the slot was dimensioned for.
+			pub.Publish(core.Event{Subject: e1Subject, Payload: []byte{byte(r), 0, 0, 0, 0, 0, 0}})
+		})
+	}
+	sys.Run(sys.Cfg.Epoch + rounds*cal.Round - 1)
+
+	return []string{
+		fmt.Sprint(k), fmt.Sprint(j),
+		fmt.Sprint(delivered), fmt.Sprint(atDeadline),
+		stats.Micros(float64(maxLate)), fmt.Sprint(missed),
+		stats.Micros(float64(cfg.SlotSpan(8))),
+	}
+}

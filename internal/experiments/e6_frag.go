@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"canec/internal/calendar"
+	"canec/internal/core"
+	"canec/internal/frag"
+	"canec/internal/sim"
+	"canec/internal/stats"
+)
+
+// E6Fragmentation transfers bulk images of increasing size through a
+// fragmenting NRT channel while a hard real-time control loop and soft
+// real-time diagnostics run. The paper's claim (§2.2.3, §3.3): NRT bulk
+// traffic uses only the bandwidth the real-time classes leave over —
+// it must not add HRT jitter nor SRT misses.
+func E6Fragmentation(seed uint64) Result {
+	tbl := stats.Table{
+		Title:   "NRT bulk transfer during HRT control loop (10 ms round) + SRT diagnostics",
+		Headers: []string{"image KiB", "frames", "transfer ms", "goodput KiB/s", "hrtAppJitter µs", "hrtLate", "srtMiss%"},
+	}
+	for _, kib := range []int{0, 1, 4, 16, 64} {
+		tbl.Rows = append(tbl.Rows, e6Run(seed, kib))
+	}
+	return Result{
+		ID:    "E6",
+		Title: "NRT fragmentation & non-interference (§2.2.3)",
+		Table: tbl,
+		Notes: []string{
+			"row 0 KiB is the control: real-time behaviour without any bulk transfer",
+			"expectation: hrtAppJitter ≈ 0 and srtMiss% unchanged for every image size;",
+			"goodput reflects the leftover bandwidth (payload bytes per second of transfer)",
+		},
+	}
+}
+
+func e6Run(seed uint64, kib int) []string {
+	const rounds = 400
+	cfg := calendar.DefaultConfig()
+	cal, err := calendar.PackSequential(cfg, 10*sim.Millisecond,
+		calendar.Slot{Subject: uint64(e1Subject), Publisher: 0, Payload: 8, Periodic: true})
+	if err != nil {
+		panic(err)
+	}
+	sys, err := core.NewSystem(core.SystemConfig{
+		Nodes: 4, Seed: seed, Calendar: cal, Epoch: sim.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	end := sys.Cfg.Epoch + rounds*cal.Round - 1
+
+	// HRT control loop.
+	pub, _ := sys.Node(0).MW.HRTEC(e1Subject)
+	if err := pub.Announce(core.ChannelAttrs{Payload: 7, Periodic: true}, nil); err != nil {
+		panic(err)
+	}
+	var hrtTimes []sim.Time
+	hrtLate := 0
+	sub, _ := sys.Node(1).MW.HRTEC(e1Subject)
+	sub.Subscribe(core.ChannelAttrs{Payload: 7, Periodic: true}, core.SubscribeAttrs{},
+		func(_ core.Event, di core.DeliveryInfo) {
+			hrtTimes = append(hrtTimes, di.DeliveredAt)
+			if di.Late {
+				hrtLate++
+			}
+		}, nil)
+	for r := int64(0); r < rounds; r++ {
+		sys.K.At(sys.Cfg.Epoch+sim.Time(r)*cal.Round-100*sim.Microsecond, func() {
+			pub.Publish(core.Event{Subject: e1Subject, Payload: []byte{1}})
+		})
+	}
+
+	// SRT diagnostics: Poisson, 5 ms deadlines.
+	diag, _ := sys.Node(2).MW.SRTEC(0x91)
+	srtSent, srtMissed := 0, 0
+	diag.Announce(core.ChannelAttrs{}, func(e core.Exception) {
+		if e.Kind == core.ExcDeadlineMissed {
+			srtMissed++
+		}
+	})
+	dsub, _ := sys.Node(3).MW.SRTEC(0x91)
+	dsub.Subscribe(core.ChannelAttrs{}, core.SubscribeAttrs{}, func(core.Event, core.DeliveryInfo) {}, nil)
+	var dloop func()
+	dloop = func() {
+		if sys.K.Now() >= end {
+			return
+		}
+		now := sys.Node(2).MW.LocalTime()
+		diag.Publish(core.Event{Subject: 0x91, Payload: make([]byte, 8),
+			Attrs: core.EventAttrs{Deadline: now + 5*sim.Millisecond}})
+		srtSent++
+		sys.K.After(sys.K.RNG().ExpDuration(2*sim.Millisecond), dloop)
+	}
+	sys.K.At(sys.Cfg.Epoch, dloop)
+
+	// Bulk transfer.
+	var transferDur sim.Duration
+	frames := 0
+	if kib > 0 {
+		bulk, _ := sys.Node(2).MW.NRTEC(0x92)
+		if err := bulk.Announce(core.ChannelAttrs{Prio: 253, Fragmentation: true}, nil); err != nil {
+			panic(err)
+		}
+		bsub, _ := sys.Node(3).MW.NRTEC(0x92)
+		start := sys.Cfg.Epoch
+		bsub.Subscribe(core.ChannelAttrs{Fragmentation: true}, core.SubscribeAttrs{},
+			func(ev core.Event, di core.DeliveryInfo) {
+				transferDur = di.DeliveredAt - start
+			}, nil)
+		img := make([]byte, kib<<10)
+		frames = frag.FrameCount(len(img))
+		sys.K.At(start, func() {
+			bulk.Publish(core.Event{Subject: 0x92, Payload: img})
+		})
+	}
+
+	sys.Run(end)
+
+	jitter := stats.PeriodJitter(hrtTimes, cal.Round)
+	goodput := 0.0
+	transferMS := 0.0
+	if transferDur > 0 {
+		goodput = float64(kib) / (float64(transferDur) / float64(sim.Second))
+		transferMS = float64(transferDur) / float64(sim.Millisecond)
+	}
+	missPct := 0.0
+	if srtSent > 0 {
+		missPct = float64(srtMissed) / float64(srtSent)
+	}
+	return []string{
+		fmt.Sprint(kib),
+		fmt.Sprint(frames),
+		fmt.Sprintf("%.1f", transferMS),
+		fmt.Sprintf("%.1f", goodput),
+		stats.Micros(float64(jitter)),
+		fmt.Sprint(hrtLate),
+		stats.Pct(missPct),
+	}
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"canec/internal/can"
+	"canec/internal/sim"
+)
+
+// actualFrameTime estimates the *expected* wire time of a frame with a
+// p-byte payload (exact stuffing over random payload contents, mid-range
+// identifier), as opposed to the worst-case bound. Using it to dimension
+// workload utilization makes the "load" axis of the sweeps reflect real
+// bus occupancy instead of the stuffing-pessimistic bound, so load = 1.0
+// is true saturation.
+func actualFrameTime(p int) sim.Duration {
+	rng := sim.NewRNG(12345)
+	id := can.MakeID(100, 5, 100)
+	total := 0
+	const samples = 64
+	for i := 0; i < samples; i++ {
+		data := make([]byte, p)
+		for j := range data {
+			data[j] = byte(rng.Uint64())
+		}
+		total += can.WireBits(can.Frame{ID: id, Data: data})
+	}
+	return can.BitTime(total/samples, can.DefaultBitRate)
+}
+
+// minBitsFor/worstBitsFor re-export the frame-length bounds for tests.
+func minBitsFor(p int) int   { return can.MinFrameBits(p) }
+func worstBitsFor(p int) int { return can.WorstCaseBits(p) }

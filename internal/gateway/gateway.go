@@ -1,0 +1,205 @@
+// Package gateway bridges event channels across bus segments. The paper
+// assumes "publishers and subscribers are connected by a channel which
+// spans multiple networks, e.g. a field bus, a wireless network and a
+// wired wide area network" (§2.2.1, elaborated in its ref [12] — the
+// CAN↔Internet architecture), and uses origin attributes so a subscriber
+// can restrict notifications to events generated on its own segment.
+package gateway
+
+import (
+	"errors"
+
+	"canec/internal/binding"
+	"canec/internal/can"
+	"canec/internal/core"
+	"canec/internal/sim"
+)
+
+// Bridge owns one middleware instance on each of two segments that
+// share a simulation kernel. For every forwarded subject it subscribes on
+// one side and republishes on the other under its own TxNode, after a
+// configurable relay latency. Because forwarded events carry the
+// gateway's node number, origin filtering on the remote segment is the
+// ordinary publisher filter: subscribers exclude (or select) the
+// gateway's TxNode — exactly the mechanism §2.2.1 describes.
+type Bridge struct {
+	// A and B are the gateway's middleware endpoints on the two segments.
+	A, B *core.Middleware
+	// Delay is the store-and-forward latency added per hop (protocol
+	// conversion, queueing in the gateway CPU).
+	Delay sim.Duration
+	// RelayDeadline is the transmission deadline budget given to the
+	// re-published copy of an SRT event on the remote segment, measured
+	// from the moment the gateway forwards it. Deadlines are not carried
+	// on the CAN wire, so per-segment budgets are assigned at each hop —
+	// the standard decomposition for multi-network channels.
+	RelayDeadline sim.Duration
+
+	forwarded uint64
+	dropped   uint64
+}
+
+// Direction selects which way a subject flows through the bridge.
+type Direction int
+
+const (
+	// AtoB forwards events published on segment A to segment B.
+	AtoB Direction = iota
+	// BtoA forwards events published on segment B to segment A.
+	BtoA
+	// Both forwards in both directions (loop-safe: the gateway never
+	// re-forwards events it injected itself).
+	Both
+)
+
+// New creates a bridge between two middleware endpoints that must live on
+// the same simulation kernel.
+func New(a, b *core.Middleware, delay sim.Duration) *Bridge {
+	if a.K != b.K {
+		panic("gateway: endpoints on different kernels")
+	}
+	return &Bridge{A: a, B: b, Delay: delay, RelayDeadline: 10 * sim.Millisecond}
+}
+
+// Forwarded reports how many events crossed the bridge.
+func (g *Bridge) Forwarded() uint64 { return g.forwarded }
+
+// Dropped reports forwarding failures (republish errors).
+func (g *Bridge) Dropped() uint64 { return g.dropped }
+
+// ForwardSRT establishes bidirectional (or one-way) forwarding of a soft
+// real-time subject.
+func (g *Bridge) ForwardSRT(subject binding.Subject, dir Direction) error {
+	if dir == AtoB || dir == Both {
+		if err := g.forwardSRTOne(g.A, g.B, subject); err != nil {
+			return err
+		}
+	}
+	if dir == BtoA || dir == Both {
+		if err := g.forwardSRTOne(g.B, g.A, subject); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *Bridge) forwardSRTOne(from, to *core.Middleware, subject binding.Subject) error {
+	out, err := to.SRTEC(subject)
+	if err != nil {
+		return err
+	}
+	if err := out.Announce(core.ChannelAttrs{}, nil); err != nil {
+		return err
+	}
+	in, err := from.SRTEC(subject)
+	if err != nil {
+		return err
+	}
+	return in.Subscribe(core.ChannelAttrs{},
+		core.SubscribeAttrs{
+			// Never re-forward what this bridge injected on `from`.
+			ExcludePublishers: []can.TxNode{from.Node().Ctrl.Node()},
+		},
+		func(ev core.Event, _ core.DeliveryInfo) {
+			g.relay(to, func() error {
+				now := to.LocalTime()
+				return out.Publish(core.Event{
+					Subject: subject,
+					Payload: ev.Payload,
+					Attrs: core.EventAttrs{
+						Deadline:   now + g.RelayDeadline,
+						Expiration: now + 2*g.RelayDeadline,
+					},
+				})
+			})
+		}, nil)
+}
+
+// ForwardNRT establishes forwarding of a non real-time subject
+// (fragmenting channels reassemble on the ingress segment and re-fragment
+// on the egress one).
+func (g *Bridge) ForwardNRT(subject binding.Subject, attrs core.ChannelAttrs, dir Direction) error {
+	if dir == AtoB || dir == Both {
+		if err := g.forwardNRTOne(g.A, g.B, subject, attrs); err != nil {
+			return err
+		}
+	}
+	if dir == BtoA || dir == Both {
+		if err := g.forwardNRTOne(g.B, g.A, subject, attrs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *Bridge) forwardNRTOne(from, to *core.Middleware, subject binding.Subject, attrs core.ChannelAttrs) error {
+	out, err := to.NRTEC(subject)
+	if err != nil {
+		return err
+	}
+	if err := out.Announce(attrs, nil); err != nil {
+		return err
+	}
+	in, err := from.NRTEC(subject)
+	if err != nil {
+		return err
+	}
+	return in.Subscribe(attrs,
+		core.SubscribeAttrs{
+			ExcludePublishers: []can.TxNode{from.Node().Ctrl.Node()},
+		},
+		func(ev core.Event, _ core.DeliveryInfo) {
+			g.relay(to, func() error {
+				return out.Publish(core.Event{Subject: subject, Payload: ev.Payload})
+			})
+		}, nil)
+}
+
+// ForwardHRT forwards a hard real-time subject from one segment into a
+// reserved slot on the other. Unlike SRT/NRT forwarding this needs
+// off-line configuration on the egress side: the destination calendar
+// must reserve a slot for (subject, gateway node). The relayed channel
+// keeps hard real-time semantics per segment — ingress delivery at the
+// ingress deadline, egress delivery at the egress slot deadline — so the
+// end-to-end latency is the sum of the two reserved bounds plus the relay
+// delay, each hop individually jitter-free. Only one direction per call.
+func (g *Bridge) ForwardHRT(subject binding.Subject, attrs core.ChannelAttrs, dir Direction) error {
+	if dir == Both {
+		return errors.New("gateway: HRT forwarding is per-direction (each needs its own slot)")
+	}
+	from, to := g.A, g.B
+	if dir == BtoA {
+		from, to = g.B, g.A
+	}
+	out, err := to.HRTEC(subject)
+	if err != nil {
+		return err
+	}
+	if err := out.Announce(attrs, nil); err != nil {
+		return err
+	}
+	in, err := from.HRTEC(subject)
+	if err != nil {
+		return err
+	}
+	return in.Subscribe(attrs,
+		core.SubscribeAttrs{
+			ExcludePublishers: []can.TxNode{from.Node().Ctrl.Node()},
+		},
+		func(ev core.Event, _ core.DeliveryInfo) {
+			g.relay(to, func() error {
+				return out.Publish(core.Event{Subject: subject, Payload: ev.Payload})
+			})
+		}, nil)
+}
+
+// relay schedules the republication after the store-and-forward delay.
+func (g *Bridge) relay(to *core.Middleware, publish func() error) {
+	to.K.After(g.Delay, func() {
+		if err := publish(); err != nil {
+			g.dropped++
+			return
+		}
+		g.forwarded++
+	})
+}

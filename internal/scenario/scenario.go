@@ -1,0 +1,359 @@
+// Package scenario runs declarative, JSON-described mixed-traffic
+// scenarios on the simulated CAN segment: node count, fault model, hard
+// real-time streams (turned into a planned calendar), soft real-time
+// streams and bulk transfers, with a per-class report. It is the
+// config-driven face of the library — canecsim's -config flag loads these
+// files — and doubles as a compact integration-test vehicle.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"canec/internal/binding"
+	"canec/internal/calendar"
+	"canec/internal/can"
+	"canec/internal/clock"
+	"canec/internal/core"
+	"canec/internal/sim"
+	"canec/internal/stats"
+)
+
+// HRTStream describes one hard real-time channel.
+type HRTStream struct {
+	Subject    uint64 `json:"subject"`
+	Publisher  int    `json:"publisher"`
+	Subscriber int    `json:"subscriber"`
+	PeriodUs   int64  `json:"periodUs"`
+	Payload    int    `json:"payload"` // application bytes (≤ 7)
+}
+
+// SRTStream describes one soft real-time stream.
+type SRTStream struct {
+	Subject      uint64 `json:"subject"`
+	Publisher    int    `json:"publisher"`
+	Subscriber   int    `json:"subscriber"`
+	MeanPeriodUs int64  `json:"meanPeriodUs"`
+	DeadlineUs   int64  `json:"deadlineUs"`
+	ExpirationUs int64  `json:"expirationUs"`
+	Payload      int    `json:"payload"`
+	Sporadic     bool   `json:"sporadic"`
+}
+
+// NRTBulk describes a repeated bulk transfer.
+type NRTBulk struct {
+	Subject    uint64 `json:"subject"`
+	Publisher  int    `json:"publisher"`
+	Subscriber int    `json:"subscriber"`
+	Bytes      int    `json:"bytes"`
+	RepeatMs   int64  `json:"repeatMs"` // 0: send once
+	Prio       int    `json:"prio"`     // 0: lowest
+}
+
+// Scenario is the top-level description.
+type Scenario struct {
+	Name           string      `json:"name"`
+	Nodes          int         `json:"nodes"`
+	Seed           uint64      `json:"seed"`
+	DurationMs     int64       `json:"durationMs"`
+	MaxDriftPPM    float64     `json:"maxDriftPPM"`
+	FaultRate      float64     `json:"faultRate"`
+	OmissionDegree int         `json:"omissionDegree"`
+	HRT            []HRTStream `json:"hrt"`
+	SRT            []SRTStream `json:"srt"`
+	NRT            []NRTBulk   `json:"nrt"`
+}
+
+// Load parses a scenario from JSON.
+func Load(r io.Reader) (*Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks structural consistency.
+func (s *Scenario) Validate() error {
+	if s.Nodes < 2 || s.Nodes > can.MaxTxNode {
+		return fmt.Errorf("scenario: nodes %d out of range", s.Nodes)
+	}
+	if s.DurationMs <= 0 {
+		return fmt.Errorf("scenario: non-positive duration")
+	}
+	node := func(n int, what string, i int) error {
+		if n < 0 || n >= s.Nodes {
+			return fmt.Errorf("scenario: %s[%d] references node %d of %d", what, i, n, s.Nodes)
+		}
+		return nil
+	}
+	for i, h := range s.HRT {
+		if err := node(h.Publisher, "hrt.publisher", i); err != nil {
+			return err
+		}
+		if err := node(h.Subscriber, "hrt.subscriber", i); err != nil {
+			return err
+		}
+		if h.PeriodUs <= 0 || h.Payload < 1 || h.Payload > 7 {
+			return fmt.Errorf("scenario: hrt[%d] invalid period/payload", i)
+		}
+	}
+	for i, r := range s.SRT {
+		if err := node(r.Publisher, "srt.publisher", i); err != nil {
+			return err
+		}
+		if err := node(r.Subscriber, "srt.subscriber", i); err != nil {
+			return err
+		}
+		if r.MeanPeriodUs <= 0 || r.DeadlineUs <= 0 || r.Payload < 1 || r.Payload > 8 {
+			return fmt.Errorf("scenario: srt[%d] invalid parameters", i)
+		}
+	}
+	for i, b := range s.NRT {
+		if err := node(b.Publisher, "nrt.publisher", i); err != nil {
+			return err
+		}
+		if err := node(b.Subscriber, "nrt.subscriber", i); err != nil {
+			return err
+		}
+		if b.Bytes <= 0 {
+			return fmt.Errorf("scenario: nrt[%d] invalid size", i)
+		}
+	}
+	return nil
+}
+
+// Report summarises a run.
+type Report struct {
+	Name        string
+	Counters    core.Counters
+	Utilization float64
+	HRTLatency  *stats.Series
+	HRTJitter   sim.Duration
+	SRTLatency  *stats.Series
+	NRTBytes    int
+	Elapsed     sim.Duration
+}
+
+// String renders the report for terminals.
+func (r *Report) String() string {
+	c := r.Counters
+	out := fmt.Sprintf("scenario %q: %v simulated, bus utilization %.1f%%\n",
+		r.Name, r.Elapsed, 100*r.Utilization)
+	if r.HRTLatency.N() > 0 {
+		out += fmt.Sprintf("HRT: %d delivered, latency %s/%s µs (mean/p99), period jitter %d µs, late %d, missed %d\n",
+			c.DeliveredHRT, stats.Micros(r.HRTLatency.Mean()), stats.Micros(r.HRTLatency.Quantile(0.99)),
+			r.HRTJitter.Micros(), c.LateHRTDeliveries, c.SlotMissed)
+	}
+	if r.SRTLatency.N() > 0 {
+		out += fmt.Sprintf("SRT: %d delivered, latency %s/%s µs, deadlineMissed %d, expired %d, promotions %d\n",
+			c.DeliveredSRT, stats.Micros(r.SRTLatency.Mean()), stats.Micros(r.SRTLatency.Quantile(0.99)),
+			c.DeadlineMissed, c.Expired, c.PromotionsApplied)
+	}
+	out += fmt.Sprintf("NRT: %d messages, %d KiB transferred, fragErrors %d\n",
+		c.DeliveredNRT, r.NRTBytes/1024, c.FragErrors)
+	return out
+}
+
+// Run executes the scenario and returns the report.
+func (s *Scenario) Run() (*Report, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	// Calendar from the HRT streams via the planner.
+	var cal *calendar.Calendar
+	calCfg := calendar.DefaultConfig()
+	if s.OmissionDegree > 0 {
+		calCfg.OmissionDegree = s.OmissionDegree
+	}
+	if len(s.HRT) > 0 {
+		reqs := make([]calendar.Request, len(s.HRT))
+		for i, h := range s.HRT {
+			reqs[i] = calendar.Request{
+				Subject:   h.Subject,
+				Publisher: can.TxNode(h.Publisher),
+				Payload:   h.Payload + 1, // middleware header byte
+				Period:    sim.Duration(h.PeriodUs) * sim.Microsecond,
+				Periodic:  true,
+			}
+		}
+		var err error
+		cal, err = calendar.Plan(calCfg, reqs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sys, err := core.NewSystem(core.SystemConfig{
+		Nodes: s.Nodes, Seed: s.Seed, Calendar: cal,
+		Sync:             clock.DefaultSyncConfig(),
+		MaxDriftPPM:      s.MaxDriftPPM,
+		MaxInitialOffset: 200 * sim.Microsecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if s.FaultRate > 0 {
+		sys.Bus.Injector = can.RandomErrors{Rate: s.FaultRate}
+	}
+	dur := sim.Duration(s.DurationMs) * sim.Millisecond
+	end := sys.Cfg.Epoch + dur
+	rep := &Report{
+		Name:       s.Name,
+		HRTLatency: stats.NewSeries("hrt"),
+		SRTLatency: stats.NewSeries("srt"),
+		Elapsed:    dur,
+	}
+
+	var firstHRTTimes []sim.Time
+	for i, h := range s.HRT {
+		i := i
+		h := h
+		subj := binding.Subject(h.Subject)
+		slot := cal.SlotsForSubject(h.Subject)[0]
+		ch, err := sys.Node(h.Publisher).MW.HRTEC(subj)
+		if err != nil {
+			return nil, err
+		}
+		if err := ch.Announce(core.ChannelAttrs{Payload: h.Payload, Periodic: true}, nil); err != nil {
+			return nil, err
+		}
+		var loop func(r int64)
+		loop = func(r int64) {
+			local := sys.Cfg.Epoch + sim.Time(r)*cal.Round + slot.Ready - 300*sim.Microsecond
+			at := sys.Clocks[h.Publisher].WhenLocal(sys.K.Now(), local)
+			if at >= end {
+				return
+			}
+			sys.K.At(at, func() {
+				p := make([]byte, h.Payload)
+				putTS56(p, sys.K.Now())
+				ch.Publish(core.Event{Subject: subj, Payload: p})
+				loop(slot.NextActive(r + 1))
+			})
+		}
+		loop(slot.NextActive(0))
+		sub, err := sys.Node(h.Subscriber).MW.HRTEC(subj)
+		if err != nil {
+			return nil, err
+		}
+		if err := sub.Subscribe(core.ChannelAttrs{Payload: h.Payload, Periodic: true}, core.SubscribeAttrs{},
+			func(ev core.Event, di core.DeliveryInfo) {
+				if h.Payload >= 7 {
+					rep.HRTLatency.ObserveDuration(di.DeliveredAt - getTS56(ev.Payload))
+				}
+				if i == 0 {
+					firstHRTTimes = append(firstHRTTimes, di.DeliveredAt)
+				}
+			}, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, r := range s.SRT {
+		r := r
+		subj := binding.Subject(r.Subject)
+		ch, err := sys.Node(r.Publisher).MW.SRTEC(subj)
+		if err != nil {
+			return nil, err
+		}
+		if err := ch.Announce(core.ChannelAttrs{}, nil); err != nil {
+			return nil, err
+		}
+		sub, err := sys.Node(r.Subscriber).MW.SRTEC(subj)
+		if err != nil {
+			return nil, err
+		}
+		if err := sub.Subscribe(core.ChannelAttrs{}, core.SubscribeAttrs{},
+			func(ev core.Event, di core.DeliveryInfo) {
+				if len(ev.Payload) >= 7 {
+					rep.SRTLatency.ObserveDuration(di.DeliveredAt - getTS56(ev.Payload))
+				}
+			}, nil); err != nil {
+			return nil, err
+		}
+		var loop func()
+		loop = func() {
+			if sys.K.Now() >= end {
+				return
+			}
+			now := sys.Node(r.Publisher).MW.LocalTime()
+			p := make([]byte, r.Payload)
+			if r.Payload >= 7 {
+				putTS56(p, sys.K.Now())
+			}
+			attrs := core.EventAttrs{Deadline: now + sim.Duration(r.DeadlineUs)*sim.Microsecond}
+			if r.ExpirationUs > 0 {
+				attrs.Expiration = now + sim.Duration(r.ExpirationUs)*sim.Microsecond
+			}
+			ch.Publish(core.Event{Subject: subj, Payload: p, Attrs: attrs})
+			gap := sim.Duration(r.MeanPeriodUs) * sim.Microsecond
+			if r.Sporadic {
+				gap = sys.K.RNG().ExpDuration(gap)
+			}
+			sys.K.After(gap, loop)
+		}
+		sys.K.At(sys.Cfg.Epoch, loop)
+	}
+
+	for _, b := range s.NRT {
+		b := b
+		subj := binding.Subject(b.Subject)
+		prio := can.Prio(b.Prio)
+		ch, err := sys.Node(b.Publisher).MW.NRTEC(subj)
+		if err != nil {
+			return nil, err
+		}
+		if err := ch.Announce(core.ChannelAttrs{Prio: prio, Fragmentation: true}, nil); err != nil {
+			return nil, err
+		}
+		sub, err := sys.Node(b.Subscriber).MW.NRTEC(subj)
+		if err != nil {
+			return nil, err
+		}
+		if err := sub.Subscribe(core.ChannelAttrs{Fragmentation: true}, core.SubscribeAttrs{},
+			func(ev core.Event, _ core.DeliveryInfo) { rep.NRTBytes += len(ev.Payload) }, nil); err != nil {
+			return nil, err
+		}
+		var send func()
+		send = func() {
+			if sys.K.Now() >= end {
+				return
+			}
+			ch.Publish(core.Event{Subject: subj, Payload: make([]byte, b.Bytes)})
+			if b.RepeatMs > 0 {
+				sys.K.After(sim.Duration(b.RepeatMs)*sim.Millisecond, send)
+			}
+		}
+		sys.K.At(sys.Cfg.Epoch, send)
+	}
+
+	sys.Run(end - 600*sim.Microsecond)
+	rep.Counters = sys.TotalCounters()
+	rep.Utilization = sys.Utilization()
+	if cal != nil && len(firstHRTTimes) > 1 {
+		period := cal.SlotsForSubject(s.HRT[0].Subject)[0].Period(cal.Round)
+		rep.HRTJitter = stats.PeriodJitter(firstHRTTimes, period)
+	}
+	return rep, nil
+}
+
+func putTS56(dst []byte, t sim.Time) {
+	v := uint64(t)
+	for i := 0; i < 7 && i < len(dst); i++ {
+		dst[i] = byte(v >> (8 * i))
+	}
+}
+
+func getTS56(src []byte) sim.Time {
+	var v uint64
+	for i := 0; i < 7 && i < len(src); i++ {
+		v |= uint64(src[i]) << (8 * i)
+	}
+	return sim.Time(v)
+}

@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleJSON = `{
+  "name": "sample",
+  "nodes": 6,
+  "seed": 3,
+  "durationMs": 500,
+  "maxDriftPPM": 80,
+  "omissionDegree": 1,
+  "hrt": [
+    {"subject": 257, "publisher": 0, "subscriber": 1, "periodUs": 10000, "payload": 7},
+    {"subject": 258, "publisher": 1, "subscriber": 2, "periodUs": 20000, "payload": 7}
+  ],
+  "srt": [
+    {"subject": 512, "publisher": 2, "subscriber": 3, "meanPeriodUs": 3000,
+     "deadlineUs": 10000, "expirationUs": 30000, "payload": 8, "sporadic": true}
+  ],
+  "nrt": [
+    {"subject": 768, "publisher": 4, "subscriber": 5, "bytes": 4096, "repeatMs": 100}
+  ]
+}`
+
+func TestLoadAndRun(t *testing.T) {
+	s, err := Load(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Counters
+	if c.DeliveredHRT == 0 || c.DeliveredSRT == 0 || c.DeliveredNRT == 0 {
+		t.Fatalf("classes missing traffic: %+v", c)
+	}
+	if c.SlotMissed != 0 || c.LateHRTDeliveries != 0 {
+		t.Fatalf("HRT health: %+v", c)
+	}
+	// The 10 ms stream over ~500 ms minus epoch: ≥ 15 deliveries.
+	if c.DeliveredHRT < 15 {
+		t.Fatalf("DeliveredHRT = %d", c.DeliveredHRT)
+	}
+	if rep.HRTLatency.N() == 0 || rep.HRTLatency.Mean() <= 0 {
+		t.Fatal("HRT latency not measured")
+	}
+	if rep.NRTBytes < 4096 {
+		t.Fatalf("NRT bytes = %d", rep.NRTBytes)
+	}
+	out := rep.String()
+	for _, want := range []string{"sample", "HRT:", "SRT:", "NRT:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() string {
+		s, err := Load(strings.NewReader(sampleJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same scenario diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []string{
+		`{"nodes": 1, "durationMs": 100}`, // too few nodes
+		`{"nodes": 4, "durationMs": 0}`,   // no duration
+		`{"nodes": 4, "durationMs": 10, "hrt": [{"subject":1,"publisher":9,"subscriber":0,"periodUs":1000,"payload":4}]}`, // bad node
+		`{"nodes": 4, "durationMs": 10, "hrt": [{"subject":1,"publisher":0,"subscriber":1,"periodUs":1000,"payload":8}]}`, // payload > 7
+		`{"nodes": 4, "durationMs": 10, "srt": [{"subject":1,"publisher":0,"subscriber":1,"meanPeriodUs":0,"deadlineUs":1,"payload":1}]}`,
+		`{"nodes": 4, "durationMs": 10, "nrt": [{"subject":1,"publisher":0,"subscriber":1,"bytes":0}]}`,
+		`{"nodes": 4, "durationMs": 10, "bogus": 1}`, // unknown field
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestRunWithFaults(t *testing.T) {
+	s, err := Load(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.FaultRate = 0.05
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=1 dimensioning absorbs 5% random errors without misses.
+	if rep.Counters.SlotMissed != 0 {
+		t.Fatalf("missed slots under light faults: %+v", rep.Counters)
+	}
+}
+
+func TestRunWithoutHRT(t *testing.T) {
+	s := &Scenario{
+		Name: "srt-only", Nodes: 3, DurationMs: 100,
+		SRT: []SRTStream{{Subject: 5, Publisher: 0, Subscriber: 1,
+			MeanPeriodUs: 2000, DeadlineUs: 5000, Payload: 8}},
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counters.DeliveredSRT == 0 {
+		t.Fatal("no SRT traffic")
+	}
+	if strings.Contains(rep.String(), "HRT:") {
+		t.Fatal("report mentions absent HRT class")
+	}
+}

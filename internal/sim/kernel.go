@@ -1,0 +1,195 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All protocol components in this repository (the CAN bus model, clocks,
+// middleware dispatchers, workload generators) are driven by a single
+// Kernel instance. The kernel keeps a virtual clock with nanosecond
+// resolution and a priority queue of pending events. Events scheduled for
+// the same instant fire in scheduling order (FIFO), which makes every
+// simulation run bit-reproducible for a given seed.
+//
+// The kernel is deliberately single-threaded: determinism is a core
+// requirement for reproducing the paper's temporal claims, and Go's
+// scheduler or garbage collector must never be able to perturb protocol
+// timing. Parallelism is applied one level up, by running many independent
+// Kernel instances concurrently (see the bench harness).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Convenient duration units, mirroring time.Duration's constants but for
+// virtual time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time. It is used as an
+// "infinite" horizon by Run.
+const MaxTime Time = math.MaxInt64
+
+// String formats t as seconds with microsecond precision, e.g. "1.250300s".
+func (t Time) String() string {
+	return fmt.Sprintf("%d.%06ds", t/Second, (t%Second)/Microsecond)
+}
+
+// Micros returns t expressed in whole microseconds, rounding toward zero.
+func (t Time) Micros() int64 { return int64(t) / int64(Microsecond) }
+
+// Timer identifies a scheduled event so it can be cancelled. The zero Timer
+// is invalid.
+type Timer struct {
+	seq uint64
+}
+
+// event is a pending callback in the kernel's queue.
+type event struct {
+	at    Time
+	seq   uint64 // global scheduling order; breaks ties at equal times
+	fn    func()
+	index int // heap index, -1 once popped or cancelled
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a deterministic discrete-event scheduler with a virtual clock.
+// The zero value is not usable; create kernels with NewKernel.
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	byseq   map[uint64]*event
+	nextSeq uint64
+	rng     *RNG
+	steps   uint64
+}
+
+// NewKernel returns a kernel with the clock at zero and the given RNG seed.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{
+		byseq: make(map[uint64]*event),
+		rng:   NewRNG(seed),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// RNG returns the kernel's deterministic random number generator. All
+// stochastic model behaviour (fault injection, Poisson arrivals) must draw
+// from this generator to preserve reproducibility.
+func (k *Kernel) RNG() *RNG { return k.rng }
+
+// Steps reports how many events have been executed so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: a discrete-event model that silently reorders causality is
+// unusable, so this is treated as a programming error.
+func (k *Kernel) At(t Time, fn func()) Timer {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	k.nextSeq++
+	e := &event{at: t, seq: k.nextSeq, fn: fn}
+	heap.Push(&k.queue, e)
+	k.byseq[e.seq] = e
+	return Timer{seq: e.seq}
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d panics.
+func (k *Kernel) After(d Duration, fn func()) Timer {
+	return k.At(k.now+d, fn)
+}
+
+// Cancel removes a previously scheduled event. It reports whether the event
+// was still pending (false if already fired or cancelled).
+func (k *Kernel) Cancel(t Timer) bool {
+	e, ok := k.byseq[t.seq]
+	if !ok || e.index < 0 {
+		return false
+	}
+	heap.Remove(&k.queue, e.index)
+	delete(k.byseq, t.seq)
+	return true
+}
+
+// Pending reports the number of events waiting in the queue.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Step executes the earliest pending event, advancing the clock to its
+// scheduled time. It reports false when the queue is empty.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(*event)
+	delete(k.byseq, e.seq)
+	k.now = e.at
+	k.steps++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the next event lies
+// strictly beyond the horizon. The clock is left at the time of the last
+// executed event (or advanced to horizon if no event fired at/after it,
+// so callers can rely on Now() == horizon when the queue drains early and
+// horizon is finite).
+func (k *Kernel) Run(horizon Time) {
+	for len(k.queue) > 0 && k.queue[0].at <= horizon {
+		k.Step()
+	}
+	if horizon != MaxTime && k.now < horizon {
+		k.now = horizon
+	}
+}
+
+// RunUntilIdle executes every pending event, including events scheduled by
+// other events, until the queue is empty. Workloads that reschedule
+// themselves forever will make this spin; use Run with a horizon for those.
+func (k *Kernel) RunUntilIdle() {
+	for k.Step() {
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestKernelExecutionOrderProperty: for any set of scheduled times (with
+// random cancellations), events execute in nondecreasing time order and
+// FIFO within equal times, and exactly the non-cancelled ones run.
+func TestKernelExecutionOrderProperty(t *testing.T) {
+	f := func(times []uint16, cancelMask uint32) bool {
+		if len(times) > 24 {
+			times = times[:24]
+		}
+		k := NewKernel(1)
+		type fire struct {
+			at  Time
+			seq int
+		}
+		var fired []fire
+		timers := make([]Timer, len(times))
+		for i, raw := range times {
+			i := i
+			at := Time(raw)
+			timers[i] = k.At(at, func() {
+				fired = append(fired, fire{at: k.Now(), seq: i})
+			})
+		}
+		cancelled := map[int]bool{}
+		for i := range timers {
+			if cancelMask&(1<<uint(i%32)) != 0 && i%3 == 0 {
+				k.Cancel(timers[i])
+				cancelled[i] = true
+			}
+		}
+		k.RunUntilIdle()
+		// Exactly the surviving events fired.
+		if len(fired) != len(times)-len(cancelled) {
+			return false
+		}
+		// Times nondecreasing; among equal times, scheduling order.
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		// Every fired event matches its scheduled time.
+		for _, fr := range fired {
+			if fr.at != Time(times[fr.seq]) {
+				return false
+			}
+		}
+		// The fired multiset equals the scheduled-minus-cancelled multiset.
+		var want, got []int
+		for i := range times {
+			if !cancelled[i] {
+				want = append(want, i)
+			}
+		}
+		for _, fr := range fired {
+			got = append(got, fr.seq)
+		}
+		sort.Ints(got)
+		sort.Ints(want)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelPendingCount(t *testing.T) {
+	k := NewKernel(1)
+	if k.Pending() != 0 {
+		t.Fatal("fresh kernel pending")
+	}
+	t1 := k.At(10, func() {})
+	k.At(20, func() {})
+	if k.Pending() != 2 {
+		t.Fatalf("pending = %d", k.Pending())
+	}
+	k.Cancel(t1)
+	if k.Pending() != 1 {
+		t.Fatalf("pending after cancel = %d", k.Pending())
+	}
+	k.RunUntilIdle()
+	if k.Pending() != 0 {
+		t.Fatalf("pending after run = %d", k.Pending())
+	}
+	if k.Steps() != 1 {
+		t.Fatalf("steps = %d", k.Steps())
+	}
+}
+
+func TestKernelNilEventPanics(t *testing.T) {
+	k := NewKernel(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event accepted")
+		}
+	}()
+	k.At(10, nil)
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram aggregates samples into fixed-width buckets for distribution
+// displays (latency spreads, jitter shapes) without retaining samples.
+type Histogram struct {
+	name   string
+	lo, hi float64
+	counts []uint64
+	under  uint64
+	over   uint64
+	n      uint64
+	sum    float64
+}
+
+// NewHistogram creates a histogram over [lo, hi) with the given number of
+// equal-width buckets. Samples outside the range land in dedicated
+// under/overflow counters.
+func NewHistogram(name string, lo, hi float64, buckets int) *Histogram {
+	if buckets < 1 {
+		buckets = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{name: name, lo: lo, hi: hi, counts: make([]uint64, buckets)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.n++
+	h.sum += v
+	switch {
+	case v < h.lo:
+		h.under++
+	case v >= h.hi:
+		h.over++
+	default:
+		idx := int((v - h.lo) / (h.hi - h.lo) * float64(len(h.counts)))
+		if idx >= len(h.counts) {
+			idx = len(h.counts) - 1
+		}
+		h.counts[idx]++
+	}
+}
+
+// N returns the total number of samples (including out-of-range).
+func (h *Histogram) N() uint64 { return h.n }
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Bucket returns the count of bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// OutOfRange returns the underflow and overflow counts.
+func (h *Histogram) OutOfRange() (under, over uint64) { return h.under, h.over }
+
+// Quantile estimates the q-quantile by linear interpolation within the
+// containing bucket. Out-of-range mass is attributed to the range edges.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.n)
+	cum := float64(h.under)
+	if target <= cum {
+		return h.lo
+	}
+	width := (h.hi - h.lo) / float64(len(h.counts))
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if target <= next && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.lo + (float64(i)+frac)*width
+		}
+		cum = next
+	}
+	return h.hi
+}
+
+// Render draws the distribution as one bar line per bucket:
+//
+//	0.0..100.0 | ######################                  1234
+func (h *Histogram) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: n=%d mean=%.2f\n", h.name, h.n, h.Mean())
+	var max uint64
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	width := (h.hi - h.lo) / float64(len(h.counts))
+	const barW = 40
+	for i, c := range h.counts {
+		bar := 0
+		if max > 0 {
+			bar = int(math.Round(float64(c) / float64(max) * barW))
+		}
+		fmt.Fprintf(&b, "%10.1f..%-10.1f |%-*s| %d\n",
+			h.lo+float64(i)*width, h.lo+float64(i+1)*width,
+			barW, strings.Repeat("#", bar), c)
+	}
+	if h.under > 0 || h.over > 0 {
+		fmt.Fprintf(&b, "out of range: %d below, %d above\n", h.under, h.over)
+	}
+	return b.String()
+}

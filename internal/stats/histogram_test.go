@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram("lat", 0, 100, 10)
+	for _, v := range []float64{5, 15, 15, 95, -3, 100, 250} {
+		h.Observe(v)
+	}
+	if h.N() != 7 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Bucket(0) != 1 || h.Bucket(1) != 2 || h.Bucket(9) != 1 {
+		t.Fatalf("buckets: %d %d %d", h.Bucket(0), h.Bucket(1), h.Bucket(9))
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Fatalf("out of range: %d/%d", under, over)
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram("m", 0, 10, 5)
+	for _, v := range []float64{2, 4, 6} {
+		h.Observe(v)
+	}
+	if got := h.Mean(); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("mean = %v", got)
+	}
+	if NewHistogram("e", 0, 1, 1).Mean() != 0 {
+		t.Fatal("empty mean")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram("q", 0, 1000, 100)
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i))
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		want := q * 1000
+		if math.Abs(got-want) > 15 { // one bucket of tolerance
+			t.Fatalf("Quantile(%v) = %v, want ≈%v", q, got, want)
+		}
+	}
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("quantile clamping")
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		h := NewHistogram("p", 0, 100, 20)
+		x := uint64(seed)
+		n := int(nRaw)%200 + 1
+		for i := 0; i < n; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			h.Observe(float64(x % 130)) // includes overflow
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram("jitter", 0, 40, 4)
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	h.Observe(15)
+	h.Observe(999)
+	out := h.Render()
+	if !strings.Contains(out, "jitter: n=12") {
+		t.Fatalf("header missing: %q", out)
+	}
+	if !strings.Contains(out, "##") {
+		t.Fatal("no bars rendered")
+	}
+	if !strings.Contains(out, "1 above") {
+		t.Fatalf("overflow note missing: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // header + 4 buckets + overflow
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestHistogramDegenerateConfig(t *testing.T) {
+	h := NewHistogram("d", 5, 5, 0) // hi <= lo, 0 buckets: sanitised
+	h.Observe(5)
+	if h.N() != 1 {
+		t.Fatal("sanitised histogram unusable")
+	}
+}

@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"canec/internal/sim"
+)
+
+func frameTime(p int) sim.Duration {
+	// Synthetic affine frame time for the tests: 50µs + 10µs/byte.
+	return 50*sim.Microsecond + sim.Duration(p)*10*sim.Microsecond
+}
+
+func TestGenJobsPeriodic(t *testing.T) {
+	streams := []Stream{{
+		Node: 0, Period: 10 * sim.Millisecond, RelDeadline: 5 * sim.Millisecond,
+		RelExpiration: 8 * sim.Millisecond, Payload: 8,
+	}}
+	jobs := GenJobs(sim.NewRNG(1), streams, 100*sim.Millisecond)
+	if len(jobs) != 10 {
+		t.Fatalf("jobs = %d, want 10", len(jobs))
+	}
+	for i, j := range jobs {
+		if j.Release != sim.Time(i)*10*sim.Millisecond {
+			t.Fatalf("job %d released at %v", i, j.Release)
+		}
+		if j.Deadline != j.Release+5*sim.Millisecond {
+			t.Fatalf("job %d deadline %v", i, j.Deadline)
+		}
+		if j.Expiration != j.Release+8*sim.Millisecond {
+			t.Fatalf("job %d expiration %v", i, j.Expiration)
+		}
+		if j.Seq != i {
+			t.Fatalf("job %d seq %d", i, j.Seq)
+		}
+	}
+}
+
+func TestGenJobsOffsetAndJitter(t *testing.T) {
+	streams := []Stream{{
+		Node: 0, Period: 10 * sim.Millisecond, RelDeadline: 10 * sim.Millisecond,
+		Offset: 3 * sim.Millisecond, ReleaseJitter: sim.Millisecond, Payload: 4,
+	}}
+	jobs := GenJobs(sim.NewRNG(2), streams, 100*sim.Millisecond)
+	if len(jobs) == 0 {
+		t.Fatal("no jobs")
+	}
+	for i, j := range jobs {
+		nominal := 3*sim.Millisecond + sim.Time(i)*10*sim.Millisecond
+		d := j.Release - nominal
+		if d < -sim.Millisecond || d > sim.Millisecond {
+			t.Fatalf("job %d jitter %v out of bounds", i, d)
+		}
+	}
+}
+
+func TestGenJobsSporadicMeanRate(t *testing.T) {
+	streams := []Stream{{
+		Node: 0, Period: sim.Millisecond, RelDeadline: sim.Millisecond,
+		Sporadic: true, Payload: 8,
+	}}
+	jobs := GenJobs(sim.NewRNG(3), streams, 10*sim.Second)
+	// Poisson with mean 1 ms over 10 s: expect ≈10000 ± a few hundred.
+	if len(jobs) < 9000 || len(jobs) > 11000 {
+		t.Fatalf("sporadic job count %d far from mean 10000", len(jobs))
+	}
+}
+
+func TestGenJobsSortedProperty(t *testing.T) {
+	f := func(seed uint64, nStreams uint8) bool {
+		n := int(nStreams%8) + 1
+		rng := sim.NewRNG(seed)
+		streams := make([]Stream, n)
+		for i := range streams {
+			streams[i] = Stream{
+				Node: i, Period: sim.Duration(1+rng.Intn(20)) * sim.Millisecond,
+				RelDeadline: 5 * sim.Millisecond,
+				Sporadic:    i%2 == 0, Payload: 8,
+			}
+		}
+		jobs := GenJobs(rng, streams, 500*sim.Millisecond)
+		for i := 1; i < len(jobs); i++ {
+			if jobs[i].Release < jobs[i-1].Release {
+				return false
+			}
+		}
+		// Per-stream sequence numbers must be dense from 0.
+		next := make([]int, n)
+		for _, j := range jobs {
+			if j.Seq != next[j.Stream] {
+				return false
+			}
+			next[j.Stream]++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	streams := []Stream{
+		{Period: 10 * sim.Millisecond, Payload: 8}, // 130µs / 10ms = 0.013
+		{Period: 1 * sim.Millisecond, Payload: 0},  // 50µs / 1ms = 0.05
+	}
+	got := Utilization(streams, frameTime)
+	want := 0.013 + 0.05
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("Utilization = %v, want %v", got, want)
+	}
+	if Utilization([]Stream{{Period: 0}}, frameTime) != 0 {
+		t.Fatal("zero-period stream should contribute 0")
+	}
+}
+
+func TestMixedSetReachesTarget(t *testing.T) {
+	for _, target := range []float64{0.2, 0.5, 0.9} {
+		rng := sim.NewRNG(7)
+		set := MixedSet(16, target, frameTime, rng)
+		u := Utilization(set, frameTime)
+		if u < target {
+			t.Fatalf("target %v: utilization %v below target", target, u)
+		}
+		if u > target+0.15 {
+			t.Fatalf("target %v: utilization %v overshoots", target, u)
+		}
+		for _, s := range set {
+			if s.Payload < 6 || s.Payload > 8 {
+				t.Fatalf("payload %d outside job-tag-safe range", s.Payload)
+			}
+			if s.RelDeadline != s.Period || s.RelExpiration != 2*s.Period {
+				t.Fatalf("deadline/expiration defaults wrong: %+v", s)
+			}
+			if s.Node < 0 || s.Node >= 16 {
+				t.Fatalf("node %d out of range", s.Node)
+			}
+		}
+	}
+}
+
+func TestMixedSetDeterministic(t *testing.T) {
+	a := MixedSet(8, 0.6, frameTime, sim.NewRNG(5))
+	b := MixedSet(8, 0.6, frameTime, sim.NewRNG(5))
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed sets differ")
+		}
+	}
+}
