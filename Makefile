@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench tidy
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the PR gate: compile everything, vet, and run the full suite
+# under the race detector.
+check: build vet race
+
+bench:
+	$(GO) test -bench . -benchmem ./internal/can ./internal/sim
+
+tidy:
+	gofmt -l -w .

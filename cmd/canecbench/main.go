@@ -28,8 +28,20 @@ func main() {
 		list    = flag.Bool("list", false, "list available experiments")
 		seeds   = flag.Int("seeds", 1, "run each experiment over N seeds in parallel and report mean±sd")
 		outDir  = flag.String("out", "", "also write each table as <dir>/<id>.csv")
+		promDir = flag.String("prom", "", "collect metrics registries (E3, E9) and write <dir>/<id>_<label>.prom; single-seed runs only")
 	)
 	flag.Parse()
+
+	if *promDir != "" {
+		if *seeds > 1 {
+			// Aggregate drops snapshots: per-seed registries are not
+			// meaningfully averageable, so refuse rather than silently
+			// producing nothing.
+			fmt.Fprintln(os.Stderr, "canecbench: -prom requires -seeds 1")
+			os.Exit(2)
+		}
+		experiments.EnableMetrics()
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -78,6 +90,19 @@ func main() {
 			if err := os.WriteFile(path, []byte(res.Table.CSV()), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "canecbench:", err)
 				os.Exit(1)
+			}
+		}
+		if *promDir != "" && len(res.Prom) > 0 {
+			if err := os.MkdirAll(*promDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "canecbench:", err)
+				os.Exit(1)
+			}
+			for _, snap := range res.Prom {
+				path := filepath.Join(*promDir, res.ID+"_"+snap.Label+".prom")
+				if err := os.WriteFile(path, []byte(snap.Text), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "canecbench:", err)
+					os.Exit(1)
+				}
 			}
 		}
 	}

@@ -15,6 +15,7 @@ import (
 
 	"canec"
 	"canec/internal/can"
+	"canec/internal/obs"
 	"canec/internal/scenario"
 	"canec/internal/sim"
 	"canec/internal/stats"
@@ -35,23 +36,34 @@ func main() {
 		traceN   = flag.Int("trace", 0, "dump the last N bus events candump-style")
 		config   = flag.String("config", "", "run a JSON scenario file instead of the flag-driven mix")
 		hist     = flag.Bool("hist", false, "print latency distribution histograms")
+		prom     = flag.String("prom", "", "write the run's metrics registry to this file (Prometheus text format)")
 	)
 	flag.Parse()
 	if *config != "" {
-		if err := runConfig(*config); err != nil {
+		if err := runConfig(*config, *prom); err != nil {
 			fmt.Fprintln(os.Stderr, "canecsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*nodes, *hrt, *srtLoad, *bulk, *faults, *omission, sim.Duration(dur.Nanoseconds()), *seed, *drift, *traceN, *hist); err != nil {
+	if err := run(*nodes, *hrt, *srtLoad, *bulk, *faults, *omission, sim.Duration(dur.Nanoseconds()), *seed, *drift, *traceN, *hist, *prom); err != nil {
 		fmt.Fprintln(os.Stderr, "canecsim:", err)
 		os.Exit(1)
 	}
 }
 
+// writeProm dumps a metrics registry to path in the text exposition format.
+func writeProm(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return reg.WriteText(f)
+}
+
 // runConfig loads and executes a declarative scenario file.
-func runConfig(path string) error {
+func runConfig(path, prom string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -61,16 +73,22 @@ func runConfig(path string) error {
 	if err != nil {
 		return err
 	}
+	if prom != "" {
+		sc.Observe = &obs.Config{Metrics: true}
+	}
 	rep, err := sc.Run()
 	if err != nil {
 		return err
 	}
 	fmt.Print(rep.String())
+	if prom != "" {
+		return writeProm(rep.Obs.Registry(), prom)
+	}
 	return nil
 }
 
 func run(nodes, nHRT int, srtLoad float64, bulkBytes int, faultRate float64,
-	omission int, dur sim.Duration, seed uint64, drift float64, traceN int, hist bool) error {
+	omission int, dur sim.Duration, seed uint64, drift float64, traceN int, hist bool, prom string) error {
 
 	if nHRT >= nodes {
 		return fmt.Errorf("need more nodes (%d) than HRT channels (%d)", nodes, nHRT)
@@ -91,11 +109,16 @@ func run(nodes, nHRT int, srtLoad float64, bulkBytes int, faultRate float64,
 			return err
 		}
 	}
+	var observe *obs.Config
+	if prom != "" {
+		observe = &obs.Config{Metrics: true}
+	}
 	sys, err := canec.NewSystem(canec.SystemConfig{
 		Nodes: nodes, Seed: seed, Calendar: cal,
 		Sync:             canec.DefaultSyncConfig(),
 		MaxDriftPPM:      drift,
 		MaxInitialOffset: 200 * canec.Microsecond,
+		Observe:          observe,
 	})
 	if err != nil {
 		return err
@@ -261,6 +284,9 @@ func run(nodes, nHRT int, srtLoad float64, bulkBytes int, faultRate float64,
 		if err := ring.Dump(os.Stdout); err != nil {
 			return err
 		}
+	}
+	if prom != "" {
+		return writeProm(sys.Obs.Registry(), prom)
 	}
 	return nil
 }

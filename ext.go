@@ -10,6 +10,7 @@ import (
 
 	"canec/internal/core"
 	"canec/internal/gateway"
+	"canec/internal/obs"
 	"canec/internal/scenario"
 	"canec/internal/sim"
 	"canec/internal/trace"
@@ -69,6 +70,34 @@ type (
 
 // NewTraceRing returns a recorder of the n most recent bus events.
 func NewTraceRing(n int) *TraceRing { return trace.NewRing(n) }
+
+// Observability: end-to-end event life-cycle tracing and a metrics
+// registry, enabled per system via SystemConfig.Observe (nil keeps the
+// instrumentation dormant). The resulting Observer is on System.Obs.
+type (
+	// ObserveConfig selects which observability features a system runs
+	// with; canec.ObserveAll() enables everything.
+	ObserveConfig = obs.Config
+	// Observer collects life-cycle records and metrics for one system.
+	Observer = obs.Observer
+	// TraceRecord is one timestamped stage of one event's life cycle.
+	TraceRecord = obs.Record
+	// MetricsRegistry holds the counters, gauges and histograms and
+	// renders them in the Prometheus text exposition format (WriteText).
+	MetricsRegistry = obs.Registry
+)
+
+// ObserveAll returns an ObserveConfig with tracing and metrics enabled.
+func ObserveAll() *ObserveConfig { return obs.Default() }
+
+// WriteTraceJSONL writes life-cycle records as JSON Lines.
+func WriteTraceJSONL(w io.Writer, recs []TraceRecord) error { return obs.WriteJSONL(w, recs) }
+
+// WriteChromeTrace writes life-cycle records in the Chrome trace_event
+// format (load in chrome://tracing or https://ui.perfetto.dev).
+func WriteChromeTrace(w io.Writer, recs []TraceRecord, nodes int) error {
+	return obs.WriteChromeTrace(w, recs, nodes)
+}
 
 // Kernel re-export so multi-segment systems can share a time base.
 type Kernel = sim.Kernel

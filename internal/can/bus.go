@@ -16,9 +16,13 @@ const (
 	TraceTxError                  // error frame signalled; will retransmit
 	TraceTxAbort                  // abandoned (single-shot after error)
 	TraceRx                       // delivered to one receiver
+	TraceArbWin                   // this frame won the arbitration round
+	TraceArbLoss                  // this frame competed and lost the round
 )
 
 // TraceEvent is emitted through Bus.Trace for observability and metrics.
+// Frame.Tag carries the submitter's correlation tag, so hooks can stitch
+// bus-level events into end-to-end event lifecycles.
 type TraceEvent struct {
 	Kind    TraceKind
 	At      sim.Time
@@ -52,6 +56,12 @@ type Bus struct {
 	BitRate  int
 	Injector Injector
 	Trace    func(TraceEvent)
+	// TraceArbitration additionally emits TraceArbWin/TraceArbLoss events
+	// for every arbitration round through Trace: one win per driving frame
+	// (duplicate-ID partners included) and one loss per competing
+	// controller whose best frame stayed behind. Off by default because it
+	// scans all controllers on every round.
+	TraceArbitration bool
 	// ConfineFaults enables CAN 2.0 fault confinement: TEC/REC error
 	// counters and bus-off with automatic recovery. Off by default — the
 	// paper's experiments assume error-active controllers.
@@ -162,6 +172,20 @@ func (b *Bus) arbitrate() {
 		r.attempt++
 	}
 	if b.Trace != nil {
+		if b.TraceArbitration {
+			b.Trace(TraceEvent{Kind: TraceArbWin, At: b.K.Now(), Frame: win.frame, Sender: winIdx, Attempt: win.attempt})
+			for i, r := range tied {
+				b.Trace(TraceEvent{Kind: TraceArbWin, At: b.K.Now(), Frame: r.frame, Sender: tiedIdx[i], Attempt: r.attempt})
+			}
+			for i, c := range b.ctrls {
+				if c.muted {
+					continue
+				}
+				if r := c.best(); r != nil && !r.inFlight {
+					b.Trace(TraceEvent{Kind: TraceArbLoss, At: b.K.Now(), Frame: r.frame, Sender: i, Attempt: r.attempt})
+				}
+			}
+		}
 		b.Trace(TraceEvent{Kind: TraceTxStart, At: b.K.Now(), Frame: win.frame, Sender: winIdx, Attempt: win.attempt})
 	}
 	dur := b.BitDuration(WireBits(win.frame))

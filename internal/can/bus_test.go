@@ -1,6 +1,7 @@
 package can
 
 import (
+	"fmt"
 	"testing"
 
 	"canec/internal/sim"
@@ -337,5 +338,38 @@ func TestTraceEvents(t *testing.T) {
 		if kinds[i] != want[i] {
 			t.Fatalf("trace = %v, want %v", kinds, want)
 		}
+	}
+}
+
+// arbTraceRun submits two competing frames and returns the trace kinds.
+func arbTraceRun(t *testing.T, traceArb bool) []TraceKind {
+	t.Helper()
+	k, b := rig(2, 1)
+	var kinds []TraceKind
+	b.Trace = func(e TraceEvent) { kinds = append(kinds, e.Kind) }
+	b.TraceArbitration = traceArb
+	b.Controller(0).Submit(Frame{ID: MakeID(5, 0, 1)}, SubmitOpts{})
+	b.Controller(1).Submit(Frame{ID: MakeID(9, 1, 2)}, SubmitOpts{})
+	k.RunUntilIdle()
+	return kinds
+}
+
+func TestTraceArbitration(t *testing.T) {
+	// Off (the default): the competing frame loses silently, so the
+	// stream is exactly two plain transmissions.
+	plain := arbTraceRun(t, false)
+	wantPlain := []TraceKind{TraceTxStart, TraceTxOK, TraceRx,
+		TraceTxStart, TraceTxOK, TraceRx}
+	if fmt.Sprint(plain) != fmt.Sprint(wantPlain) {
+		t.Fatalf("trace = %v, want %v", plain, wantPlain)
+	}
+
+	// On: the same run additionally reports who won and who lost each
+	// contested round, before the winner's TX-START.
+	arb := arbTraceRun(t, true)
+	wantArb := []TraceKind{TraceArbWin, TraceArbLoss, TraceTxStart, TraceTxOK, TraceRx,
+		TraceArbWin, TraceTxStart, TraceTxOK, TraceRx}
+	if fmt.Sprint(arb) != fmt.Sprint(wantArb) {
+		t.Fatalf("arbitration trace = %v, want %v", arb, wantArb)
 	}
 }

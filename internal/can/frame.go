@@ -13,13 +13,20 @@ const MaxPayload = 8
 type Frame struct {
 	ID   ID
 	Data []byte // 0..8 bytes
+	// Tag is an opaque correlation annotation set by the submitter and
+	// preserved through transmission and delivery. It is simulation
+	// metadata only — it occupies no wire bits and never influences
+	// arbitration, stuffing or timing. The observability layer uses it to
+	// tie bus activity back to the middleware event that caused it; zero
+	// means untagged (system frames, untraced traffic).
+	Tag uint64
 }
 
 // Clone returns a deep copy of f.
 func (f Frame) Clone() Frame {
 	d := make([]byte, len(f.Data))
 	copy(d, f.Data)
-	return Frame{ID: f.ID, Data: d}
+	return Frame{ID: f.ID, Data: d, Tag: f.Tag}
 }
 
 func (f Frame) String() string {

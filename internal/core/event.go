@@ -67,6 +67,11 @@ type Event struct {
 	Subject binding.Subject
 	Attrs   EventAttrs
 	Payload []byte
+
+	// traceID correlates the event across the observability layer's
+	// life-cycle stages (0 = untraced). It is simulation metadata, not part
+	// of the paper's event model, and therefore unexported.
+	traceID uint64
 }
 
 // ChannelAttrs describe an event channel (§2): they abstract the

@@ -7,6 +7,7 @@ import (
 	"canec/internal/calendar"
 	"canec/internal/can"
 	"canec/internal/clock"
+	"canec/internal/obs"
 	"canec/internal/sim"
 )
 
@@ -106,12 +107,17 @@ func (c *HRTEC) Publish(ev Event) error {
 			At: mw.K.Now(), Detail: "HRT publish queue full",
 		}
 		ch.raisePub(ex)
+		mw.Obs.Emit(0, obs.StageDropped, HRT.String(), mw.node.Index,
+			uint64(ch.subject), mw.K.Now(), "queue_overflow")
 		return fmt.Errorf("core: HRT queue overflow on subject %d", ch.subject)
 	}
 	ev.Attrs.Timestamp = mw.LocalTime()
+	ev.traceID = mw.Obs.Begin(HRT.String(), mw.node.Index, uint64(ch.subject), mw.K.Now())
 	ch.hrtQueue = append(ch.hrtQueue, ev)
 	ch.hrtSeq = (ch.hrtSeq + 1) & 0x0f
 	mw.counters.PublishedHRT++
+	mw.Obs.Emit(ev.traceID, obs.StageEnqueued, HRT.String(), mw.node.Index,
+		uint64(ch.subject), mw.K.Now(), "slot queue")
 	return nil
 }
 
@@ -141,11 +147,13 @@ func (c *HRTEC) fireSlot(slot calendar.Slot) {
 	mw := ch.mw
 	if len(ch.hrtQueue) == 0 {
 		mw.counters.SlotsUnused++
+		mw.Obs.SlotOutcome(false)
 		return
 	}
 	ev := ch.hrtQueue[0]
 	ch.hrtQueue = ch.hrtQueue[1:]
 	mw.counters.SlotsFired++
+	mw.Obs.SlotOutcome(true)
 
 	seq := ch.hrtSeqOf(ev)
 	copies := mw.Cal.Cfg.OmissionDegree + 1
@@ -157,6 +165,7 @@ func (c *HRTEC) fireSlot(slot calendar.Slot) {
 		frame := can.Frame{
 			ID:   can.MakeID(mw.bands.HRTPrio, mw.node.Ctrl.Node(), ch.etag),
 			Data: payload,
+			Tag:  ev.traceID,
 		}
 		mw.node.Ctrl.Submit(frame, can.SubmitOpts{Done: func(ok bool, _ sim.Time) {
 			if !ok {
@@ -164,6 +173,8 @@ func (c *HRTEC) fireSlot(slot calendar.Slot) {
 					Kind: ExcTxFailure, Subject: ch.subject, Event: &ev,
 					At: mw.K.Now(), Detail: "HRT transmission abandoned",
 				})
+				mw.Obs.Emit(ev.traceID, obs.StageDropped, HRT.String(), mw.node.Index,
+					uint64(ch.subject), mw.K.Now(), "tx_abandoned")
 				return
 			}
 			if idx+1 >= copies {
@@ -176,9 +187,11 @@ func (c *HRTEC) fireSlot(slot calendar.Slot) {
 				// redundant copies are suppressed and their bandwidth is
 				// reclaimed by lower-priority traffic (§3.2).
 				mw.counters.CopiesSuppressed += uint64(copies - idx - 1)
+				mw.Obs.Copies("suppressed", uint64(copies-idx-1))
 				return
 			}
 			mw.counters.RedundantCopiesSent++
+			mw.Obs.Copies("sent", 1)
 			sendCopy(idx + 1)
 		}})
 	}
@@ -259,6 +272,7 @@ func (ch *channelState) hrtReceive(f can.Frame, at sim.Time) {
 	ev := Event{
 		Subject: ch.subject,
 		Payload: append([]byte(nil), f.Data[hrtHeaderLen:]...),
+		traceID: f.Tag,
 	}
 	if !ch.subAttrs.accepts(pub, ev) {
 		return
@@ -359,7 +373,16 @@ func (ch *channelState) hrtDeliver(pub can.TxNode, st *hrtArrival, late bool) {
 		Late:        late,
 		Copies:      st.copies,
 	}
+	if at, ok := mw.Obs.PublishKernelTime(st.ev.traceID); ok {
+		di.PublishedAt = at
+	}
 	ch.store(st.ev, di)
+	detail := ""
+	if late {
+		detail = "late"
+	}
+	mw.Obs.Delivered(st.ev.traceID, HRT.String(), mw.node.Index,
+		uint64(ch.subject), mw.K.Now(), detail)
 	if ch.notify != nil {
 		ch.notify(st.ev, di)
 	}

@@ -10,6 +10,7 @@ import (
 	"canec/internal/can"
 	"canec/internal/clock"
 	"canec/internal/edf"
+	"canec/internal/obs"
 	"canec/internal/sim"
 )
 
@@ -102,6 +103,11 @@ type Middleware struct {
 	// ConfigRx, if set, receives frames on the config etag (binding
 	// agent or client).
 	ConfigRx func(f can.Frame, at sim.Time)
+
+	// Obs, if non-nil, receives life-cycle stage records and metrics for
+	// this node's channel activity. All emission helpers are nil-safe, so
+	// the middleware calls them unconditionally.
+	Obs *obs.Observer
 
 	channels map[can.Etag]*channelState
 	counters Counters
@@ -306,6 +312,7 @@ func (ch *channelState) raisePub(e Exception) {
 	case ExcTxFailure:
 		ch.mw.counters.TxFailures++
 	}
+	ch.mw.Obs.ExceptionRaised(e.Kind.String())
 	if ch.pubExc != nil {
 		ch.pubExc(e)
 	}
@@ -319,9 +326,34 @@ func (ch *channelState) raiseSub(e Exception) {
 	case ExcFragError:
 		ch.mw.counters.FragErrors++
 	}
+	ch.mw.Obs.ExceptionRaised(e.Kind.String())
 	if ch.subExc != nil {
 		ch.subExc(e)
 	}
+}
+
+// hrtQueuedTotal counts events waiting for slots across the node's HRT
+// channels (for the observability queue-depth gauge).
+func (mw *Middleware) hrtQueuedTotal() int {
+	n := 0
+	for _, ch := range mw.channels {
+		if ch.class == HRT {
+			n += len(ch.hrtQueue)
+		}
+	}
+	return n
+}
+
+// nrtQueuedTotal counts queued fragment chains across the node's NRT
+// channels, including the one in progress.
+func (mw *Middleware) nrtQueuedTotal() int {
+	n := 0
+	for _, ch := range mw.channels {
+		if ch.class == NRT {
+			n += len(ch.nrtQueue)
+		}
+	}
+	return n
 }
 
 // ChannelInfo is a read-only snapshot of one channel's state, for

@@ -6,6 +6,7 @@ import (
 	"canec/internal/binding"
 	"canec/internal/can"
 	"canec/internal/frag"
+	"canec/internal/obs"
 	"canec/internal/sim"
 )
 
@@ -84,39 +85,33 @@ func (c *NRTEC) Publish(ev Event) error {
 		return ErrStopped
 	}
 	ev.Attrs.Timestamp = mw.LocalTime()
-	if !ch.attrs.Fragmentation {
-		if len(ev.Payload) > ch.attrs.Payload {
-			return fmt.Errorf("%w: %d > %d (announce with Fragmentation for bulk)",
-				ErrPayload, len(ev.Payload), ch.attrs.Payload)
-		}
-		// Unfragmented NRT payloads still travel as single-frame transport
-		// messages so the receiver can tell them from fragment chains.
-		frames, err := frag.Fragment(ev.Payload)
-		if err != nil {
-			return err
-		}
-		c.enqueueChain(c.toFrames(frames))
-		mw.counters.PublishedNRT++
-		return nil
+	if !ch.attrs.Fragmentation && len(ev.Payload) > ch.attrs.Payload {
+		return fmt.Errorf("%w: %d > %d (announce with Fragmentation for bulk)",
+			ErrPayload, len(ev.Payload), ch.attrs.Payload)
 	}
+	// Unfragmented NRT payloads still travel as single-frame transport
+	// messages so the receiver can tell them from fragment chains.
 	payloads, err := frag.Fragment(ev.Payload)
 	if err != nil {
 		return err
 	}
-	c.enqueueChain(c.toFrames(payloads))
+	ev.traceID = mw.Obs.Begin(NRT.String(), mw.node.Index, uint64(ch.subject), mw.K.Now())
+	c.enqueueChain(c.toFrames(payloads, ev.traceID))
 	mw.counters.PublishedNRT++
+	mw.Obs.Emit(ev.traceID, obs.StageEnqueued, NRT.String(), mw.node.Index,
+		uint64(ch.subject), mw.K.Now(), fmt.Sprintf("%d fragment(s)", len(payloads)))
 	return nil
 }
 
 // toFrames wraps fragment payloads into CAN frames at the channel's
-// fixed priority.
-func (c *NRTEC) toFrames(payloads [][]byte) []can.Frame {
+// fixed priority, tagging the whole chain with the event's trace ID.
+func (c *NRTEC) toFrames(payloads [][]byte, tag uint64) []can.Frame {
 	ch := c.ch
 	mw := ch.mw
 	id := can.MakeID(ch.attrs.Prio, mw.node.Ctrl.Node(), ch.etag)
 	frames := make([]can.Frame, len(payloads))
 	for i, p := range payloads {
-		frames[i] = can.Frame{ID: id, Data: p}
+		frames[i] = can.Frame{ID: id, Data: p, Tag: tag}
 	}
 	return frames
 }
@@ -151,6 +146,8 @@ func (c *NRTEC) sendNext() {
 				Kind: ExcTxFailure, Subject: ch.subject,
 				At: mw.K.Now(), Detail: "NRT fragment abandoned",
 			})
+			mw.Obs.Emit(frame.Tag, obs.StageDropped, NRT.String(), mw.node.Index,
+				uint64(ch.subject), mw.K.Now(), "tx_abandoned")
 			// Drop the rest of the chain: the receiver cannot complete it.
 			ch.nrtQueue = ch.nrtQueue[1:]
 			c.sendNext()
@@ -223,13 +220,19 @@ func (ch *channelState) nrtReceive(f can.Frame, at sim.Time) {
 	if msg == nil {
 		return
 	}
-	ev := Event{Subject: ch.subject, Payload: msg}
+	ev := Event{Subject: ch.subject, Payload: msg, traceID: f.Tag}
 	if !ch.subAttrs.accepts(pub, ev) {
 		return
 	}
-	ch.mw.counters.DeliveredNRT++
+	mw := ch.mw
+	mw.counters.DeliveredNRT++
 	di := DeliveryInfo{Publisher: pub, ArrivedAt: at, DeliveredAt: at}
+	if pubAt, ok := mw.Obs.PublishKernelTime(ev.traceID); ok {
+		di.PublishedAt = pubAt
+	}
 	ch.store(ev, di)
+	mw.Obs.Delivered(ev.traceID, NRT.String(), mw.node.Index,
+		uint64(ch.subject), at, "")
 	if ch.notify != nil {
 		ch.notify(ev, di)
 	}

@@ -6,6 +6,7 @@ import (
 	"canec/internal/binding"
 	"canec/internal/can"
 	"canec/internal/clock"
+	"canec/internal/obs"
 	"canec/internal/sim"
 )
 
@@ -114,16 +115,20 @@ func (c *SRTEC) Publish(ev Event) error {
 				Kind: ExcLoadShed, Subject: ch.subject, Event: &ev,
 				At: mw.K.Now(), Detail: "send queue full, no sheddable entry",
 			})
+			mw.Obs.Emit(0, obs.StageShed, SRT.String(), mw.node.Index,
+				uint64(ch.subject), mw.K.Now(), "rejected at publish")
 			return fmt.Errorf("core: SRT send queue full on node %d", mw.node.Index)
 		}
 	}
 	mw.srtSeq++
+	ev.traceID = mw.Obs.Begin(SRT.String(), mw.node.Index, uint64(ch.subject), mw.K.Now())
 	e := &srtEntry{ev: ev, ch: ch, deadline: ev.Attrs.Deadline,
 		expiration: ev.Attrs.Expiration, seq: mw.srtSeq}
 	prio := mw.bands.SRT.PrioFor(now, e.deadline)
 	frame := can.Frame{
 		ID:   can.MakeID(prio, mw.node.Ctrl.Node(), ch.etag),
 		Data: append([]byte(nil), ev.Payload...),
+		Tag:  ev.traceID,
 	}
 	e.handle = mw.node.Ctrl.Submit(frame, can.SubmitOpts{Done: func(ok bool, at sim.Time) {
 		e.done = true
@@ -133,6 +138,8 @@ func (c *SRTEC) Publish(ev Event) error {
 				Kind: ExcTxFailure, Subject: ch.subject, Event: &e.ev,
 				At: at, Detail: "SRT transmission abandoned",
 			})
+			mw.Obs.Emit(e.ev.traceID, obs.StageDropped, SRT.String(), mw.node.Index,
+				uint64(ch.subject), at, "tx_abandoned")
 			return
 		}
 		if mw.node.Clock.Read(at) > e.deadline {
@@ -148,6 +155,8 @@ func (c *SRTEC) Publish(ev Event) error {
 	}})
 	ch.srtActive[e] = true
 	mw.counters.PublishedSRT++
+	mw.Obs.Emit(ev.traceID, obs.StageEnqueued, SRT.String(), mw.node.Index,
+		uint64(ch.subject), mw.K.Now(), fmt.Sprintf("prio %d", prio))
 	c.armPromotion(e, prio)
 	c.armExpiration(e)
 	return nil
@@ -175,6 +184,8 @@ func (c *SRTEC) armPromotion(e *srtEntry, cur can.Prio) {
 		if p < cur {
 			if mw.node.Ctrl.Update(e.handle, can.MakeID(p, mw.node.Ctrl.Node(), ch.etag)) {
 				mw.counters.PromotionsApplied++
+				mw.Obs.Emit(e.ev.traceID, obs.StagePromoted, SRT.String(), mw.node.Index,
+					uint64(ch.subject), mw.K.Now(), fmt.Sprintf("prio %d->%d", cur, p))
 			}
 		}
 		c.armPromotion(e, p)
@@ -201,6 +212,8 @@ func (c *SRTEC) armExpiration(e *srtEntry) {
 				Kind: ExcValidityExpired, Subject: ch.subject, Event: &e.ev,
 				At: mw.K.Now(), Detail: "validity expired in send queue",
 			})
+			mw.Obs.Emit(e.ev.traceID, obs.StageExpired, SRT.String(), mw.node.Index,
+				uint64(ch.subject), mw.K.Now(), "")
 		}
 		// Abort failing means the frame is on the wire right now; it will
 		// complete and the Done callback handles the bookkeeping.
@@ -281,6 +294,9 @@ func (mw *Middleware) shedLowestValue(now sim.Time) bool {
 			Kind: ExcLoadShed, Subject: victim.ch.subject, Event: &victim.ev,
 			At: mw.K.Now(), Detail: fmt.Sprintf("shed with residual value %.2f", worst),
 		})
+		mw.Obs.Emit(victim.ev.traceID, obs.StageShed, SRT.String(), mw.node.Index,
+			uint64(victim.ch.subject), mw.K.Now(),
+			fmt.Sprintf("residual value %.2f", worst))
 		return true
 	}
 }
@@ -320,13 +336,20 @@ func (ch *channelState) srtReceive(f can.Frame, at sim.Time) {
 	ev := Event{
 		Subject: ch.subject,
 		Payload: append([]byte(nil), f.Data...),
+		traceID: f.Tag,
 	}
 	if !ch.subAttrs.accepts(pub, ev) {
 		return
 	}
-	ch.mw.counters.DeliveredSRT++
+	mw := ch.mw
+	mw.counters.DeliveredSRT++
 	di := DeliveryInfo{Publisher: pub, ArrivedAt: at, DeliveredAt: at}
+	if pubAt, ok := mw.Obs.PublishKernelTime(ev.traceID); ok {
+		di.PublishedAt = pubAt
+	}
 	ch.store(ev, di)
+	mw.Obs.Delivered(ev.traceID, SRT.String(), mw.node.Index,
+		uint64(ch.subject), at, "")
 	if ch.notify != nil {
 		ch.notify(ev, di)
 	}

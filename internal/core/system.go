@@ -7,6 +7,7 @@ import (
 	"canec/internal/calendar"
 	"canec/internal/can"
 	"canec/internal/clock"
+	"canec/internal/obs"
 	"canec/internal/sim"
 )
 
@@ -47,6 +48,10 @@ type SystemConfig struct {
 	NoSuppressRedundancy bool
 	// Injector is the fault model (nil = fault-free).
 	Injector can.Injector
+	// Observe opts the system into the observability layer (life-cycle
+	// tracing and/or metrics); nil keeps every instrumentation point a
+	// single nil check.
+	Observe *obs.Config
 }
 
 // DefaultEpoch leaves three synchronization periods for convergence
@@ -65,6 +70,8 @@ type System struct {
 	Cfg    SystemConfig
 	// Bindings is the shared (statically distributed) subject→etag table.
 	Bindings *binding.Table
+	// Obs is the observability layer (nil unless Cfg.Observe was set).
+	Obs *obs.Observer
 }
 
 // NewSystem builds and validates a system. The caller typically announces
@@ -104,6 +111,18 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		bus.Injector = cfg.Injector
 	}
 	sys := &System{K: k, Bus: bus, Cfg: cfg, Bindings: binding.NewTable()}
+	if cfg.Observe != nil {
+		sys.Obs = obs.New(*cfg.Observe, k.Now, obs.BandMap{
+			HRT: cfg.Bands.HRTPrio, Sync: cfg.Bands.SyncPrio,
+			SRTMin: cfg.Bands.SRT.Min, SRTMax: cfg.Bands.SRT.Max,
+			NRTMin: cfg.Bands.NRTMin, NRTMax: cfg.Bands.NRTMax,
+		})
+		sys.Obs.SubjectOf = func(e can.Etag) (uint64, bool) {
+			s, ok := sys.Bindings.SubjectOf(e)
+			return uint64(s), ok
+		}
+		sys.Obs.InstallBus(bus)
+	}
 
 	for i := 0; i < cfg.Nodes; i++ {
 		drift := 0.0
@@ -122,6 +141,12 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		mw.Cal = cfg.Calendar
 		mw.Epoch = cfg.Epoch
 		mw.SuppressRedundancy = !cfg.NoSuppressRedundancy
+		mw.Obs = sys.Obs
+		if sys.Obs != nil {
+			sys.Obs.RegisterQueueDepth(i, "hrt", mw.hrtQueuedTotal)
+			sys.Obs.RegisterQueueDepth(i, "srt", mw.srtQueuedTotal)
+			sys.Obs.RegisterQueueDepth(i, "nrt", mw.nrtQueuedTotal)
+		}
 		sys.Nodes = append(sys.Nodes, node)
 		sys.Clocks = append(sys.Clocks, clk)
 	}

@@ -92,6 +92,7 @@ func (w *Watchdog) transition(pub can.TxNode, s NodeState) {
 		return
 	}
 	w.state[pub] = s
+	w.mw.Obs.WatchdogChange(s.String())
 	if w.OnChange != nil {
 		w.OnChange(pub, s, w.mw.K.Now())
 	}

@@ -25,10 +25,14 @@ func E3Reclamation(seed uint64) Result {
 		Title:   "best-effort bulk throughput under HRT reservations (8 sporadic HRT channels, k=1)",
 		Headers: []string{"duty", "reserved%", "canec KiB/s", "canec+alwaysK KiB/s", "ttcan KiB/s", "advantage"},
 	}
+	var snaps []PromSnapshot
 	for _, duty := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
-		canecTP := e3RunCanec(seed, duty, true)
-		alwaysK := e3RunCanec(seed, duty, false)
+		canecTP, prom := e3RunCanec(seed, duty, true)
+		alwaysK, _ := e3RunCanec(seed, duty, false)
 		ttcanTP, reserved := e3RunTTCAN(seed, duty)
+		if prom != "" {
+			snaps = append(snaps, PromSnapshot{Label: fmt.Sprintf("duty%.2f", duty), Text: prom})
+		}
 		adv := "∞"
 		if ttcanTP > 0 {
 			adv = fmt.Sprintf("%.2fx", canecTP/ttcanTP)
@@ -44,6 +48,7 @@ func E3Reclamation(seed uint64) Result {
 	}
 	return Result{
 		ID:    "E3",
+		Prom:  snaps,
 		Title: "bandwidth reclamation vs TTCAN-style TDMA (§3.2, §5)",
 		Table: tbl,
 		Notes: []string{
@@ -71,7 +76,7 @@ func e3Slots() (*calendar.Calendar, error) {
 }
 
 // e3RunCanec measures bulk NRT throughput in the paper's system.
-func e3RunCanec(seed uint64, duty float64, suppress bool) float64 {
+func e3RunCanec(seed uint64, duty float64, suppress bool) (float64, string) {
 	cal, err := e3Slots()
 	if err != nil {
 		panic(err)
@@ -79,6 +84,7 @@ func e3RunCanec(seed uint64, duty float64, suppress bool) float64 {
 	sys, err := core.NewSystem(core.SystemConfig{
 		Nodes: 10, Seed: seed, Calendar: cal, Epoch: sim.Millisecond,
 		NoSuppressRedundancy: !suppress,
+		Observe:              metricsConfig(),
 	})
 	if err != nil {
 		panic(err)
@@ -133,7 +139,7 @@ func e3RunCanec(seed uint64, duty float64, suppress bool) float64 {
 	}
 	sys.K.At(0, feed)
 	sys.Run(e3Horizon)
-	return float64(bytesDone) / 1024 / (float64(e3Horizon) / float64(sim.Second))
+	return float64(bytesDone) / 1024 / (float64(e3Horizon) / float64(sim.Second)), promText(sys.Obs)
 }
 
 // e3RunTTCAN measures bulk throughput under the TTCAN baseline with the

@@ -24,12 +24,17 @@ func E9Integration(seed uint64) Result {
 		Headers: []string{"nodes", "class", "events", "latency µs (mean)", "p99 µs",
 			"appJitter µs", "miss/lost", "busUtil%"},
 	}
+	var snaps []PromSnapshot
 	for _, n := range []int{8, 16, 32} {
-		rows := e9Run(seed, n)
+		rows, prom := e9Run(seed, n)
 		tbl.Rows = append(tbl.Rows, rows...)
+		if prom != "" {
+			snaps = append(snaps, PromSnapshot{Label: fmt.Sprintf("nodes%d", n), Text: prom})
+		}
 	}
 	return Result{
 		ID:    "E9",
+		Prom:  snaps,
 		Title: "full mixed-class integration (§2.2, §5)",
 		Table: tbl,
 		Notes: []string{
@@ -40,7 +45,7 @@ func E9Integration(seed uint64) Result {
 	}
 }
 
-func e9Run(seed uint64, nodes int) [][]string {
+func e9Run(seed uint64, nodes int) ([][]string, string) {
 	// One HRT channel per 4 nodes; SRT diagnostics from every node; one
 	// bulk NRT transfer.
 	cfg := calendar.DefaultConfig()
@@ -60,6 +65,7 @@ func e9Run(seed uint64, nodes int) [][]string {
 		Sync:             clock.DefaultSyncConfig(),
 		MaxDriftPPM:      100,
 		MaxInitialOffset: 100 * sim.Microsecond,
+		Observe:          metricsConfig(),
 	})
 	if err != nil {
 		panic(err)
@@ -196,7 +202,7 @@ func e9Run(seed uint64, nodes int) [][]string {
 			"-", fmt.Sprintf("%d/%d", srtMiss, srtDrop), util},
 		{fmt.Sprint(nodes), "NRT", fmt.Sprint(nrtBytes / 1024),
 			fmt.Sprintf("(%.0f KiB/s)", float64(nrtBytes)/1024/secs), "-", "-", "0", util},
-	}
+	}, promText(sys.Obs)
 }
 
 // putTS56/getTS56 embed a 56-bit kernel timestamp in event payloads so

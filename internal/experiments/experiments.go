@@ -7,7 +7,9 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
+	"canec/internal/obs"
 	"canec/internal/stats"
 )
 
@@ -18,6 +20,50 @@ type Result struct {
 	Table stats.Table
 	// Notes explain how to read the table against the paper's claim.
 	Notes []string
+	// Prom carries per-run metrics registry snapshots (Prometheus text
+	// format) for the experiments that support it, when EnableMetrics was
+	// called before the run. Aggregate drops them (snapshots of different
+	// seeds are not meaningfully averageable).
+	Prom []PromSnapshot
+}
+
+// PromSnapshot is one simulation run's metrics registry rendered in the
+// Prometheus text exposition format.
+type PromSnapshot struct {
+	// Label distinguishes runs within one experiment (e.g. "nodes16").
+	Label string
+	Text  string
+}
+
+// observeMetrics is write-once: EnableMetrics must be called before any
+// experiment runs. RunSeeds executes runs on parallel goroutines, so the
+// flag must not change while runs are in flight.
+var observeMetrics bool
+
+// EnableMetrics makes the supporting experiments (E3, E9) build their
+// systems with the observability metrics registry and attach registry
+// snapshots to their Results. Call once, before running any experiment.
+func EnableMetrics() { observeMetrics = true }
+
+// metricsConfig returns the system observability config for experiment
+// runs (nil when EnableMetrics was not called).
+func metricsConfig() *obs.Config {
+	if !observeMetrics {
+		return nil
+	}
+	return &obs.Config{Metrics: true}
+}
+
+// promText renders an observer's registry, or "" without one.
+func promText(o *obs.Observer) string {
+	if o == nil {
+		return ""
+	}
+	var b strings.Builder
+	if err := o.Registry().WriteText(&b); err != nil {
+		return ""
+	}
+	return b.String()
 }
 
 // String renders the result for terminal output.

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL dumps stage records one JSON object per line, in emission
+// order. The format is stable: field names match Record's json tags.
+func WriteJSONL(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// as loaded by Perfetto and chrome://tracing.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object flavour of the format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Track layout: pid 0 is the bus, with one thread per priority band
+// carrying a complete ("X") slice per wire occupancy; pid i+1 is node i,
+// with instant ("i") events for every life-cycle stage that happened on
+// that station.
+const busPid = 0
+
+// bandTid maps band names to stable bus-thread IDs.
+var bandTid = map[string]int{"hrt": 1, "sync": 2, "srt": 3, "nrt": 4, "other": 5}
+
+// WriteChromeTrace renders stage records as Chrome trace_event JSON with
+// one track per node and one per priority band. nodes is the station
+// count (for track naming); records from higher node indices still render.
+func WriteChromeTrace(w io.Writer, recs []Record, nodes int) error {
+	events := make([]chromeEvent, 0, len(recs)+nodes+8)
+	meta := func(pid, tid int, kind, name string) {
+		ev := chromeEvent{Name: kind, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name}}
+		events = append(events, ev)
+	}
+	meta(busPid, 0, "process_name", "bus")
+	for band, tid := range bandTid {
+		meta(busPid, tid, "thread_name", "band "+band)
+	}
+	for i := 0; i < nodes; i++ {
+		meta(i+1, 0, "process_name", fmt.Sprintf("node %d", i))
+		meta(i+1, 1, "thread_name", "lifecycle")
+	}
+
+	var open *Record // pending tx_start awaiting its tx_ok/tx_err
+	for i := range recs {
+		r := recs[i]
+		switch r.Stage {
+		case StageTxStart:
+			open = &recs[i]
+			continue
+		case StageTxOK, StageTxErr:
+			if open != nil {
+				name := fmt.Sprintf("subject 0x%x", open.Subject)
+				if open.Subject == 0 {
+					name = fmt.Sprintf("etag %d", open.Etag)
+				}
+				events = append(events, chromeEvent{
+					Name: name, Cat: "wire", Ph: "X",
+					Ts:  float64(open.At) / 1e3,
+					Dur: float64(r.At-open.At) / 1e3,
+					Pid: busPid, Tid: bandTid[open.Band],
+					Args: map[string]any{
+						"id": open.ID, "prio": open.Prio,
+						"attempt": open.Attempt, "result": string(r.Stage),
+					},
+				})
+				open = nil
+			}
+		}
+		node := r.Node
+		if node < 0 {
+			node = -1
+		}
+		ev := chromeEvent{
+			Name: string(r.Stage), Cat: "lifecycle", Ph: "i",
+			Ts: float64(r.At) / 1e3, Pid: node + 1, Tid: 1, S: "t",
+			Args: map[string]any{"id": r.ID},
+		}
+		if r.Subject != 0 {
+			ev.Args["subject"] = fmt.Sprintf("0x%x", r.Subject)
+		}
+		if r.Class != "" {
+			ev.Args["class"] = r.Class
+		}
+		if r.Detail != "" {
+			ev.Args["detail"] = r.Detail
+		}
+		events = append(events, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,463 @@
+// Package obs is the observability layer of the simulated CAN segment:
+// a per-event life-cycle tracer, a metrics registry (counters, gauges,
+// fixed-bucket histograms) and exporters for JSONL, Chrome trace_event
+// JSON and the Prometheus text exposition format.
+//
+// The layer is strictly opt-in. Systems built without a Config carry a
+// nil *Observer, and every emission helper is nil-safe, so instrumented
+// hot paths cost one nil check when observability is off.
+package obs
+
+import (
+	"fmt"
+
+	"canec/internal/can"
+	"canec/internal/sim"
+)
+
+// Config opts a system into observability.
+type Config struct {
+	// Trace records per-event life-cycle stage records.
+	Trace bool
+	// TraceCap bounds the number of retained records (0 = unlimited).
+	// Records beyond the cap are counted in Tracer.Dropped.
+	TraceCap int
+	// Metrics maintains the metrics registry.
+	Metrics bool
+	// LatencyHorizon is the upper bound of the per-channel end-to-end
+	// latency histograms; zero selects 50 ms.
+	LatencyHorizon sim.Duration
+	// LatencyBuckets is the bucket count of those histograms (default 50).
+	LatencyBuckets int
+}
+
+// Default returns a configuration with tracing and metrics both enabled.
+func Default() *Config { return &Config{Trace: true, Metrics: true} }
+
+// BandMap classifies frame priorities into the global band layout, so
+// bus-level observations can be attributed per priority band without the
+// observability layer depending on the middleware package.
+type BandMap struct {
+	HRT, Sync      can.Prio
+	SRTMin, SRTMax can.Prio
+	NRTMin, NRTMax can.Prio
+}
+
+// Band names the band of a priority: "hrt", "sync", "srt" or "nrt"
+// ("other" outside every band).
+func (m BandMap) Band(p can.Prio) string {
+	switch {
+	case p == m.HRT:
+		return "hrt"
+	case p == m.Sync:
+		return "sync"
+	case p >= m.SRTMin && p <= m.SRTMax:
+		return "srt"
+	case p >= m.NRTMin && p <= m.NRTMax:
+		return "nrt"
+	}
+	return "other"
+}
+
+// bandNames is the exposition order of band-labelled metrics.
+var bandNames = []string{"hrt", "sync", "srt", "nrt", "other"}
+
+// Observer owns one system's tracer and registry and translates protocol
+// activity into records and metrics. All methods are nil-safe: a nil
+// Observer ignores every call, so instrumentation points need no
+// conditionals.
+type Observer struct {
+	cfg    Config
+	now    func() sim.Time
+	bm     BandMap
+	tracer *Tracer
+	reg    *Registry
+
+	// nextID and pubAt live on the observer (not the tracer) because the
+	// e2e latency metric needs publish times even when tracing is off.
+	nextID uint64
+	pubAt  map[uint64]sim.Time
+
+	// SubjectOf, if set, resolves wire etags back to subjects so
+	// bus-level stage records carry the channel subject (the system wires
+	// it to the shared binding table).
+	SubjectOf func(can.Etag) (uint64, bool)
+
+	published map[string]*Counter // by class
+	delivered map[string]*Counter
+	dropped   map[string]*Counter // by reason
+	latency   map[uint64]*Histogram
+
+	bandBusy    map[string]*Counter
+	retries     *Counter
+	arbLosses   *Counter
+	promotions  *Counter
+	slots       map[string]*Counter // fired / unused
+	copies      map[string]*Counter // redundant / suppressed
+	frames      map[string]*Counter // ok / err / abort
+	exceptions  map[string]*Counter // by exception kind
+	watchdog    map[string]*Counter // by new state
+	txStartAt   sim.Time
+	txStartBand string
+	txOpen      bool
+}
+
+// New builds an observer. now is the kernel clock (sim.Kernel.Now); bm is
+// the system's priority band layout.
+func New(cfg Config, now func() sim.Time, bm BandMap) *Observer {
+	o := &Observer{cfg: cfg, now: now, bm: bm, pubAt: make(map[uint64]sim.Time)}
+	if cfg.Trace {
+		o.tracer = newTracer(cfg.TraceCap)
+	}
+	if cfg.Metrics {
+		o.reg = NewRegistry()
+		o.published = make(map[string]*Counter)
+		o.delivered = make(map[string]*Counter)
+		o.dropped = make(map[string]*Counter)
+		o.latency = make(map[uint64]*Histogram)
+		o.bandBusy = make(map[string]*Counter)
+		o.slots = make(map[string]*Counter)
+		o.copies = make(map[string]*Counter)
+		o.frames = make(map[string]*Counter)
+		o.exceptions = make(map[string]*Counter)
+		o.watchdog = make(map[string]*Counter)
+		o.retries = o.reg.Counter("canec_arb_retries_total",
+			"Transmission attempts beyond the first (retransmissions after error frames).", nil)
+		o.arbLosses = o.reg.Counter("canec_arb_losses_total",
+			"Arbitration rounds lost by a competing frame.", nil)
+		o.promotions = o.reg.Counter("canec_srt_promotions_total",
+			"SRT identifier rewrites to a higher priority (dynamic promotion).", nil)
+		for _, band := range bandNames {
+			band := band
+			o.bandBusy[band] = o.reg.Counter("canec_band_busy_ns_total",
+				"Wire time consumed by frames of each priority band, in virtual nanoseconds.",
+				Labels{"band": band})
+			o.reg.GaugeFunc("canec_band_utilization",
+				"Fraction of elapsed virtual time the bus carried frames of each band.",
+				Labels{"band": band}, func() float64 {
+					if now() == 0 {
+						return 0
+					}
+					return o.bandBusy[band].Value() / float64(now())
+				})
+		}
+	}
+	return o
+}
+
+// Enabled reports whether the observer exists (convenience for callers
+// holding a possibly-nil pointer).
+func (o *Observer) Enabled() bool { return o != nil }
+
+// Tracer returns the life-cycle tracer (nil when tracing is off).
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
+}
+
+// Registry returns the metrics registry (nil when metrics are off).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Records returns the recorded stage records (nil when tracing is off).
+func (o *Observer) Records() []Record {
+	if o == nil || o.tracer == nil {
+		return nil
+	}
+	return o.tracer.Records()
+}
+
+// Begin opens a trace for a freshly published event and returns its
+// monotonically increasing ID. It returns 0 (an untraced event) on a nil
+// observer.
+func (o *Observer) Begin(class string, node int, subject uint64, at sim.Time) uint64 {
+	if o == nil {
+		return 0
+	}
+	if o.reg != nil {
+		o.classCounter(o.published, "canec_events_published_total",
+			"Events handed to Publish, by channel class.", class).Inc()
+	}
+	o.nextID++
+	id := o.nextID
+	o.pubAt[id] = at
+	if o.tracer != nil {
+		o.tracer.add(Record{ID: id, Stage: StagePublished, At: at, Node: node,
+			Class: class, Subject: subject, Prio: -1})
+	}
+	return id
+}
+
+// Emit records a middleware-side stage record and maintains the stage's
+// associated counters.
+func (o *Observer) Emit(id uint64, stage Stage, class string, node int, subject uint64, at sim.Time, detail string) {
+	if o == nil {
+		return
+	}
+	if o.reg != nil {
+		switch stage {
+		case StagePromoted:
+			o.promotions.Inc()
+		case StageExpired:
+			o.reasonCounter("expired").Inc()
+		case StageShed:
+			o.reasonCounter("shed").Inc()
+		case StageDropped:
+			reason := detail
+			if reason == "" {
+				reason = "dropped"
+			}
+			o.reasonCounter(reason).Inc()
+		}
+	}
+	if o.tracer != nil {
+		o.tracer.add(Record{ID: id, Stage: stage, At: at, Node: node,
+			Class: class, Subject: subject, Prio: -1, Detail: detail})
+	}
+}
+
+// Delivered closes a trace on a successful notification and feeds the
+// per-channel end-to-end latency histogram.
+func (o *Observer) Delivered(id uint64, class string, node int, subject uint64, at sim.Time, detail string) {
+	if o == nil {
+		return
+	}
+	if o.reg != nil {
+		o.classCounter(o.delivered, "canec_events_delivered_total",
+			"Events delivered to a subscriber's notification handler, by channel class.", class).Inc()
+	}
+	pub, havePub := o.pubAt[id]
+	if o.tracer != nil {
+		o.tracer.add(Record{ID: id, Stage: StageDelivered, At: at, Node: node,
+			Class: class, Subject: subject, Prio: -1, Detail: detail})
+	}
+	if o.reg != nil && havePub && at >= pub {
+		h, ok := o.latency[subject]
+		if !ok {
+			horizon := o.cfg.LatencyHorizon
+			if horizon <= 0 {
+				horizon = 50 * sim.Millisecond
+			}
+			buckets := o.cfg.LatencyBuckets
+			if buckets <= 0 {
+				buckets = 50
+			}
+			h = o.reg.Histogram("canec_e2e_latency_microseconds",
+				"Publish-to-delivery latency per channel, in virtual microseconds.",
+				Labels{"subject": fmt.Sprintf("0x%x", subject), "class": class},
+				0, float64(horizon)/1e3, buckets)
+			o.latency[subject] = h
+		}
+		h.Observe(float64(at-pub) / 1e3)
+	}
+}
+
+// PublishKernelTime exposes the trace-open time so the middleware can
+// fill DeliveryInfo.PublishedAt. ok is false for untraced events.
+func (o *Observer) PublishKernelTime(id uint64) (sim.Time, bool) {
+	if o == nil || id == 0 {
+		return 0, false
+	}
+	at, ok := o.pubAt[id]
+	return at, ok
+}
+
+// SlotOutcome counts a calendar slot occurrence: fired (an event rode it)
+// or unused (its reserved bandwidth was reclaimed by arbitration).
+func (o *Observer) SlotOutcome(fired bool) {
+	if o == nil || o.reg == nil {
+		return
+	}
+	outcome := "unused"
+	if fired {
+		outcome = "fired"
+	}
+	c, ok := o.slots[outcome]
+	if !ok {
+		c = o.reg.Counter("canec_hrt_slots_total",
+			"Calendar slot occurrences by outcome: fired (occupied) or unused (reclaimed).",
+			Labels{"outcome": outcome})
+		o.slots[outcome] = c
+	}
+	c.Inc()
+}
+
+// Copies counts HRT redundancy bookkeeping: redundant copies actually
+// sent and copies suppressed by bandwidth reclamation.
+func (o *Observer) Copies(kind string, n uint64) {
+	if o == nil || o.reg == nil || n == 0 {
+		return
+	}
+	c, ok := o.copies[kind]
+	if !ok {
+		c = o.reg.Counter("canec_hrt_copies_total",
+			"Redundant HRT copy accounting: sent vs suppressed (reclaimed).",
+			Labels{"kind": kind})
+		o.copies[kind] = c
+	}
+	c.Add(float64(n))
+}
+
+// ExceptionRaised counts a middleware exception by kind.
+func (o *Observer) ExceptionRaised(kind string) {
+	if o == nil || o.reg == nil {
+		return
+	}
+	c, ok := o.exceptions[kind]
+	if !ok {
+		c = o.reg.Counter("canec_exceptions_total",
+			"Middleware exceptions raised, by kind.", Labels{"kind": kind})
+		o.exceptions[kind] = c
+	}
+	c.Inc()
+}
+
+// WatchdogChange counts a liveness state transition observed by a node's
+// watchdog.
+func (o *Observer) WatchdogChange(state string) {
+	if o == nil || o.reg == nil {
+		return
+	}
+	c, ok := o.watchdog[state]
+	if !ok {
+		c = o.reg.Counter("canec_watchdog_transitions_total",
+			"Publisher liveness transitions observed by watchdogs, by new state.",
+			Labels{"state": state})
+		o.watchdog[state] = c
+	}
+	c.Inc()
+}
+
+// RegisterQueueDepth installs a collection-time gauge for one node-local
+// queue (HRT slot queues, SRT send queue, NRT chain queue).
+func (o *Observer) RegisterQueueDepth(node int, queue string, fn func() int) {
+	if o == nil || o.reg == nil {
+		return
+	}
+	o.reg.GaugeFunc("canec_queue_depth",
+		"Current depth of each node-local send queue.",
+		Labels{"node": fmt.Sprintf("%d", node), "queue": queue},
+		func() float64 { return float64(fn()) })
+}
+
+// classCounter memoises a per-class counter family.
+func (o *Observer) classCounter(m map[string]*Counter, name, help, class string) *Counter {
+	c, ok := m[class]
+	if !ok {
+		c = o.reg.Counter(name, help, Labels{"class": class})
+		m[class] = c
+	}
+	return c
+}
+
+// reasonCounter memoises the terminal-drop counter family.
+func (o *Observer) reasonCounter(reason string) *Counter {
+	c, ok := o.dropped[reason]
+	if !ok {
+		c = o.reg.Counter("canec_events_dropped_total",
+			"Events that ended without delivery, by reason.", Labels{"reason": reason})
+		o.dropped[reason] = c
+	}
+	return c
+}
+
+// InstallBus chains the observer into a bus's Trace hook (preserving any
+// existing hook) and enables arbitration tracing. Bus-level stages are
+// correlated to event traces through Frame.Tag.
+func (o *Observer) InstallBus(b *can.Bus) {
+	if o == nil {
+		return
+	}
+	b.TraceArbitration = true
+	prev := b.Trace
+	b.Trace = func(e can.TraceEvent) {
+		o.busEvent(e)
+		if prev != nil {
+			prev(e)
+		}
+	}
+}
+
+// busEvent translates one bus trace event into a stage record and metrics.
+func (o *Observer) busEvent(e can.TraceEvent) {
+	prio := e.Frame.ID.Prio()
+	band := o.bm.Band(prio)
+	var stage Stage
+	node := e.Sender
+	switch e.Kind {
+	case can.TraceArbWin:
+		stage = StageArbWon
+	case can.TraceArbLoss:
+		stage = StageArbLost
+		if o.reg != nil {
+			o.arbLosses.Inc()
+		}
+	case can.TraceTxStart:
+		stage = StageTxStart
+		if o.reg != nil {
+			if e.Attempt > 1 {
+				o.retries.Inc()
+			}
+			o.txStartAt, o.txStartBand, o.txOpen = e.At, band, true
+		}
+	case can.TraceTxOK:
+		stage = StageTxOK
+		o.closeWire(e.At)
+	case can.TraceTxError:
+		stage = StageTxErr
+		o.closeWire(e.At)
+		if o.reg != nil {
+			o.frameCounter("err").Inc()
+		}
+	case can.TraceTxAbort:
+		stage = StageTxAbort
+		if o.reg != nil {
+			o.frameCounter("abort").Inc()
+		}
+	case can.TraceRx:
+		stage = StageRx
+		node = e.Recv
+	default:
+		return
+	}
+	if e.Kind == can.TraceTxOK && o.reg != nil {
+		o.frameCounter("ok").Inc()
+	}
+	if o.tracer != nil {
+		etag := e.Frame.ID.Etag()
+		var subject uint64
+		if o.SubjectOf != nil {
+			subject, _ = o.SubjectOf(etag)
+		}
+		o.tracer.add(Record{ID: e.Frame.Tag, Stage: stage, At: e.At, Node: node,
+			Subject: subject, Etag: uint16(etag), Prio: int(prio), Band: band,
+			Attempt: e.Attempt})
+	}
+}
+
+// closeWire attributes the finished wire occupancy to its band.
+func (o *Observer) closeWire(at sim.Time) {
+	if o.reg == nil || !o.txOpen {
+		return
+	}
+	o.bandBusy[o.txStartBand].Add(float64(at - o.txStartAt))
+	o.txOpen = false
+}
+
+// frameCounter memoises the frame outcome counters.
+func (o *Observer) frameCounter(kind string) *Counter {
+	c, ok := o.frames[kind]
+	if !ok {
+		c = o.reg.Counter("canec_frames_total",
+			"Frame transmissions by outcome: ok, err (error frame), abort (single-shot).",
+			Labels{"kind": kind})
+		o.frames[kind] = c
+	}
+	return c
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteText renders the registry in the Prometheus text exposition format
+// (version 0.0.4): one HELP and TYPE line per family, then one sample
+// line per instance. Histograms expose cumulative le-bucketed counts plus
+// _sum and _count, with out-of-range mass folded into the edge buckets
+// exactly as stats.Histogram attributes it.
+func (r *Registry) WriteText(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range r.fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, in := range f.inst {
+			switch f.kind {
+			case kindCounter:
+				renderLine(&b, f.name, in.labels, "", in.c.Value())
+			case kindGauge:
+				renderLine(&b, f.name, in.labels, "", in.g.Value())
+			case kindHistogram:
+				h := in.h.Snapshot()
+				under, over := h.OutOfRange()
+				cum := under
+				for i := 0; i < h.Buckets(); i++ {
+					cum += h.Bucket(i)
+					le := fmt.Sprintf("le=%q", fmt.Sprintf("%g", h.UpperBound(i)))
+					renderLine(&b, f.name+"_bucket", in.labels, le, float64(cum))
+				}
+				cum += over
+				renderLine(&b, f.name+"_bucket", in.labels, `le="+Inf"`, float64(cum))
+				renderLine(&b, f.name+"_sum", in.labels, "", h.Sum())
+				renderLine(&b, f.name+"_count", in.labels, "", float64(h.N()))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"canec/internal/stats"
+)
+
+// Labels are the constant label set of one metric instance. They are
+// copied at registration; later mutation of the caller's map is ignored.
+type Labels map[string]string
+
+// labelKey renders labels canonically (sorted) for identity and output.
+func labelKey(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v float64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds a non-negative delta.
+func (c *Counter) Add(d float64) { c.v += d }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v  float64
+	fn func() float64
+}
+
+// Set replaces the value (no-op on function gauges).
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add shifts the value (no-op on function gauges).
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value returns the current value, evaluating function gauges.
+func (g *Gauge) Value() float64 {
+	if g.fn != nil {
+		return g.fn()
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket distribution metric backed by
+// stats.Histogram.
+type Histogram struct {
+	h *stats.Histogram
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) { h.h.Observe(v) }
+
+// Snapshot exposes the underlying histogram for rendering.
+func (h *Histogram) Snapshot() *stats.Histogram { return h.h }
+
+// metricKind tags a family for the exposition TYPE line.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// instance is one (labels, metric) pair inside a family.
+type instance struct {
+	labels string // canonical label rendering, "" for none
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups all instances of one metric name.
+type family struct {
+	name string
+	help string
+	kind metricKind
+	inst []*instance
+	by   map[string]*instance
+}
+
+// Registry is an ordered collection of named metrics. Like the Tracer it
+// lives in single-kernel simulation context and needs no locking.
+type Registry struct {
+	fams  []*family
+	byNam map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byNam: make(map[string]*family)}
+}
+
+func (r *Registry) fam(name, help string, kind metricKind) *family {
+	f, ok := r.byNam[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, by: make(map[string]*instance)}
+		r.byNam[name] = f
+		r.fams = append(r.fams, f)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+func (f *family) instance(labels Labels) *instance {
+	key := labelKey(labels)
+	in, ok := f.by[key]
+	if !ok {
+		in = &instance{labels: key}
+		f.by[key] = in
+		f.inst = append(f.inst, in)
+	}
+	return in
+}
+
+// Counter returns (creating on first use) the counter with this name and
+// label set.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	in := r.fam(name, help, kindCounter).instance(labels)
+	if in.c == nil {
+		in.c = &Counter{}
+	}
+	return in.c
+}
+
+// Gauge returns (creating on first use) the gauge with this name and
+// label set.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	in := r.fam(name, help, kindGauge).instance(labels)
+	if in.g == nil {
+		in.g = &Gauge{}
+	}
+	return in.g
+}
+
+// GaugeFunc registers a gauge whose value is computed at collection time.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	in := r.fam(name, help, kindGauge).instance(labels)
+	in.g = &Gauge{fn: fn}
+}
+
+// Histogram returns (creating on first use) a fixed-bucket histogram over
+// [lo, hi) with the given bucket count.
+func (r *Registry) Histogram(name, help string, labels Labels, lo, hi float64, buckets int) *Histogram {
+	in := r.fam(name, help, kindHistogram).instance(labels)
+	if in.h == nil {
+		in.h = &Histogram{h: stats.NewHistogram(name, lo, hi, buckets)}
+	}
+	return in.h
+}
+
+// render writes one sample line: name{labels} value.
+func renderLine(b *strings.Builder, name, labels, extra string, v float64) {
+	b.WriteString(name)
+	if labels != "" || extra != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		if labels != "" && extra != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	fmt.Fprintf(b, " %v\n", v)
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"canec/internal/sim"
+)
+
+// Stage labels one step of an event's life cycle. The publish-side
+// middleware opens a trace with StagePublished; the bus contributes the
+// arbitration and wire stages; the subscribe-side middleware closes it
+// with StageDelivered (or one of the terminal drop stages). A delivered
+// event therefore leaves a chain
+//
+//	published → enqueued → [promoted]* → [arb_lost]* → arb_won →
+//	tx_start → tx_ok → rx → delivered
+//
+// with non-decreasing timestamps, all carrying the same trace ID.
+type Stage string
+
+const (
+	// StagePublished opens a trace: the application called Publish.
+	StagePublished Stage = "published"
+	// StageEnqueued marks the event entering a send queue (the HRT slot
+	// queue, the controller's SRT mailbox set, or the NRT chain queue).
+	StageEnqueued Stage = "enqueued"
+	// StagePromoted marks an SRT identifier rewrite to a higher priority.
+	StagePromoted Stage = "promoted"
+	// StageArbWon marks the event's frame winning an arbitration round.
+	StageArbWon Stage = "arb_won"
+	// StageArbLost marks the frame competing in and losing a round.
+	StageArbLost Stage = "arb_lost"
+	// StageTxStart marks the frame starting to occupy the wire.
+	StageTxStart Stage = "tx_start"
+	// StageTxOK marks a successful (sender-observed) transmission.
+	StageTxOK Stage = "tx_ok"
+	// StageTxErr marks an error frame; the controller will retry unless
+	// the request was single-shot.
+	StageTxErr Stage = "tx_err"
+	// StageTxAbort marks a single-shot request abandoned after an error.
+	StageTxAbort Stage = "tx_abort"
+	// StageRx marks delivery of the frame to one receiving controller.
+	StageRx Stage = "rx"
+	// StageDelivered closes a trace: the subscriber's notification ran.
+	StageDelivered Stage = "delivered"
+	// StageDropped closes a trace without delivery (queue overflow,
+	// abandoned transmission, duplicate copy).
+	StageDropped Stage = "dropped"
+	// StageExpired closes a trace: temporal validity ended in the queue.
+	StageExpired Stage = "expired"
+	// StageShed closes a trace: value-based load shedding removed it.
+	StageShed Stage = "shed"
+)
+
+// Record is one timestamped stage of one event's life cycle.
+type Record struct {
+	// ID is the trace identifier assigned at publish; 0 marks system
+	// frames (clock sync, configuration) and untraced traffic.
+	ID    uint64 `json:"id,omitempty"`
+	Stage Stage  `json:"stage"`
+	// At is the kernel (global virtual) time in nanoseconds.
+	At sim.Time `json:"at"`
+	// Node is the station index the stage happened on (the receiver for
+	// rx/delivered stages), or -1 when unknown.
+	Node int `json:"node"`
+	// Class is the channel class (HRT/SRT/NRT) when known.
+	Class string `json:"class,omitempty"`
+	// Subject is the event channel's subject when known.
+	Subject uint64 `json:"subject,omitempty"`
+	// Etag is the 14-bit wire event tag for bus-level stages.
+	Etag uint16 `json:"etag,omitempty"`
+	// Prio is the frame priority for bus-level stages, -1 otherwise.
+	Prio int `json:"prio,omitempty"`
+	// Band names the priority band for bus-level stages.
+	Band string `json:"band,omitempty"`
+	// Attempt is the transmission attempt for bus-level stages.
+	Attempt int `json:"attempt,omitempty"`
+	// Detail carries a short human-readable annotation.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Tracer stores life-cycle stage records, bounded by an optional
+// capacity. It is driven from simulation-kernel context and therefore
+// needs no locking; one Tracer belongs to exactly one kernel. Trace IDs
+// and publish times are managed by the owning Observer, which also hands
+// them to the metrics side when tracing is off.
+type Tracer struct {
+	cap     int
+	recs    []Record
+	dropped uint64
+}
+
+func newTracer(cap int) *Tracer {
+	return &Tracer{cap: cap}
+}
+
+// add appends a record, honouring the capacity bound.
+func (t *Tracer) add(r Record) {
+	if t.cap > 0 && len(t.recs) >= t.cap {
+		t.dropped++
+		return
+	}
+	t.recs = append(t.recs, r)
+}
+
+// Records returns the recorded stages in emission order. The slice is the
+// tracer's backing store; callers must not mutate it.
+func (t *Tracer) Records() []Record { return t.recs }
+
+// Dropped reports how many records the capacity bound discarded.
+func (t *Tracer) Dropped() uint64 { return t.dropped }

@@ -16,6 +16,7 @@ import (
 	"canec/internal/can"
 	"canec/internal/clock"
 	"canec/internal/core"
+	"canec/internal/obs"
 	"canec/internal/sim"
 	"canec/internal/stats"
 )
@@ -63,6 +64,10 @@ type Scenario struct {
 	HRT            []HRTStream `json:"hrt"`
 	SRT            []SRTStream `json:"srt"`
 	NRT            []NRTBulk   `json:"nrt"`
+
+	// Observe enables the observability layer for the run. It is set
+	// programmatically (canectrace, tests), not from the JSON file.
+	Observe *obs.Config `json:"-"`
 }
 
 // Load parses a scenario from JSON.
@@ -139,6 +144,9 @@ type Report struct {
 	SRTLatency  *stats.Series
 	NRTBytes    int
 	Elapsed     sim.Duration
+	// Obs is the run's observability layer (nil unless Scenario.Observe
+	// was set): stage records via Obs.Records(), metrics via Obs.Registry().
+	Obs *obs.Observer
 }
 
 // String renders the report for terminals.
@@ -194,6 +202,7 @@ func (s *Scenario) Run() (*Report, error) {
 		Sync:             clock.DefaultSyncConfig(),
 		MaxDriftPPM:      s.MaxDriftPPM,
 		MaxInitialOffset: 200 * sim.Microsecond,
+		Observe:          s.Observe,
 	})
 	if err != nil {
 		return nil, err
@@ -336,6 +345,7 @@ func (s *Scenario) Run() (*Report, error) {
 	sys.Run(end - 600*sim.Microsecond)
 	rep.Counters = sys.TotalCounters()
 	rep.Utilization = sys.Utilization()
+	rep.Obs = sys.Obs
 	if cal != nil && len(firstHRTTimes) > 1 {
 		period := cal.SlotsForSubject(s.HRT[0].Subject)[0].Period(cal.Round)
 		rep.HRTJitter = stats.PeriodJitter(firstHRTTimes, period)

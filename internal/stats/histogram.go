@@ -60,8 +60,19 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.n)
 }
 
+// Sum returns the sum of all observed samples (including out-of-range).
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Buckets returns the number of fixed-width buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
 // Bucket returns the count of bucket i.
 func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// UpperBound returns the exclusive upper bound of bucket i.
+func (h *Histogram) UpperBound(i int) float64 {
+	return h.lo + float64(i+1)*(h.hi-h.lo)/float64(len(h.counts))
+}
 
 // OutOfRange returns the underflow and overflow counts.
 func (h *Histogram) OutOfRange() (under, over uint64) { return h.under, h.over }

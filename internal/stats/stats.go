@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"canec/internal/sim"
 )
@@ -199,44 +200,29 @@ func (t *Table) String() string {
 	return string(b)
 }
 
-// CSV renders the table as comma-separated values (cells containing
-// commas are quoted).
+// CSV renders the table as comma-separated values. Cells containing
+// commas, quotes or newlines are quoted per RFC 4180 (embedded quotes
+// doubled).
 func (t *Table) CSV() string {
-	var b []byte
+	var b strings.Builder
 	row := func(cells []string) {
 		for i, c := range cells {
 			if i > 0 {
-				b = append(b, ',')
+				b.WriteByte(',')
 			}
-			if containsAny(c, ",\"\n") {
-				b = append(b, '"')
-				for _, ch := range c {
-					if ch == '"' {
-						b = append(b, '"')
-					}
-					b = append(b, string(ch)...)
-				}
-				b = append(b, '"')
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
 			} else {
-				b = append(b, c...)
+				b.WriteString(c)
 			}
 		}
-		b = append(b, '\n')
+		b.WriteByte('\n')
 	}
 	row(t.Headers)
 	for _, r := range t.Rows {
 		row(r)
 	}
-	return string(b)
-}
-
-func containsAny(s, chars string) bool {
-	for _, c := range s {
-		for _, d := range chars {
-			if c == d {
-				return true
-			}
-		}
-	}
-	return false
+	return b.String()
 }

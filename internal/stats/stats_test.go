@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"encoding/csv"
 	"math"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -145,9 +147,29 @@ func TestTableString(t *testing.T) {
 func TestTableCSV(t *testing.T) {
 	tb := Table{Headers: []string{"a", "b"}}
 	tb.Add("x,y", `q"z`)
-	csv := tb.CSV()
+	out := tb.CSV()
 	want := "a,b\n\"x,y\",\"q\"\"z\"\n"
-	if csv != want {
-		t.Fatalf("CSV = %q, want %q", csv, want)
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+// TestTableCSVQuoting round-trips cells with every special character
+// through encoding/csv to prove the quoting is RFC 4180 compliant.
+func TestTableCSVQuoting(t *testing.T) {
+	rows := [][]string{
+		{"plain", "with,comma", `with"quote`},
+		{"multi\nline", `",mix\n"`, ""},
+		{`""`, ",", "\n"},
+	}
+	tb := Table{Headers: []string{"h1", "h,2", `h"3`}}
+	tb.Rows = rows
+	got, err := csv.NewReader(strings.NewReader(tb.CSV())).ReadAll()
+	if err != nil {
+		t.Fatalf("parse back: %v", err)
+	}
+	want := append([][]string{{"h1", "h,2", `h"3`}}, rows...)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip = %q, want %q", got, want)
 	}
 }

@@ -70,6 +70,41 @@ func TestRingFilter(t *testing.T) {
 	}
 }
 
+// TestRingFilterEvictionAccounting pins down the Total/Recorded/Entries
+// relationship when a filter and evictions are both active: Total counts
+// every offer, Recorded counts filter survivors, and Recorded −
+// len(Entries) is the eviction count.
+func TestRingFilterEvictionAccounting(t *testing.T) {
+	r := NewRing(3)
+	r.Filter = func(e can.TraceEvent) bool { return e.Kind == can.TraceTxOK }
+	for i := 0; i < 10; i++ {
+		kind := can.TraceTxOK
+		if i%2 == 1 {
+			kind = can.TraceRx
+		}
+		r.Record(ev(sim.Time(i), kind, 8))
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	if r.Recorded() != 5 {
+		t.Fatalf("Recorded = %d, want 5 (filter survivors)", r.Recorded())
+	}
+	es := r.Entries()
+	if len(es) != 3 {
+		t.Fatalf("entries = %d, want capacity 3", len(es))
+	}
+	if evicted := r.Recorded() - uint64(len(es)); evicted != 2 {
+		t.Fatalf("evictions = %d, want 2", evicted)
+	}
+	// The survivors kept are the most recent ones that passed the filter.
+	for i, e := range es {
+		if want := sim.Time(4 + 2*i); e.At != want {
+			t.Fatalf("entry %d at %d, want %d", i, e.At, want)
+		}
+	}
+}
+
 func TestRingZeroCapacity(t *testing.T) {
 	r := NewRing(0)
 	r.Record(ev(1, can.TraceTxOK, 8))
@@ -93,6 +128,48 @@ func TestFormat(t *testing.T) {
 	}
 	if !strings.Contains(Format(e), "TX-ERR") {
 		t.Fatal("kind label missing")
+	}
+}
+
+// TestFormatEdgeCases covers the rendering corners: unknown kinds,
+// empty payloads, retry annotation and whole-second timestamps.
+func TestFormatEdgeCases(t *testing.T) {
+	// Unknown kind renders as "?".
+	e := ev(0, can.TraceKind(99), 8)
+	if !strings.Contains(Format(e), "?") {
+		t.Fatalf("unknown kind not rendered as ?: %q", Format(e))
+	}
+
+	// Zero-length payload: "[0]" with no data bytes before the kind.
+	e = ev(0, can.TraceTxOK, 8)
+	e.Frame.Data = nil
+	if line := Format(e); !strings.Contains(line, "[0]  TX-OK") {
+		t.Fatalf("empty payload rendering: %q", line)
+	}
+
+	// Attempt > 1 gains a try= suffix; attempt 1 must not.
+	e = ev(0, can.TraceTxOK, 8)
+	e.Attempt = 2
+	if line := Format(e); !strings.HasSuffix(line, "try=2") {
+		t.Fatalf("retry annotation: %q", line)
+	}
+	e.Attempt = 1
+	if line := Format(e); strings.Contains(line, "try=") {
+		t.Fatalf("attempt 1 must not be annotated: %q", line)
+	}
+
+	// Timestamps at and past one second keep nanosecond alignment.
+	e = ev(sim.Time(2*sim.Second+sim.Nanosecond*42), can.TraceTxOK, 8)
+	if line := Format(e); !strings.HasPrefix(line, "2.000000042") {
+		t.Fatalf("second-scale timestamp: %q", line)
+	}
+
+	// Arbitration kinds have distinct labels.
+	if !strings.Contains(Format(ev(0, can.TraceArbWin, 8)), "ARB-WIN") {
+		t.Fatal("ARB-WIN label missing")
+	}
+	if !strings.Contains(Format(ev(0, can.TraceArbLoss, 8)), "ARB-LOSS") {
+		t.Fatal("ARB-LOSS label missing")
 	}
 }
 
