@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench tidy
+.PHONY: all build vet test race check chaos-smoke bench tidy
 
 all: check
 
@@ -16,9 +16,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the PR gate: compile everything, vet, and run the full suite
-# under the race detector.
-check: build vet race
+# chaos-smoke replays the seeded fault campaign (crash/restart, error
+# burst, omission window, babbling idiot + bus guardian) on three seeds
+# under the race detector and asserts per-seed determinism — the fast
+# dependability gate.
+chaos-smoke:
+	$(GO) test -race -short -run 'TestChaosSmokeSeeds|TestCampaignDeterministicPerSeed' ./internal/chaos/
+
+# check is the PR gate: compile everything, vet, run the full suite under
+# the race detector, and replay the chaos smoke sweep.
+check: build vet race chaos-smoke
 
 bench:
 	$(GO) test -bench . -benchmem ./internal/can ./internal/sim

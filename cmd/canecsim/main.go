@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +16,7 @@ import (
 
 	"canec"
 	"canec/internal/can"
+	"canec/internal/chaos"
 	"canec/internal/obs"
 	"canec/internal/scenario"
 	"canec/internal/sim"
@@ -35,12 +37,17 @@ func main() {
 		drift    = flag.Float64("drift", 100, "max clock drift (ppm)")
 		traceN   = flag.Int("trace", 0, "dump the last N bus events candump-style")
 		config   = flag.String("config", "", "run a JSON scenario file instead of the flag-driven mix")
+		chaosCfg = flag.String("chaos", "", "JSON chaos script (crash/restart/burst/omission/babble campaign) applied to the -config scenario")
 		hist     = flag.Bool("hist", false, "print latency distribution histograms")
 		prom     = flag.String("prom", "", "write the run's metrics registry to this file (Prometheus text format)")
 	)
 	flag.Parse()
+	if *chaosCfg != "" && *config == "" {
+		fmt.Fprintln(os.Stderr, "canecsim: -chaos needs a -config scenario to inject faults into")
+		os.Exit(1)
+	}
 	if *config != "" {
-		if err := runConfig(*config, *prom); err != nil {
+		if err := runConfig(*config, *prom, *chaosCfg); err != nil {
 			fmt.Fprintln(os.Stderr, "canecsim:", err)
 			os.Exit(1)
 		}
@@ -62,8 +69,9 @@ func writeProm(reg *obs.Registry, path string) error {
 	return reg.WriteText(f)
 }
 
-// runConfig loads and executes a declarative scenario file.
-func runConfig(path, prom string) error {
+// runConfig loads and executes a declarative scenario file, optionally
+// overlaying a chaos campaign script.
+func runConfig(path, prom, chaosPath string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -73,6 +81,23 @@ func runConfig(path, prom string) error {
 	if err != nil {
 		return err
 	}
+	if chaosPath != "" {
+		cf, err := os.Open(chaosPath)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		var script chaos.Script
+		dec := json.NewDecoder(cf)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&script); err != nil {
+			return fmt.Errorf("chaos script %s: %w", chaosPath, err)
+		}
+		sc.Chaos = &script
+		if err := sc.Validate(); err != nil {
+			return err
+		}
+	}
 	if prom != "" {
 		sc.Observe = &obs.Config{Metrics: true}
 	}
@@ -81,6 +106,9 @@ func runConfig(path, prom string) error {
 		return err
 	}
 	fmt.Print(rep.String())
+	if rep.Chaos != nil && len(rep.Chaos.Violations) > 0 {
+		return fmt.Errorf("%d trace invariants violated", len(rep.Chaos.Violations))
+	}
 	if prom != "" {
 		return writeProm(rep.Obs.Registry(), prom)
 	}

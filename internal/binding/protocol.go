@@ -122,6 +122,17 @@ func (a *Agent) reply(payload []byte) {
 // Nodes returns the number of assigned node numbers.
 func (a *Agent) Nodes() int { return len(a.nodesByUID) }
 
+// Preassign records a uid→node assignment made off-line (the statically
+// configured stations of a segment), so a station re-joining after a crash
+// gets its original node number back and fresh joins allocate beyond the
+// static range.
+func (a *Agent) Preassign(uid uint64, node can.TxNode) {
+	a.nodesByUID[uid] = node
+	if node >= a.nextNode {
+		a.nextNode = node + 1
+	}
+}
+
 // Temporary TxNode range used by still-unconfigured nodes for their join
 // requests. Collisions inside this range are possible and are resolved by
 // the collision-detect/re-randomize loop in Client.Join.
@@ -332,6 +343,14 @@ func (c *Client) HandleFrame(f can.Frame, _ sim.Time) {
 			low48 |= uint64(f.Data[2+i]) << (8 * i)
 		}
 		if call.uid&(1<<48-1) != low48 {
+			return
+		}
+		if c.Ctrl.Pending() > 0 {
+			// A concurrent request (e.g. a bind issued before the join
+			// finished) is still queued under the temporary node number;
+			// switching now would orphan it. Drop the ack — the agent's
+			// uid→node assignment is stable, so the timeout retry will be
+			// acked with the same number once the queue drains.
 			return
 		}
 		c.joining = nil

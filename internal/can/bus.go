@@ -11,13 +11,14 @@ const DefaultBitRate = 1_000_000
 type TraceKind int
 
 const (
-	TraceTxStart TraceKind = iota // a frame won arbitration and started
-	TraceTxOK                     // transmitted without detected error
-	TraceTxError                  // error frame signalled; will retransmit
-	TraceTxAbort                  // abandoned (single-shot after error)
-	TraceRx                       // delivered to one receiver
-	TraceArbWin                   // this frame won the arbitration round
-	TraceArbLoss                  // this frame competed and lost the round
+	TraceTxStart   TraceKind = iota // a frame won arbitration and started
+	TraceTxOK                       // transmitted without detected error
+	TraceTxError                    // error frame signalled; will retransmit
+	TraceTxAbort                    // abandoned (single-shot after error)
+	TraceRx                         // delivered to one receiver
+	TraceArbWin                     // this frame won the arbitration round
+	TraceArbLoss                    // this frame competed and lost the round
+	TraceGuardMute                  // the bus guardian muted a calendar-violating frame
 )
 
 // TraceEvent is emitted through Bus.Trace for observability and metrics.
@@ -34,14 +35,41 @@ type TraceEvent struct {
 
 // Stats aggregates bus-level counters.
 type Stats struct {
-	FramesOK      uint64
-	FramesError   uint64 // error-frame signalling events
-	FramesAborted uint64
-	BusOffEvents  uint64       // controllers driven bus-off (fault confinement)
-	Omissions     uint64       // inconsistent-omission deliveries suppressed
-	BusyTime      sim.Duration // wire time consumed by frames + error frames
-	ArbRounds     uint64
-	IDRewrites    uint64 // priority promotions applied in controller buffers
+	FramesOK         uint64
+	FramesError      uint64 // error-frame signalling events
+	FramesAborted    uint64
+	BusOffEvents     uint64       // controllers driven bus-off (fault confinement)
+	Omissions        uint64       // inconsistent-omission deliveries suppressed
+	BusyTime         sim.Duration // wire time consumed by frames + error frames
+	ArbRounds        uint64
+	IDRewrites       uint64 // priority promotions applied in controller buffers
+	GuardianMuted    uint64 // transmissions muted by the bus guardian
+	GuardianIsolated uint64 // controllers isolated (muted entirely) by the guardian
+}
+
+// GuardianVerdict is the bus guardian's decision about one pending frame.
+type GuardianVerdict int
+
+const (
+	// GuardAllow lets the frame compete in arbitration.
+	GuardAllow GuardianVerdict = iota
+	// GuardMuteFrame drops this transmission request: the frame never
+	// reaches the wire and its Done callback (if any) observes failure.
+	GuardMuteFrame
+	// GuardMuteNode drops the frame AND isolates the whole controller
+	// (babbling-idiot containment, like a TTP bus guardian cutting the
+	// transmit path). The controller stays muted until Reattach.
+	GuardMuteNode
+)
+
+// Guardian vets pending frames before they may compete in arbitration. A
+// guardian is the classic defense against the babbling-idiot failure mode
+// of event-triggered buses: a node transmitting at the reserved top
+// priority outside its calendar slots would starve every hard real-time
+// channel, so an independent instance checks each transmission against
+// the static schedule. Implementations must be deterministic.
+type Guardian interface {
+	Judge(f Frame, sender int, at sim.Time) GuardianVerdict
 }
 
 // Bus is the shared CAN medium connecting a set of Controllers.
@@ -66,6 +94,10 @@ type Bus struct {
 	// counters and bus-off with automatic recovery. Off by default — the
 	// paper's experiments assume error-active controllers.
 	ConfineFaults bool
+	// Guardian, if non-nil, vets every pending frame before it may enter
+	// arbitration (babbling-idiot defense). Off by default — the paper
+	// assumes well-behaved middleware on every node.
+	Guardian Guardian
 
 	ctrls      []*Controller
 	busy       bool
@@ -77,6 +109,10 @@ type Bus struct {
 	curSender  int
 	curTied    []*txReq
 	curTiedIdx []int
+	// curCrashed is set when the sender of the in-flight frame detached
+	// (crashed) mid-transmission: the truncated frame ends in an error
+	// frame at every receiver, exactly as on a real bus.
+	curCrashed bool
 }
 
 // NewBus creates a bus on the given kernel. bitRate <= 0 selects the
@@ -139,7 +175,7 @@ func (b *Bus) arbitrate() {
 		if c.muted {
 			continue
 		}
-		if r := c.best(); r != nil {
+		if r := b.guardedBest(c, i); r != nil {
 			switch {
 			case win == nil || r.frame.ID < win.frame.ID:
 				win, winIdx = r, i
@@ -192,6 +228,36 @@ func (b *Bus) arbitrate() {
 	b.K.After(dur, func() { b.complete(dur) })
 }
 
+// guardedBest returns the controller's best pending frame after the bus
+// guardian (if installed) vetted it. Muted frames are removed and their
+// submitters observe failure; a GuardMuteNode verdict additionally
+// isolates the controller for the rest of the run (until Reattach).
+func (b *Bus) guardedBest(c *Controller, idx int) *txReq {
+	for {
+		r := c.best()
+		if r == nil || b.Guardian == nil {
+			return r
+		}
+		verdict := b.Guardian.Judge(r.frame, idx, b.K.Now())
+		if verdict == GuardAllow {
+			return r
+		}
+		c.remove(r)
+		b.stats.GuardianMuted++
+		if b.Trace != nil {
+			b.Trace(TraceEvent{Kind: TraceGuardMute, At: b.K.Now(), Frame: r.frame, Sender: idx, Attempt: r.attempt})
+		}
+		if r.done != nil {
+			r.done(false, b.K.Now())
+		}
+		if verdict == GuardMuteNode {
+			c.muted = true
+			b.stats.GuardianIsolated++
+			return nil
+		}
+	}
+}
+
 // complete finishes the in-flight transmission, consulting the fault
 // injector for its outcome.
 func (b *Bus) complete(dur sim.Duration) {
@@ -208,6 +274,13 @@ func (b *Bus) complete(dur sim.Duration) {
 	fault := b.Injector.Judge(req.frame, sender, req.attempt, b.K.Now(), b.K.RNG())
 	if len(tied) > 0 {
 		// A duplicate-ID collision always corrupts the attempt.
+		fault = Fault{Kind: FaultError}
+	}
+	if b.curCrashed {
+		// The transmitter detached mid-frame: the wire saw a truncated
+		// frame, which every receiver signals as an error. The request was
+		// already flushed by Detach, so nothing is retransmitted.
+		b.curCrashed = false
 		fault = Fault{Kind: FaultError}
 	}
 	if b.ConfineFaults {

@@ -82,6 +82,33 @@ func (c *Controller) Mute(m bool) {
 // Muted reports whether the controller is muted.
 func (c *Controller) Muted() bool { return c.muted }
 
+// Detach models a whole-node crash: the controller is muted, every queued
+// transmission is silently discarded (the host CPU that would observe the
+// Done callbacks is gone), and a frame currently on the wire is truncated
+// so receivers see an error frame instead of a valid transmission. Filters
+// are reset to the power-up default so a later Reattach starts from a
+// clean controller, exactly like a cold boot.
+func (c *Controller) Detach() {
+	c.muted = true
+	if c.bus.cur != nil && c.bus.curSender == c.index {
+		c.bus.curCrashed = true
+	}
+	for _, r := range c.pending {
+		r.removed = true
+	}
+	c.pending = nil
+	c.filters = nil
+}
+
+// Reattach reverses Detach (node restart): the controller re-joins the
+// bus with empty buffers and open filters, and pending arbitration is
+// kicked so waiting traffic proceeds. The middleware is expected to
+// reconfigure filters and node number before submitting traffic.
+func (c *Controller) Reattach() {
+	c.muted = false
+	c.bus.kick()
+}
+
 // OpenFilter accepts all frames (the power-up default of the model).
 func (c *Controller) OpenFilter() { c.filters = nil }
 

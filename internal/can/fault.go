@@ -1,6 +1,10 @@
 package can
 
-import "canec/internal/sim"
+import (
+	"fmt"
+
+	"canec/internal/sim"
+)
 
 // FaultKind classifies what happens to one transmission attempt.
 type FaultKind int
@@ -66,14 +70,35 @@ func (r RandomErrors) Judge(_ Frame, _ int, _ int, _ sim.Time, rng *sim.RNG) Fau
 // RandomOmissions injects inconsistent omissions: with probability Rate a
 // transmission is silently missed by each potential receiver independently
 // with probability VictimProb.
+//
+// Receivers MUST be set to the total number of controllers on the bus:
+// victims are drawn from controller indices [0, Receivers). The zero value
+// would silently inject nothing (no indices to victimise), so Judge treats
+// an unset Receivers as a configuration error and panics; construct the
+// injector with NewRandomOmissions, which validates all three fields.
 type RandomOmissions struct {
 	Rate       float64
 	VictimProb float64
-	Receivers  int // total number of controllers on the bus
+	Receivers  int // total number of controllers on the bus (required, > 0)
+}
+
+// NewRandomOmissions returns a validated omission injector for a bus with
+// the given number of controllers (e.g. bus.Controllers()).
+func NewRandomOmissions(rate, victimProb float64, receivers int) RandomOmissions {
+	if receivers <= 0 {
+		panic(fmt.Sprintf("can: RandomOmissions needs a positive receiver count, got %d", receivers))
+	}
+	if rate < 0 || rate > 1 || victimProb < 0 || victimProb > 1 {
+		panic(fmt.Sprintf("can: RandomOmissions probabilities out of [0,1]: rate=%v victimProb=%v", rate, victimProb))
+	}
+	return RandomOmissions{Rate: rate, VictimProb: victimProb, Receivers: receivers}
 }
 
 // Judge implements Injector.
 func (r RandomOmissions) Judge(_ Frame, sender int, _ int, _ sim.Time, rng *sim.RNG) Fault {
+	if r.Receivers <= 0 {
+		panic("can: RandomOmissions.Receivers unset (would silently inject nothing); use NewRandomOmissions")
+	}
 	if !rng.Bool(r.Rate) {
 		return Fault{}
 	}

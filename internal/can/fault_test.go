@@ -1,0 +1,93 @@
+package can
+
+import (
+	"testing"
+
+	"canec/internal/sim"
+)
+
+// TestRandomOmissionsZeroValuePanics pins the fix for the zero-value
+// footgun: a RandomOmissions with Receivers unset used to silently inject
+// nothing; it must now panic loudly instead.
+func TestRandomOmissionsZeroValuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-value RandomOmissions.Judge did not panic")
+		}
+	}()
+	rng := sim.NewRNG(1)
+	RandomOmissions{Rate: 1, VictimProb: 1}.Judge(Frame{}, 0, 1, 0, rng)
+}
+
+// TestNewRandomOmissionsValidates covers the constructor's argument checks
+// and that a valid injector actually produces omissions.
+func TestNewRandomOmissionsValidates(t *testing.T) {
+	for _, tc := range []struct {
+		name             string
+		rate, victimProb float64
+		receivers        int
+	}{
+		{"zero receivers", 0.5, 0.5, 0},
+		{"negative receivers", 0.5, 0.5, -3},
+		{"rate > 1", 1.5, 0.5, 4},
+		{"negative victimProb", 0.5, -0.1, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("NewRandomOmissions did not panic")
+				}
+			}()
+			NewRandomOmissions(tc.rate, tc.victimProb, tc.receivers)
+		})
+	}
+
+	inj := NewRandomOmissions(1, 1, 4)
+	rng := sim.NewRNG(1)
+	v := inj.Judge(Frame{}, 2, 1, 0, rng)
+	if v.Kind != FaultOmission {
+		t.Fatalf("verdict = %v, want FaultOmission", v.Kind)
+	}
+	if len(v.Victims) != 3 || v.Victims[2] {
+		t.Fatalf("victims = %v, want all receivers except sender 2", v.Victims)
+	}
+}
+
+// TestAdversarialKAttemptNumbering pins the attempt-numbering convention
+// the calendar's WCTT dimensioning relies on: the first attempt is 1, so an
+// AdversarialK{K} injector corrupts attempts 1..K and the frame succeeds on
+// attempt K+1 after exactly K error frames.
+func TestAdversarialKAttemptNumbering(t *testing.T) {
+	const kFaults = 2
+	k, b := rig(2, 1)
+	b.Injector = AdversarialK{K: kFaults, Prio: -1}
+
+	var errAttempts []int
+	okAttempt := -1
+	b.Trace = func(e TraceEvent) {
+		switch e.Kind {
+		case TraceTxError:
+			errAttempts = append(errAttempts, e.Attempt)
+		case TraceTxOK:
+			okAttempt = e.Attempt
+		}
+	}
+	delivered := 0
+	b.Controller(1).OnReceive = func(Frame, sim.Time) { delivered++ }
+
+	b.Controller(0).Submit(Frame{ID: MakeID(10, 0, 1), Data: []byte{1}}, SubmitOpts{})
+	k.RunUntilIdle()
+
+	if len(errAttempts) != kFaults || errAttempts[0] != 1 || errAttempts[1] != 2 {
+		t.Fatalf("error attempts = %v, want [1 2]", errAttempts)
+	}
+	if okAttempt != kFaults+1 {
+		t.Fatalf("success on attempt %d, want %d", okAttempt, kFaults+1)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
+	}
+	if st := b.Stats(); st.FramesError != kFaults || st.FramesOK != 1 {
+		t.Fatalf("stats = %+v, want %d errors and 1 ok", st, kFaults)
+	}
+}

@@ -1,0 +1,298 @@
+// Package chaos is the fault-campaign harness: deterministic, seed-driven
+// scripts of whole-node and bus-level fault events (crash, restart, error
+// burst, omission window, babbling idiot) executed against a core.System,
+// plus invariant checkers that replay the observability trace and assert
+// the paper's dependability claims end to end.
+//
+// Everything is driven from the simulation kernel, so a campaign is exactly
+// reproducible per seed: same script + same seed ⇒ identical trace.
+package chaos
+
+import (
+	"fmt"
+
+	"canec/internal/calendar"
+	"canec/internal/can"
+	"canec/internal/clock"
+	"canec/internal/core"
+	"canec/internal/sim"
+)
+
+// Event is one scripted fault. Times are virtual milliseconds from the
+// start of the run, so scripts read naturally in JSON.
+type Event struct {
+	// Kind is one of crash, restart, burst, omission, babble.
+	Kind string `json:"kind"`
+	// AtMS is when the event fires (crash/restart) or the window opens
+	// (burst/omission/babble).
+	AtMS float64 `json:"at_ms"`
+	// UntilMS closes the window for burst/omission/babble events.
+	UntilMS float64 `json:"until_ms,omitempty"`
+	// Node is the target station for crash/restart/babble.
+	Node int `json:"node,omitempty"`
+	// Rate is the per-attempt fault probability for omission windows.
+	Rate float64 `json:"rate,omitempty"`
+	// VictimProb is the per-receiver miss probability for omission windows.
+	VictimProb float64 `json:"victim_prob,omitempty"`
+}
+
+// Script is a reproducible fault campaign.
+type Script struct {
+	// Guardian arms the calendar-aware bus guardian for the run.
+	Guardian bool `json:"guardian,omitempty"`
+	// GuardianLimit escalates frame muting to node isolation after this
+	// many violations by one station (0 = never isolate).
+	GuardianLimit int `json:"guardian_limit,omitempty"`
+	// Events in any order; Install sorts nothing — the kernel does.
+	Events []Event `json:"events"`
+}
+
+// Validate checks the script's internal consistency against a station
+// count.
+func (s Script) Validate(nodes int) error {
+	downs := make(map[int]int)
+	for i, e := range s.Events {
+		switch e.Kind {
+		case "crash":
+			downs[e.Node]++
+		case "restart":
+			downs[e.Node]--
+		case "burst", "omission", "babble":
+			if e.UntilMS <= e.AtMS {
+				return fmt.Errorf("chaos: event %d (%s) has empty window [%v, %v)", i, e.Kind, e.AtMS, e.UntilMS)
+			}
+			if e.Kind == "omission" && (e.Rate <= 0 || e.Rate > 1 || e.VictimProb <= 0 || e.VictimProb > 1) {
+				return fmt.Errorf("chaos: event %d omission probabilities out of range", i)
+			}
+		default:
+			return fmt.Errorf("chaos: event %d has unknown kind %q", i, e.Kind)
+		}
+		if e.AtMS < 0 {
+			return fmt.Errorf("chaos: event %d fires at negative time", i)
+		}
+		if e.Node < 0 || e.Node >= nodes {
+			return fmt.Errorf("chaos: event %d targets station %d of %d", i, e.Node, nodes)
+		}
+		if e.Kind == "crash" && e.Node == 0 {
+			return fmt.Errorf("chaos: event %d crashes station 0 (binding agent)", i)
+		}
+	}
+	for n, d := range downs {
+		if d < 0 {
+			return fmt.Errorf("chaos: station %d restarted more often than crashed", n)
+		}
+	}
+	return nil
+}
+
+// ms converts script milliseconds to kernel time.
+func ms(v float64) sim.Time { return sim.Time(v * float64(sim.Millisecond)) }
+
+// Campaign binds a script to a system and executes it.
+type Campaign struct {
+	Sys    *core.System
+	LC     *core.Lifecycle
+	Script Script
+	// Guardian is the installed bus guardian (nil unless Script.Guardian).
+	Guardian *calendar.Guardian
+	// Babblers by station index, populated by Install.
+	Babblers map[int]*Babbler
+	// Errors collects failures of scheduled events (e.g. a restart of a
+	// station that was never crashed); deterministic scripts should leave
+	// it empty.
+	Errors []error
+}
+
+// NewCampaign prepares a campaign. The system must be observed with
+// tracing enabled — the invariant checkers replay the trace. The caller
+// keeps responsibility for creating channels and traffic (and for
+// re-creating them via lc.OnRestart).
+func NewCampaign(sys *core.System, lc *core.Lifecycle, script Script) (*Campaign, error) {
+	if sys.Obs.Tracer() == nil {
+		return nil, fmt.Errorf("chaos: campaign needs an observed system with tracing enabled")
+	}
+	if err := script.Validate(len(sys.Nodes)); err != nil {
+		return nil, err
+	}
+	c := &Campaign{Sys: sys, LC: lc, Script: script, Babblers: make(map[int]*Babbler)}
+	if script.Guardian {
+		if sys.Cfg.Calendar == nil {
+			return nil, fmt.Errorf("chaos: guardian needs a calendar")
+		}
+		c.Guardian = calendar.NewGuardian(sys.Cfg.Calendar, sys.Cfg.Epoch, script.GuardianLimit)
+		// On a drifting-clock system the calendar grid lives in the
+		// synchronized timebase, which is anchored to the sync master's
+		// drifting clock, not to kernel time. Give the guardian the master's
+		// clock (a hardware guardian keeps its own synchronized clock), and
+		// widen the slot slack to the analytical precision bound when it
+		// exceeds the calendar's ΔG_min, so an honest station is never muted.
+		if sys.Syncer != nil {
+			master := sys.Clocks[0]
+			c.Guardian.LocalAt = master.Read
+			if p := clock.PrecisionBound(sys.Cfg.Sync, sys.Cfg.MaxDriftPPM); p > c.Guardian.Cal.Cfg.GapMin {
+				c.Guardian.Slack = p
+			}
+		}
+		sys.Bus.Guardian = c.Guardian
+	}
+	return c, nil
+}
+
+// Install schedules every scripted event on the kernel. Fault windows are
+// chained onto the bus's existing injector.
+func (c *Campaign) Install() {
+	k := c.Sys.K
+	chain := can.Chain{c.Sys.Bus.Injector}
+	for _, e := range c.Script.Events {
+		e := e
+		switch e.Kind {
+		case "crash":
+			k.At(ms(e.AtMS), func() {
+				if err := c.LC.Crash(e.Node); err != nil {
+					c.Errors = append(c.Errors, err)
+				}
+			})
+		case "restart":
+			k.At(ms(e.AtMS), func() {
+				if err := c.LC.Restart(e.Node); err != nil {
+					c.Errors = append(c.Errors, err)
+				}
+			})
+		case "burst":
+			chain = append(chain, can.BurstErrors{Start: ms(e.AtMS), End: ms(e.UntilMS)})
+		case "omission":
+			chain = append(chain, window{
+				start: ms(e.AtMS), end: ms(e.UntilMS),
+				inner: can.NewRandomOmissions(e.Rate, e.VictimProb, c.Sys.Bus.Controllers()),
+			})
+		case "babble":
+			b := c.babbler(e.Node)
+			k.At(ms(e.AtMS), func() { b.Start(ms(e.UntilMS)) })
+		}
+	}
+	if len(chain) > 1 {
+		c.Sys.Bus.Injector = chain
+	}
+}
+
+func (c *Campaign) babbler(node int) *Babbler {
+	b, ok := c.Babblers[node]
+	if !ok {
+		b = &Babbler{K: c.Sys.K, Ctrl: c.Sys.Bus.Controller(node), Etag: 0x3210}
+		c.Babblers[node] = b
+	}
+	return b
+}
+
+// window gates an injector to a kernel-time interval.
+type window struct {
+	start, end sim.Time
+	inner      can.Injector
+}
+
+// Judge implements can.Injector.
+func (w window) Judge(f can.Frame, sender, attempt int, at sim.Time, rng *sim.RNG) can.Fault {
+	if at < w.start || at >= w.end {
+		return can.Fault{}
+	}
+	return w.inner.Judge(f, sender, attempt, at, rng)
+}
+
+// Babbler models the babbling-idiot failure: a station that transmits at
+// the reserved HRT priority 0, back to back, with no regard for the
+// calendar. Without a bus guardian it starves every legitimate HRT slot
+// whose publisher has a higher (numerically larger) node number; with one
+// its frames are muted before reaching the wire.
+type Babbler struct {
+	K    *sim.Kernel
+	Ctrl *can.Controller
+	// Etag carried by the babble frames (any value works: the damage is
+	// wire occupation, not content).
+	Etag can.Etag
+
+	active bool
+	until  sim.Time
+	// Sent counts babble frames that made it onto the wire; Muted counts
+	// submissions that failed (bus guardian or single-shot loss).
+	Sent, Muted int
+}
+
+// Start begins babbling until the given kernel time. Restarting an active
+// babbler just extends the window.
+func (b *Babbler) Start(until sim.Time) {
+	b.until = until
+	if b.active {
+		return
+	}
+	b.active = true
+	b.next()
+}
+
+// Stop ends the babble immediately.
+func (b *Babbler) Stop() { b.active = false }
+
+func (b *Babbler) next() {
+	if !b.active || b.K.Now() >= b.until || b.Ctrl.Muted() {
+		b.active = false
+		return
+	}
+	f := can.Frame{
+		ID:   can.MakeID(0, b.Ctrl.Node(), b.Etag),
+		Data: []byte{0xBA, 0xBB, 0x1E, 0, 0, 0, 0, 0},
+	}
+	b.Ctrl.Submit(f, can.SubmitOpts{Done: func(ok bool, _ sim.Time) {
+		if ok {
+			b.Sent++
+			// Back to back: resubmit as soon as this frame left the wire.
+			b.K.After(0, b.next)
+			return
+		}
+		b.Muted++
+		// A muted frame fails synchronously during arbitration; back off a
+		// little so the retry cannot livelock the current instant.
+		b.K.After(20*sim.Microsecond, b.next)
+	}})
+}
+
+// Report summarises a finished campaign for logs and experiment output.
+type Report struct {
+	Crashes, Restarts int
+	GuardianMuted     uint64
+	GuardianIsolated  uint64
+	BabbleSent        int
+	BabbleMuted       int
+	Violations        []Violation
+	// Errors are scripted events that failed to execute (e.g. a restart of
+	// a station that was never crashed).
+	Errors []string
+}
+
+// Finish runs the invariant checkers over the recorded trace and returns
+// the campaign report. recoveryRounds bounds how many rounds a recovered
+// node may need to re-occupy its slots (0 selects the default).
+func (c *Campaign) Finish(recoveryRounds int) Report {
+	var round sim.Duration
+	if cal := c.Sys.Cfg.Calendar; cal != nil {
+		round = cal.Round
+	}
+	rep := Report{
+		Crashes:  c.LC.CrashCount,
+		Restarts: c.LC.RestartCount,
+		Violations: CheckAll(CheckContext{
+			Records:        c.Sys.Obs.Records(),
+			Round:          round,
+			RecoveryRounds: recoveryRounds,
+		}),
+	}
+	st := c.Sys.Bus.Stats()
+	rep.GuardianMuted = st.GuardianMuted
+	rep.GuardianIsolated = st.GuardianIsolated
+	for _, b := range c.Babblers {
+		rep.BabbleSent += b.Sent
+		rep.BabbleMuted += b.Muted
+	}
+	for _, e := range c.Errors {
+		rep.Errors = append(rep.Errors, e.Error())
+	}
+	return rep
+}

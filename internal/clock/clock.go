@@ -77,6 +77,20 @@ func (c *Clock) watch(fn func()) (cancel func()) {
 	return func() { delete(c.watchers, id) }
 }
 
+// AfterNextAdjustment runs fn once, right after the next state correction
+// applied to this clock. A rebooted node uses it to wait until the
+// synchronization protocol has pulled its cold-booted clock back into the
+// global time base before re-entering the calendar. The returned function
+// cancels the wait.
+func (c *Clock) AfterNextAdjustment(fn func()) (cancel func()) {
+	var unwatch func()
+	unwatch = c.watch(func() {
+		unwatch()
+		fn()
+	})
+	return unwatch
+}
+
 // notify runs the watchers registered at notification time; watchers
 // added or removed by a callback take effect on the next adjustment.
 func (c *Clock) notify() {

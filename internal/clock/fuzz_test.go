@@ -1,0 +1,60 @@
+package clock
+
+import (
+	"testing"
+
+	"canec/internal/can"
+	"canec/internal/sim"
+)
+
+// FuzzSyncerHandleFrame feeds arbitrary sync-channel payloads into the
+// follower-side parser. No input may panic it, and a frame that is not a
+// well-formed SYNC/FOLLOW-UP pair must leave the follower clocks
+// untouched.
+func FuzzSyncerHandleFrame(f *testing.F) {
+	f.Add([]byte{packHeader(msgSync, 3)}, 1)
+	f.Add([]byte{packHeader(msgFollowUp, 3), 1, 2, 3, 4, 5, 6, 7}, 1)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, 2)
+	f.Add([]byte{}, 0)
+	f.Fuzz(func(t *testing.T, data []byte, node int) {
+		if len(data) > can.MaxPayload {
+			data = data[:can.MaxPayload]
+		}
+		k := sim.NewKernel(1)
+		bus := can.NewBus(k, can.DefaultBitRate)
+		clocks := []*Clock{New(0, 0), New(50, sim.Microsecond), New(-50, 0)}
+		for i := range clocks {
+			bus.Attach(can.TxNode(i))
+		}
+		s := NewSyncer(k, bus, DefaultSyncConfig(), 0, clocks)
+		node = ((node % len(clocks)) + len(clocks)) % len(clocks)
+		before := clocks[node].OffsetAt(0)
+		s.HandleFrame(node, can.Frame{
+			ID:   can.MakeID(1, 0, can.Etag(0x3FFF)),
+			Data: data,
+		}, sim.Millisecond)
+		// A lone frame can never adjust a clock: SYNC only records a
+		// timestamp, FOLLOW-UP needs a recorded SYNC to pair with.
+		if clocks[node].OffsetAt(0) != before {
+			t.Fatalf("single frame adjusted clock %d", node)
+		}
+	})
+}
+
+// FuzzTSRoundTrip pins the 56-bit timestamp encoding used by FOLLOW-UP
+// frames: non-negative times below 2^55 must survive the wire.
+func FuzzTSRoundTrip(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(sim.Second))
+	f.Add(int64(1) << 54)
+	f.Fuzz(func(t *testing.T, v int64) {
+		if v < 0 || v >= 1<<55 {
+			t.Skip()
+		}
+		var buf [7]byte
+		putTS(buf[:], sim.Time(v))
+		if got := getTS(buf[:]); got != sim.Time(v) {
+			t.Fatalf("getTS(putTS(%d)) = %d", v, got)
+		}
+	})
+}

@@ -70,9 +70,22 @@ func (c *HRTEC) Announce(attrs ChannelAttrs, exc ExceptionHandler) error {
 	}
 	ch.announced = true
 	for _, s := range slots {
-		c.runSlot(s, s.NextActive(0))
+		c.runSlot(s, s.NextActive(mw.startRound(s.Ready)))
 	}
 	return nil
+}
+
+// startRound returns the first round whose given slot offset has not yet
+// passed on the local clock. A node announcing or subscribing mid-run —
+// most importantly after a crash/restart — enters the calendar at the
+// current phase instead of replaying every occurrence since round 0 (which
+// would fire a catch-up cascade of spurious slot occurrences).
+func (mw *Middleware) startRound(offset sim.Duration) int64 {
+	rel := mw.LocalTime() - mw.Epoch - offset
+	if rel <= 0 {
+		return 0
+	}
+	return int64((rel + mw.Cal.Round - 1) / mw.Cal.Round)
 }
 
 // ownedSlots returns the calendar slots for (subject, publisher).
@@ -246,7 +259,7 @@ func (c *HRTEC) Subscribe(attrs ChannelAttrs, sub SubscribeAttrs, notify Notific
 	ch.subscribed = true
 	mw.node.Ctrl.AddFilter(ch.etag)
 	for _, s := range slots {
-		c.runDeliver(s, s.NextActive(0))
+		c.runDeliver(s, s.NextActive(mw.startRound(s.Deadline(mw.Cal.Cfg))))
 	}
 	return nil
 }
@@ -425,6 +438,9 @@ func (c *HRTEC) runDeliver(slot calendar.Slot, round int64) {
 					Kind: ExcSlotMissed, Subject: ch.subject, At: mw.K.Now(),
 					Detail: fmt.Sprintf("no event from node %d in round %d", slot.Publisher, round),
 				})
+				mw.Obs.Emit(0, obs.StageMissed, HRT.String(), mw.node.Index,
+					uint64(ch.subject), mw.K.Now(),
+					fmt.Sprintf("publisher %d round %d", slot.Publisher, round))
 			})
 		}
 		c.runDeliver(slot, slot.NextActive(round+1))

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"canec/internal/binding"
+	"canec/internal/can"
+	"canec/internal/obs"
+	"canec/internal/sim"
+)
+
+// Lifecycle drives whole-node crash and recovery. A crash detaches the
+// station's controller from the bus (flushing its transmit queues and
+// truncating a frame on the wire into an error frame); a restart walks the
+// full cold-boot recovery path the paper's dynamic configuration implies:
+//
+//  1. the controller re-attaches with power-up filters,
+//  2. a fresh middleware replaces the crashed one (all host state is lost),
+//  3. the node re-joins through the binding protocol and gets its original
+//     TxNode back (the agent keeps uid→node assignments),
+//  4. previously used subjects are re-bound over the wire,
+//  5. the cold-booted clock waits for the next synchronization round,
+//  6. OnRestart lets the application re-create its channels, which enter
+//     the calendar at the current round phase (Middleware.startRound).
+//
+// Station 0 hosts the binding agent (and, by convention, the sync master),
+// so it cannot be crashed through this manager.
+type Lifecycle struct {
+	sys   *System
+	agent *binding.Agent
+	down  map[int]*crashRecord
+
+	// OnRestart, if set, is invoked once a restarted node is fully
+	// recovered (re-joined, re-bound, re-synced): the application
+	// re-creates its channels on the fresh middleware, exactly as its
+	// start-up code would.
+	OnRestart func(node int, mw *Middleware)
+
+	// CrashCount / RestartCount tally completed transitions.
+	CrashCount, RestartCount int
+}
+
+// crashRecord is what survives a crash outside the node: the subjects the
+// station had bound (for over-the-wire re-binding) and when it went down.
+type crashRecord struct {
+	channels []ChannelInfo
+	at       sim.Time
+}
+
+// uidOf derives the stable hardware UID of station i — the identity the
+// binding agent keys node assignments on across reboots.
+func uidOf(i int) uint64 { return 0x00C0FFEE00 + uint64(i) }
+
+// recoveryPrio carries the join/bind handshake of a recovering station and
+// the agent's replies. The binding default (lowest priority) assumes a
+// lightly loaded bus; during recovery that would let saturated equal-priority
+// NRT bulk traffic starve the handshake forever, because the client joins
+// under a temporary high TxNode that loses every arbitration tie. The top of
+// the SRT band preempts application traffic only for the handful of
+// handshake frames a recovery needs.
+var recoveryPrio = DefaultBands().SRT.Min
+
+// NewLifecycle installs a lifecycle manager: it hosts the binding agent on
+// station 0 backed by the system's shared binding table, and pre-assigns
+// every station's uid→TxNode so re-joins are stable.
+func NewLifecycle(sys *System) *Lifecycle {
+	lc := &Lifecycle{sys: sys, down: make(map[int]*crashRecord)}
+	lc.agent = binding.NewAgent(sys.K, sys.Nodes[0].Ctrl)
+	lc.agent.Table = sys.Bindings
+	lc.agent.Prio = recoveryPrio
+	for i := range sys.Nodes {
+		lc.agent.Preassign(uidOf(i), can.TxNode(i))
+	}
+	sys.Nodes[0].MW.ConfigRx = lc.agent.HandleFrame
+	return lc
+}
+
+// Agent returns the hosted binding agent.
+func (lc *Lifecycle) Agent() *binding.Agent { return lc.agent }
+
+// Down reports whether station i is currently crashed.
+func (lc *Lifecycle) Down(i int) bool { return lc.down[i] != nil }
+
+// Crash takes station i down: middleware activity stops, queued HRT events
+// are lost (their traces closed with a node_crash drop), and the
+// controller detaches from the bus — a frame it has on the wire is
+// truncated into an error frame, queued requests vanish without callbacks.
+func (lc *Lifecycle) Crash(i int) error {
+	if i == 0 {
+		return fmt.Errorf("core: station 0 hosts the binding agent and sync master; cannot crash it")
+	}
+	if lc.down[i] != nil {
+		return fmt.Errorf("core: station %d is already down", i)
+	}
+	node := lc.sys.Nodes[i]
+	now := lc.sys.K.Now()
+	rec := &crashRecord{channels: node.MW.Channels(), at: now}
+
+	// Close the traces of events that die in the crashed node's queues:
+	// the host memory holding them is gone.
+	for _, ch := range node.MW.channels {
+		for _, ev := range ch.hrtQueue {
+			node.MW.Obs.Emit(ev.traceID, obs.StageDropped, HRT.String(), i,
+				uint64(ch.subject), now, "node_crash")
+		}
+		ch.hrtQueue = nil
+	}
+
+	node.MW.Stop()
+	node.Ctrl.Detach()
+	lc.down[i] = rec
+	lc.CrashCount++
+	lc.sys.Obs.NodeLifecycle(obs.StageNodeDown, i, now, "")
+	return nil
+}
+
+// Restart brings station i back up and drives the full recovery path. It
+// returns immediately; recovery proceeds in virtual time (join timeouts,
+// binding round-trips, the next sync round) and ends with the OnRestart
+// hook and a node_up trace record.
+func (lc *Lifecycle) Restart(i int) error {
+	rec := lc.down[i]
+	if rec == nil {
+		return fmt.Errorf("core: station %d is not down", i)
+	}
+	delete(lc.down, i)
+	sys := lc.sys
+	node := sys.Nodes[i]
+	now := sys.K.Now()
+	sys.Obs.NodeLifecycle(obs.StageNodeRestart, i, now, "")
+
+	// Power-on: the controller re-attaches, a fresh middleware replaces
+	// the crashed one (NewMiddleware re-installs the receive path and the
+	// two system filters), and the cold-booted clock reads an arbitrary
+	// value until synchronization pulls it back.
+	node.Ctrl.Reattach()
+	mw := NewMiddleware(sys.K, node, sys.Cfg.Bands)
+	mw.Cal = sys.Cfg.Calendar
+	mw.Epoch = sys.Cfg.Epoch
+	mw.SuppressRedundancy = !sys.Cfg.NoSuppressRedundancy
+	mw.Obs = sys.Obs
+	if sys.Syncer != nil {
+		mw.Syncer = sys.Syncer
+		node.Clock.SetTo(now, 0) // cold RTC: re-sync will correct it
+	}
+	client := binding.NewClient(sys.K, node.Ctrl)
+	client.Prio = recoveryPrio
+	mw.ConfigRx = client.HandleFrame
+
+	lc.rejoin(i, node, mw, client, rec)
+	return nil
+}
+
+// rejoin runs the join protocol (retrying as long as it takes: the agent
+// may be unreachable during a fault burst), then re-binds the subjects the
+// station used before the crash.
+func (lc *Lifecycle) rejoin(i int, node *Node, mw *Middleware, client *binding.Client, rec *crashRecord) {
+	client.Join(uidOf(i), func(_ can.TxNode, err error) {
+		if mw.stopped || node.MW != mw {
+			return // crashed again mid-recovery
+		}
+		if err != nil {
+			lc.sys.K.After(100*sim.Millisecond, func() {
+				if !mw.stopped && node.MW == mw {
+					lc.rejoin(i, node, mw, client, rec)
+				}
+			})
+			return
+		}
+		lc.rebind(i, node, mw, client, rec, 0)
+	})
+}
+
+// rebind fetches the etag of each previously-bound subject over the wire,
+// one at a time, installing the answers as fixed entries in the fresh
+// middleware's private table. The agent serves them from the authoritative
+// shared table, so the recovered node ends up with exactly the bindings it
+// had — obtained honestly through the protocol, not by peeking at shared
+// state.
+func (lc *Lifecycle) rebind(i int, node *Node, mw *Middleware, client *binding.Client, rec *crashRecord, idx int) {
+	if mw.stopped || node.MW != mw {
+		return
+	}
+	if idx >= len(rec.channels) {
+		lc.resync(i, node, mw, rec)
+		return
+	}
+	info := rec.channels[idx]
+	client.Bind(info.Subject, func(etag can.Etag, err error) {
+		if err == nil {
+			err = mw.Bindings.BindFixed(info.Subject, etag)
+		}
+		_ = err // an unbindable subject is skipped; the app will re-bind on demand
+		lc.rebind(i, node, mw, client, rec, idx+1)
+	})
+}
+
+// resync waits for the next clock adjustment (when synchronization runs)
+// before declaring the node up: calendar re-entry needs a clock that is
+// back inside the precision bound, or slots would fire at cold-boot times.
+func (lc *Lifecycle) resync(i int, node *Node, mw *Middleware, rec *crashRecord) {
+	finish := func() {
+		if mw.stopped || node.MW != mw {
+			return
+		}
+		lc.RestartCount++
+		if lc.OnRestart != nil {
+			lc.OnRestart(i, mw)
+		}
+		lc.sys.Obs.NodeLifecycle(obs.StageNodeUp, i, lc.sys.K.Now(),
+			fmt.Sprintf("outage %v", lc.sys.K.Now()-rec.at))
+	}
+	if lc.sys.Syncer == nil {
+		finish()
+		return
+	}
+	node.Clock.AfterNextAdjustment(finish)
+}

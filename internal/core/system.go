@@ -143,9 +143,12 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		mw.SuppressRedundancy = !cfg.NoSuppressRedundancy
 		mw.Obs = sys.Obs
 		if sys.Obs != nil {
-			sys.Obs.RegisterQueueDepth(i, "hrt", mw.hrtQueuedTotal)
-			sys.Obs.RegisterQueueDepth(i, "srt", mw.srtQueuedTotal)
-			sys.Obs.RegisterQueueDepth(i, "nrt", mw.nrtQueuedTotal)
+			// The gauges close over the node, not the middleware: a node
+			// restart installs a fresh middleware and the metrics must
+			// follow it.
+			sys.Obs.RegisterQueueDepth(i, "hrt", func() int { return node.MW.hrtQueuedTotal() })
+			sys.Obs.RegisterQueueDepth(i, "srt", func() int { return node.MW.srtQueuedTotal() })
+			sys.Obs.RegisterQueueDepth(i, "nrt", func() int { return node.MW.nrtQueuedTotal() })
 		}
 		sys.Nodes = append(sys.Nodes, node)
 		sys.Clocks = append(sys.Clocks, clk)

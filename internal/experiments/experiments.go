@@ -96,6 +96,7 @@ func All() []Experiment {
 		{"E8", "clock-sync", "sync precision vs ΔG_min gap (§3.2)", E8ClockSync},
 		{"E9", "integration", "full mixed-class integration (§2.2, §5)", E9Integration},
 		{"E10", "wcrt-analysis", "Tindell WCRT analysis vs simulation (§4)", E10WCRTAnalysis},
+		{"E11", "crash-recovery", "crash recovery latency and outage reclamation (§3.2, §5)", E11Recovery},
 		{"A1", "promotion-ablation", "ablation: dynamic priority promotion on/off (§3.4)", A1PromotionAblation},
 		{"A2", "dejitter-ablation", "ablation: delivery-at-deadline on/off (§3.2)", A2DejitterAblation},
 		{"A3", "value-shedding", "extension: value-based load shedding (ref [11])", A3ValueShedding},

@@ -97,6 +97,8 @@ type Observer struct {
 	frames      map[string]*Counter // ok / err / abort
 	exceptions  map[string]*Counter // by exception kind
 	watchdog    map[string]*Counter // by new state
+	guardian    map[string]*Counter // by band
+	lifecycle   map[string]*Counter // by lifecycle stage
 	txStartAt   sim.Time
 	txStartBand string
 	txOpen      bool
@@ -121,6 +123,8 @@ func New(cfg Config, now func() sim.Time, bm BandMap) *Observer {
 		o.frames = make(map[string]*Counter)
 		o.exceptions = make(map[string]*Counter)
 		o.watchdog = make(map[string]*Counter)
+		o.guardian = make(map[string]*Counter)
+		o.lifecycle = make(map[string]*Counter)
 		o.retries = o.reg.Counter("canec_arb_retries_total",
 			"Transmission attempts beyond the first (retransmissions after error frames).", nil)
 		o.arbLosses = o.reg.Counter("canec_arb_losses_total",
@@ -334,6 +338,29 @@ func (o *Observer) WatchdogChange(state string) {
 	c.Inc()
 }
 
+// NodeLifecycle records a whole-node lifecycle transition (StageNodeDown,
+// StageNodeRestart, StageNodeUp). The records carry trace ID 0: they belong
+// to a station, not an event, and chaos invariant checkers use them to
+// reconstruct crash windows from the trace alone.
+func (o *Observer) NodeLifecycle(stage Stage, node int, at sim.Time, detail string) {
+	if o == nil {
+		return
+	}
+	if o.reg != nil {
+		c, ok := o.lifecycle[string(stage)]
+		if !ok {
+			c = o.reg.Counter("canec_node_lifecycle_total",
+				"Whole-node lifecycle transitions: node_down, node_restart, node_up.",
+				Labels{"event": string(stage)})
+			o.lifecycle[string(stage)] = c
+		}
+		c.Inc()
+	}
+	if o.tracer != nil {
+		o.tracer.add(Record{Stage: stage, At: at, Node: node, Prio: -1, Detail: detail})
+	}
+}
+
 // RegisterQueueDepth installs a collection-time gauge for one node-local
 // queue (HRT slot queues, SRT send queue, NRT chain queue).
 func (o *Observer) RegisterQueueDepth(node int, queue string, fn func() int) {
@@ -423,6 +450,18 @@ func (o *Observer) busEvent(e can.TraceEvent) {
 	case can.TraceRx:
 		stage = StageRx
 		node = e.Recv
+	case can.TraceGuardMute:
+		stage = StageGuardMuted
+		if o.reg != nil {
+			c, ok := o.guardian[band]
+			if !ok {
+				c = o.reg.Counter("canec_guardian_mutes_total",
+					"Transmissions muted by the bus guardian, by priority band.",
+					Labels{"band": band})
+				o.guardian[band] = c
+			}
+			c.Inc()
+		}
 	default:
 		return
 	}

@@ -48,6 +48,28 @@ const (
 	StageExpired Stage = "expired"
 	// StageShed closes a trace: value-based load shedding removed it.
 	StageShed Stage = "shed"
+	// StageMissed marks a subscriber detecting a missing message in a
+	// periodic HRT slot (the SlotMissed local exception). It carries trace
+	// ID 0 — the subscriber cannot know the ID of a frame it never
+	// received — with the channel subject set, so checkers can match it to
+	// the unterminated publish.
+	StageMissed Stage = "slot_missed"
+	// StageGuardMuted marks the bus guardian muting a calendar-violating
+	// transmission before it reached the wire (babbling-idiot containment).
+	StageGuardMuted Stage = "guard_muted"
+
+	// Node lifecycle stages carry trace ID 0 (they belong to a station, not
+	// an event) with Node set to the affected station. Chaos invariant
+	// checkers read crash windows from these records.
+
+	// StageNodeDown marks a whole-node crash: the station's controller
+	// detached from the bus.
+	StageNodeDown Stage = "node_down"
+	// StageNodeRestart marks the start of a node's recovery (power-on).
+	StageNodeRestart Stage = "node_restart"
+	// StageNodeUp marks a completed recovery: re-joined, re-synced,
+	// re-bound and back on the calendar.
+	StageNodeUp Stage = "node_up"
 )
 
 // Record is one timestamped stage of one event's life cycle.

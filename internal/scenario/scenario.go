@@ -14,6 +14,7 @@ import (
 	"canec/internal/binding"
 	"canec/internal/calendar"
 	"canec/internal/can"
+	"canec/internal/chaos"
 	"canec/internal/clock"
 	"canec/internal/core"
 	"canec/internal/obs"
@@ -64,6 +65,13 @@ type Scenario struct {
 	HRT            []HRTStream `json:"hrt"`
 	SRT            []SRTStream `json:"srt"`
 	NRT            []NRTBulk   `json:"nrt"`
+
+	// Chaos, when present, runs the scenario under a seeded fault campaign:
+	// node crashes and restarts, error bursts, omission windows and
+	// babbling-idiot attacks, optionally contained by the bus guardian. The
+	// run is forced to record a trace and the campaign's invariant checkers
+	// replay it into Report.Chaos.
+	Chaos *chaos.Script `json:"chaos,omitempty"`
 
 	// Observe enables the observability layer for the run. It is set
 	// programmatically (canectrace, tests), not from the JSON file.
@@ -131,6 +139,11 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario: nrt[%d] invalid size", i)
 		}
 	}
+	if s.Chaos != nil {
+		if err := s.Chaos.Validate(s.Nodes); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -147,6 +160,8 @@ type Report struct {
 	// Obs is the run's observability layer (nil unless Scenario.Observe
 	// was set): stage records via Obs.Records(), metrics via Obs.Registry().
 	Obs *obs.Observer
+	// Chaos is the fault-campaign report (nil unless Scenario.Chaos ran).
+	Chaos *chaos.Report
 }
 
 // String renders the report for terminals.
@@ -166,6 +181,19 @@ func (r *Report) String() string {
 	}
 	out += fmt.Sprintf("NRT: %d messages, %d KiB transferred, fragErrors %d\n",
 		c.DeliveredNRT, r.NRTBytes/1024, c.FragErrors)
+	if ch := r.Chaos; ch != nil {
+		out += fmt.Sprintf("chaos: %d crashes, %d restarts, guardian muted %d frames (isolated %d nodes), babbler sent %d / muted %d\n",
+			ch.Crashes, ch.Restarts, ch.GuardianMuted, ch.GuardianIsolated, ch.BabbleSent, ch.BabbleMuted)
+		if len(ch.Violations) == 0 {
+			out += "chaos: all trace invariants hold\n"
+		}
+		for _, v := range ch.Violations {
+			out += fmt.Sprintf("chaos: INVARIANT VIOLATED: %v\n", v)
+		}
+		for _, e := range ch.Errors {
+			out += fmt.Sprintf("chaos: event failed: %s\n", e)
+		}
+	}
 	return out
 }
 
@@ -173,6 +201,17 @@ func (r *Report) String() string {
 func (s *Scenario) Run() (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	// A chaos campaign needs the stage trace: the invariant checkers replay
+	// it after the run.
+	if s.Chaos != nil {
+		if s.Observe == nil {
+			s.Observe = obs.Default()
+		} else if !s.Observe.Trace {
+			cp := *s.Observe
+			cp.Trace = true
+			s.Observe = &cp
+		}
 	}
 	// Calendar from the HRT streams via the planner.
 	var cal *calendar.Calendar
@@ -210,6 +249,18 @@ func (s *Scenario) Run() (*Report, error) {
 	if s.FaultRate > 0 {
 		sys.Bus.Injector = can.RandomErrors{Rate: s.FaultRate}
 	}
+	var lc *core.Lifecycle
+	var camp *chaos.Campaign
+	if s.Chaos != nil {
+		lc = core.NewLifecycle(sys)
+		camp, err = chaos.NewCampaign(sys, lc, *s.Chaos)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// down gates application publishing: the application on a crashed
+	// station is dead with it.
+	down := func(n int) bool { return lc != nil && lc.Down(n) }
 	dur := sim.Duration(s.DurationMs) * sim.Millisecond
 	end := sys.Cfg.Epoch + dur
 	rep := &Report{
@@ -219,39 +270,28 @@ func (s *Scenario) Run() (*Report, error) {
 		Elapsed:    dur,
 	}
 
+	// Publisher and subscriber handles live in maps keyed by subject so a
+	// chaos restart can swap in the recovered node's fresh channels (the old
+	// middleware dies with the crash).
 	var firstHRTTimes []sim.Time
-	for i, h := range s.HRT {
-		i := i
-		h := h
-		subj := binding.Subject(h.Subject)
-		slot := cal.SlotsForSubject(h.Subject)[0]
-		ch, err := sys.Node(h.Publisher).MW.HRTEC(subj)
+	hrtPub := make(map[uint64]*core.HRTEC)
+	announceHRT := func(h HRTStream, mw *core.Middleware) error {
+		ch, err := mw.HRTEC(binding.Subject(h.Subject))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := ch.Announce(core.ChannelAttrs{Payload: h.Payload, Periodic: true}, nil); err != nil {
-			return nil, err
+			return err
 		}
-		var loop func(r int64)
-		loop = func(r int64) {
-			local := sys.Cfg.Epoch + sim.Time(r)*cal.Round + slot.Ready - 300*sim.Microsecond
-			at := sys.Clocks[h.Publisher].WhenLocal(sys.K.Now(), local)
-			if at >= end {
-				return
-			}
-			sys.K.At(at, func() {
-				p := make([]byte, h.Payload)
-				putTS56(p, sys.K.Now())
-				ch.Publish(core.Event{Subject: subj, Payload: p})
-				loop(slot.NextActive(r + 1))
-			})
-		}
-		loop(slot.NextActive(0))
-		sub, err := sys.Node(h.Subscriber).MW.HRTEC(subj)
+		hrtPub[h.Subject] = ch
+		return nil
+	}
+	subscribeHRT := func(i int, h HRTStream, mw *core.Middleware) error {
+		sub, err := mw.HRTEC(binding.Subject(h.Subject))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if err := sub.Subscribe(core.ChannelAttrs{Payload: h.Payload, Periodic: true}, core.SubscribeAttrs{},
+		return sub.Subscribe(core.ChannelAttrs{Payload: h.Payload, Periodic: true}, core.SubscribeAttrs{},
 			func(ev core.Event, di core.DeliveryInfo) {
 				if h.Payload >= 7 {
 					rep.HRTLatency.ObserveDuration(di.DeliveredAt - getTS56(ev.Payload))
@@ -259,31 +299,89 @@ func (s *Scenario) Run() (*Report, error) {
 				if i == 0 {
 					firstHRTTimes = append(firstHRTTimes, di.DeliveredAt)
 				}
-			}, nil); err != nil {
+			}, nil)
+	}
+	startHRT := make([]func(), len(s.HRT))
+	for i, h := range s.HRT {
+		i := i
+		h := h
+		subj := binding.Subject(h.Subject)
+		slot := cal.SlotsForSubject(h.Subject)[0]
+		if err := announceHRT(h, sys.Node(h.Publisher).MW); err != nil {
+			return nil, err
+		}
+		// The publish task is host software: it schedules each round through
+		// the publisher's local clock, so it must die with a crash (the clock
+		// is cold until re-sync — wakeups computed through it would pile up
+		// and flood the recovered slot queue) and be re-anchored by OnRestart
+		// at the first round still ahead of the corrected clock. The
+		// generation counter retires a loop that never observed the outage
+		// (crash and restart both inside one publish period), or a doubled
+		// slot rate would grow the queue without bound.
+		gen := 0
+		var loop func(r int64, g int)
+		loop = func(r int64, g int) {
+			local := sys.Cfg.Epoch + sim.Time(r)*cal.Round + slot.Ready - 300*sim.Microsecond
+			at := sys.Clocks[h.Publisher].WhenLocal(sys.K.Now(), local)
+			if at >= end {
+				return
+			}
+			sys.K.At(at, func() {
+				if down(h.Publisher) || gen != g {
+					return
+				}
+				p := make([]byte, h.Payload)
+				putTS56(p, sys.K.Now())
+				hrtPub[h.Subject].Publish(core.Event{Subject: subj, Payload: p})
+				loop(slot.NextActive(r+1), g)
+			})
+		}
+		startHRT[i] = func() {
+			gen++
+			rel := sys.Clocks[h.Publisher].Read(sys.K.Now()) - sys.Cfg.Epoch
+			next := int64(1)
+			if rel > 0 {
+				next = int64(rel/cal.Round) + 1
+			}
+			loop(slot.NextActive(next), gen)
+		}
+		loop(slot.NextActive(0), 0)
+		if err := subscribeHRT(i, h, sys.Node(h.Subscriber).MW); err != nil {
 			return nil, err
 		}
 	}
 
-	for _, r := range s.SRT {
-		r := r
-		subj := binding.Subject(r.Subject)
-		ch, err := sys.Node(r.Publisher).MW.SRTEC(subj)
+	srtPub := make(map[uint64]*core.SRTEC)
+	announceSRT := func(r SRTStream, mw *core.Middleware) error {
+		ch, err := mw.SRTEC(binding.Subject(r.Subject))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := ch.Announce(core.ChannelAttrs{}, nil); err != nil {
-			return nil, err
+			return err
 		}
-		sub, err := sys.Node(r.Subscriber).MW.SRTEC(subj)
+		srtPub[r.Subject] = ch
+		return nil
+	}
+	subscribeSRT := func(r SRTStream, mw *core.Middleware) error {
+		sub, err := mw.SRTEC(binding.Subject(r.Subject))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if err := sub.Subscribe(core.ChannelAttrs{}, core.SubscribeAttrs{},
+		return sub.Subscribe(core.ChannelAttrs{}, core.SubscribeAttrs{},
 			func(ev core.Event, di core.DeliveryInfo) {
 				if len(ev.Payload) >= 7 {
 					rep.SRTLatency.ObserveDuration(di.DeliveredAt - getTS56(ev.Payload))
 				}
-			}, nil); err != nil {
+			}, nil)
+	}
+	for _, r := range s.SRT {
+		r := r
+		subj := binding.Subject(r.Subject)
+		if err := announceSRT(r, sys.Node(r.Publisher).MW); err != nil {
+			return nil, err
+		}
+		if err := subscribeSRT(r, sys.Node(r.Subscriber).MW); err != nil {
 			return nil, err
 		}
 		var loop func()
@@ -291,16 +389,18 @@ func (s *Scenario) Run() (*Report, error) {
 			if sys.K.Now() >= end {
 				return
 			}
-			now := sys.Node(r.Publisher).MW.LocalTime()
-			p := make([]byte, r.Payload)
-			if r.Payload >= 7 {
-				putTS56(p, sys.K.Now())
+			if !down(r.Publisher) {
+				now := sys.Node(r.Publisher).MW.LocalTime()
+				p := make([]byte, r.Payload)
+				if r.Payload >= 7 {
+					putTS56(p, sys.K.Now())
+				}
+				attrs := core.EventAttrs{Deadline: now + sim.Duration(r.DeadlineUs)*sim.Microsecond}
+				if r.ExpirationUs > 0 {
+					attrs.Expiration = now + sim.Duration(r.ExpirationUs)*sim.Microsecond
+				}
+				srtPub[r.Subject].Publish(core.Event{Subject: subj, Payload: p, Attrs: attrs})
 			}
-			attrs := core.EventAttrs{Deadline: now + sim.Duration(r.DeadlineUs)*sim.Microsecond}
-			if r.ExpirationUs > 0 {
-				attrs.Expiration = now + sim.Duration(r.ExpirationUs)*sim.Microsecond
-			}
-			ch.Publish(core.Event{Subject: subj, Payload: p, Attrs: attrs})
 			gap := sim.Duration(r.MeanPeriodUs) * sim.Microsecond
 			if r.Sporadic {
 				gap = sys.K.RNG().ExpDuration(gap)
@@ -310,23 +410,33 @@ func (s *Scenario) Run() (*Report, error) {
 		sys.K.At(sys.Cfg.Epoch, loop)
 	}
 
+	nrtPub := make(map[uint64]*core.NRTEC)
+	announceNRT := func(b NRTBulk, mw *core.Middleware) error {
+		ch, err := mw.NRTEC(binding.Subject(b.Subject))
+		if err != nil {
+			return err
+		}
+		if err := ch.Announce(core.ChannelAttrs{Prio: can.Prio(b.Prio), Fragmentation: true}, nil); err != nil {
+			return err
+		}
+		nrtPub[b.Subject] = ch
+		return nil
+	}
+	subscribeNRT := func(b NRTBulk, mw *core.Middleware) error {
+		sub, err := mw.NRTEC(binding.Subject(b.Subject))
+		if err != nil {
+			return err
+		}
+		return sub.Subscribe(core.ChannelAttrs{Fragmentation: true}, core.SubscribeAttrs{},
+			func(ev core.Event, _ core.DeliveryInfo) { rep.NRTBytes += len(ev.Payload) }, nil)
+	}
 	for _, b := range s.NRT {
 		b := b
 		subj := binding.Subject(b.Subject)
-		prio := can.Prio(b.Prio)
-		ch, err := sys.Node(b.Publisher).MW.NRTEC(subj)
-		if err != nil {
+		if err := announceNRT(b, sys.Node(b.Publisher).MW); err != nil {
 			return nil, err
 		}
-		if err := ch.Announce(core.ChannelAttrs{Prio: prio, Fragmentation: true}, nil); err != nil {
-			return nil, err
-		}
-		sub, err := sys.Node(b.Subscriber).MW.NRTEC(subj)
-		if err != nil {
-			return nil, err
-		}
-		if err := sub.Subscribe(core.ChannelAttrs{Fragmentation: true}, core.SubscribeAttrs{},
-			func(ev core.Event, _ core.DeliveryInfo) { rep.NRTBytes += len(ev.Payload) }, nil); err != nil {
+		if err := subscribeNRT(b, sys.Node(b.Subscriber).MW); err != nil {
 			return nil, err
 		}
 		var send func()
@@ -334,7 +444,9 @@ func (s *Scenario) Run() (*Report, error) {
 			if sys.K.Now() >= end {
 				return
 			}
-			ch.Publish(core.Event{Subject: subj, Payload: make([]byte, b.Bytes)})
+			if !down(b.Publisher) {
+				nrtPub[b.Subject].Publish(core.Event{Subject: subj, Payload: make([]byte, b.Bytes)})
+			}
 			if b.RepeatMs > 0 {
 				sys.K.After(sim.Duration(b.RepeatMs)*sim.Millisecond, send)
 			}
@@ -342,10 +454,46 @@ func (s *Scenario) Run() (*Report, error) {
 		sys.K.At(sys.Cfg.Epoch, send)
 	}
 
+	if lc != nil {
+		lc.OnRestart = func(n int, mw *core.Middleware) {
+			for i, h := range s.HRT {
+				if h.Publisher == n {
+					if announceHRT(h, mw) == nil {
+						startHRT[i]()
+					}
+				}
+				if h.Subscriber == n {
+					_ = subscribeHRT(i, h, mw)
+				}
+			}
+			for _, r := range s.SRT {
+				if r.Publisher == n {
+					_ = announceSRT(r, mw)
+				}
+				if r.Subscriber == n {
+					_ = subscribeSRT(r, mw)
+				}
+			}
+			for _, b := range s.NRT {
+				if b.Publisher == n {
+					_ = announceNRT(b, mw)
+				}
+				if b.Subscriber == n {
+					_ = subscribeNRT(b, mw)
+				}
+			}
+		}
+		camp.Install()
+	}
+
 	sys.Run(end - 600*sim.Microsecond)
 	rep.Counters = sys.TotalCounters()
 	rep.Utilization = sys.Utilization()
 	rep.Obs = sys.Obs
+	if camp != nil {
+		cr := camp.Finish(0)
+		rep.Chaos = &cr
+	}
 	if cal != nil && len(firstHRTTimes) > 1 {
 		period := cal.SlotsForSubject(s.HRT[0].Subject)[0].Period(cal.Round)
 		rep.HRTJitter = stats.PeriodJitter(firstHRTTimes, period)

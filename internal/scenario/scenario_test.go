@@ -126,3 +126,72 @@ func TestRunWithoutHRT(t *testing.T) {
 		t.Fatal("report mentions absent HRT class")
 	}
 }
+
+const chaosJSON = `{
+  "name": "chaos-sample",
+  "nodes": 6,
+  "seed": 3,
+  "durationMs": 500,
+  "maxDriftPPM": 80,
+  "omissionDegree": 1,
+  "hrt": [
+    {"subject": 257, "publisher": 0, "subscriber": 1, "periodUs": 10000, "payload": 7},
+    {"subject": 258, "publisher": 1, "subscriber": 2, "periodUs": 20000, "payload": 7}
+  ],
+  "srt": [
+    {"subject": 512, "publisher": 2, "subscriber": 3, "meanPeriodUs": 3000,
+     "deadlineUs": 10000, "expirationUs": 30000, "payload": 8, "sporadic": true}
+  ],
+  "nrt": [
+    {"subject": 768, "publisher": 4, "subscriber": 5, "bytes": 4096, "repeatMs": 100}
+  ],
+  "chaos": {
+    "guardian": true,
+    "events": [
+      {"kind": "crash", "at_ms": 100, "node": 1},
+      {"kind": "restart", "at_ms": 200, "node": 1},
+      {"kind": "babble", "at_ms": 320, "until_ms": 350, "node": 5}
+    ]
+  }
+}`
+
+func TestRunWithChaosSection(t *testing.T) {
+	s, err := Load(strings.NewReader(chaosJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := rep.Chaos
+	if ch == nil {
+		t.Fatal("chaos section ran but Report.Chaos is nil")
+	}
+	for _, v := range ch.Violations {
+		t.Errorf("invariant violated: %v", v)
+	}
+	if ch.Crashes != 1 || ch.Restarts != 1 {
+		t.Fatalf("crashes/restarts = %d/%d, want 1/1", ch.Crashes, ch.Restarts)
+	}
+	if ch.GuardianMuted == 0 || ch.BabbleSent != 0 {
+		t.Fatalf("guardian muted=%d babble sent=%d, want >0/0", ch.GuardianMuted, ch.BabbleSent)
+	}
+	// Node 1 publishes the 20 ms stream and subscribes the 10 ms one; both
+	// sides of it die in the crash and must flow again after recovery.
+	if rep.Counters.DeliveredHRT < 40 {
+		t.Fatalf("DeliveredHRT = %d, want ≥ 40 (recovery must restore both streams)", rep.Counters.DeliveredHRT)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "chaos: all trace invariants hold") {
+		t.Fatalf("report missing chaos summary:\n%s", out)
+	}
+}
+
+func TestValidateChaosSection(t *testing.T) {
+	bad := `{"nodes": 4, "durationMs": 100,
+	  "chaos": {"events": [{"kind": "crash", "at_ms": 1, "node": 0}]}}`
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Fatal("crash of station 0 accepted")
+	}
+}
