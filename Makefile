@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos-smoke bench tidy
+.PHONY: all build vet test race check chaos-smoke fuzz-smoke bench tidy
 
 all: check
 
@@ -16,16 +16,28 @@ test:
 race:
 	$(GO) test -race ./...
 
-# chaos-smoke replays the seeded fault campaign (crash/restart, error
-# burst, omission window, babbling idiot + bus guardian) on three seeds
-# under the race detector and asserts per-seed determinism — the fast
-# dependability gate.
+# chaos-smoke replays the seeded fault campaigns (crash/restart, error
+# burst, omission window, babbling idiot + bus guardian, and the
+# control-plane failovers: binding-agent standby takeover and time-master
+# failover) on fixed seeds under the race detector and asserts per-seed
+# determinism — the fast dependability gate.
 chaos-smoke:
-	$(GO) test -race -short -run 'TestChaosSmokeSeeds|TestCampaignDeterministicPerSeed' ./internal/chaos/
+	$(GO) test -race -short -run 'TestChaosSmokeSeeds|TestCampaignDeterministicPerSeed|TestCampaignControlPlaneFailover|TestCampaignControlPlaneDeterministic' ./internal/chaos/
+
+# fuzz-smoke runs each native fuzz target briefly (~5 s): the wire-facing
+# frame handlers (agent, client, syncer) and the codec round-trips must
+# never panic on arbitrary frames.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzAgentHandleFrame -fuzztime 5s ./internal/binding/
+	$(GO) test -run '^$$' -fuzz FuzzClientHandleFrame -fuzztime 5s ./internal/binding/
+	$(GO) test -run '^$$' -fuzz FuzzPut56RoundTrip -fuzztime 5s ./internal/binding/
+	$(GO) test -run '^$$' -fuzz FuzzSyncerHandleFrame -fuzztime 5s ./internal/clock/
+	$(GO) test -run '^$$' -fuzz FuzzTSRoundTrip -fuzztime 5s ./internal/clock/
 
 # check is the PR gate: compile everything, vet, run the full suite under
-# the race detector, and replay the chaos smoke sweep.
-check: build vet race chaos-smoke
+# the race detector, replay the chaos smoke sweep, and smoke the fuzz
+# targets.
+check: build vet race chaos-smoke fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchmem ./internal/can ./internal/sim

@@ -218,8 +218,7 @@ func TestBindTimeoutWithoutAgent(t *testing.T) {
 	bus := can.NewBus(k, can.DefaultBitRate)
 	ctrl := bus.Attach(5)
 	cl := NewClient(k, ctrl)
-	cl.Timeout = 10 * sim.Millisecond
-	cl.Attempts = 3
+	cl.Retry = RetryPolicy{Base: 10 * sim.Millisecond, Attempts: 3}
 	var gotErr error
 	done := false
 	cl.Bind(42, func(_ can.Etag, err error) { gotErr = err; done = true })

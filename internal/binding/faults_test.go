@@ -61,7 +61,7 @@ func TestBindConvergesUnderErrors(t *testing.T) {
 func TestJoinConvergesUnderErrors(t *testing.T) {
 	k, _, agent, clients := faultyRig(4, 13, 0.2)
 	for _, cl := range clients {
-		cl.Attempts = 50
+		cl.Retry.Attempts = 50
 	}
 	joined := 0
 	for i, cl := range clients {
@@ -96,8 +96,8 @@ func TestBindSurvivesLossyAcks(t *testing.T) {
 		return can.Fault{}
 	})
 	cl := clients[0]
-	cl.Timeout = 20 * sim.Millisecond
-	cl.Attempts = 10
+	cl.Retry.Base = 20 * sim.Millisecond
+	cl.Retry.Attempts = 10
 	var got can.Etag
 	cl.Bind(0x42, func(e can.Etag, err error) {
 		if err != nil {

@@ -3,6 +3,7 @@ package binding
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"canec/internal/can"
 	"canec/internal/sim"
@@ -17,6 +18,18 @@ const (
 	opBindErr = 0x3 // [op|rid][subject 7B]
 	opJoinReq = 0x4 // [op][uid 7B]
 	opJoinAck = 0x5 // [op][txnode 1B][uid low 48 bits 6B]
+
+	// Hot-standby replication (see StandbyAgent). The agent's heartbeat
+	// proves liveness and carries its allocation pointers; the checkpoint
+	// pair walks the authoritative table one entry per beat, so a standby
+	// that missed reply frames (it was down, or joined late) still
+	// converges. A checkpoint entry needs a full 56-bit key plus its value,
+	// which does not fit one 8-byte frame, so it is split into a key frame
+	// followed by a value frame matched on the 4-bit sequence number.
+	opBeat     = 0x6 // [op|seq][nextEtag 2B LE][nextNode 1B][bindCount 2B LE][nodeCount 2B LE]
+	opCkptKey  = 0x7 // [op|seq][subject or uid 7B]
+	opCkptBind = 0x8 // [op|seq][etag 2B LE]   (key was a subject)
+	opCkptNode = 0x9 // [op|seq][txnode 1B]    (key was a uid)
 )
 
 // DefaultPrio is the fixed priority of configuration traffic: the least
@@ -54,6 +67,11 @@ type Agent struct {
 
 	nodesByUID map[uint64]can.TxNode
 	nextNode   can.TxNode
+
+	hbCfg   HeartbeatConfig
+	hbOn    bool
+	hbSeq   uint8
+	ckptIdx int
 }
 
 // NewAgent creates the configuration agent on the given controller (which
@@ -133,6 +151,129 @@ func (a *Agent) Preassign(uid uint64, node can.TxNode) {
 	}
 }
 
+// HeartbeatConfig parameterises the agent's liveness beacon and the
+// standby's takeover watchdog.
+type HeartbeatConfig struct {
+	// Period between beats (and checkpoint pairs).
+	Period sim.Duration
+	// MissLimit is how many consecutive beat periods of agent silence the
+	// standby tolerates before taking over. The takeover window is
+	// therefore Period·MissLimit plus one watchdog tick.
+	MissLimit int
+}
+
+// DefaultHeartbeatConfig beats every 25 ms and tolerates three misses, so
+// an agent crash is detected within ~100 ms — one clock-sync period.
+func DefaultHeartbeatConfig() HeartbeatConfig {
+	return HeartbeatConfig{Period: 25 * sim.Millisecond, MissLimit: 3}
+}
+
+// WithDefaults fills zero fields.
+func (c HeartbeatConfig) WithDefaults() HeartbeatConfig {
+	d := DefaultHeartbeatConfig()
+	if c.Period <= 0 {
+		c.Period = d.Period
+	}
+	if c.MissLimit <= 0 {
+		c.MissLimit = d.MissLimit
+	}
+	return c
+}
+
+// StartHeartbeat begins the periodic liveness beacon: one beat frame per
+// period carrying the allocation pointers, plus one checkpoint pair that
+// cycles through the authoritative table and the uid→node map. Idempotent;
+// the loop stops on its own once the agent's controller is detached (the
+// crashed agent must not pile zombie frames into a muted controller).
+func (a *Agent) StartHeartbeat(cfg HeartbeatConfig) {
+	a.hbCfg = cfg.WithDefaults()
+	if a.hbOn {
+		return
+	}
+	a.hbOn = true
+	var tick func()
+	tick = func() {
+		if !a.hbOn {
+			return
+		}
+		if a.Ctrl.Muted() {
+			a.hbOn = false // crashed: a restart re-arms explicitly
+			return
+		}
+		a.beat()
+		a.checkpoint()
+		a.K.After(a.hbCfg.Period, tick)
+	}
+	a.K.After(0, tick)
+}
+
+// StopHeartbeat halts the beacon (the old agent demotes itself when it
+// re-syncs as the new standby after a restart).
+func (a *Agent) StopHeartbeat() { a.hbOn = false }
+
+// beat emits one liveness frame with the allocation pointers, letting the
+// standby align its replica's next-etag/next-node counters even when no
+// requests are in flight.
+func (a *Agent) beat() {
+	a.hbSeq = (a.hbSeq + 1) & 0x0f
+	out := make([]byte, 8)
+	out[0] = opBeat<<4 | a.hbSeq
+	next := a.Table.NextEtag()
+	out[1] = byte(next)
+	out[2] = byte(next >> 8)
+	out[3] = byte(a.nextNode)
+	binds := a.Table.Len()
+	out[4] = byte(binds)
+	out[5] = byte(binds >> 8)
+	nodes := len(a.nodesByUID)
+	out[6] = byte(nodes)
+	out[7] = byte(nodes >> 8)
+	a.reply(out)
+}
+
+// checkpoint emits the next entry of the replication walk: first every
+// subject→etag binding (in deterministic etag order), then every uid→node
+// assignment (in uid order), then wraps around. Each entry is a key frame
+// plus a value frame sharing the beat's sequence number.
+func (a *Agent) checkpoint() {
+	binds := a.Table.Snapshot()
+	uids := a.sortedUIDs()
+	total := len(binds) + len(uids)
+	if total == 0 {
+		return
+	}
+	idx := a.ckptIdx % total
+	a.ckptIdx = (idx + 1) % total
+	key := make([]byte, 8)
+	key[0] = opCkptKey<<4 | a.hbSeq
+	val := make([]byte, 8)
+	if idx < len(binds) {
+		b := binds[idx]
+		put56(key[1:], uint64(b.Subject))
+		val[0] = opCkptBind<<4 | a.hbSeq
+		val[1] = byte(b.Etag)
+		val[2] = byte(b.Etag >> 8)
+	} else {
+		uid := uids[idx-len(binds)]
+		put56(key[1:], uid)
+		val[0] = opCkptNode<<4 | a.hbSeq
+		val[1] = byte(a.nodesByUID[uid])
+	}
+	a.reply(key)
+	a.reply(val)
+}
+
+// sortedUIDs returns the assigned uids in ascending order (determinism on
+// the wire; see checkpoint).
+func (a *Agent) sortedUIDs() []uint64 {
+	out := make([]uint64, 0, len(a.nodesByUID))
+	for uid := range a.nodesByUID {
+		out = append(out, uid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Temporary TxNode range used by still-unconfigured nodes for their join
 // requests. Collisions inside this range are possible and are resolved by
 // the collision-detect/re-randomize loop in Client.Join.
@@ -141,21 +282,93 @@ const (
 	tempNodeHi can.TxNode = can.MaxTxNode
 )
 
-// ErrTimeout is reported when a request exhausts its retries.
-var ErrTimeout = errors.New("binding: request timed out")
+// ErrAgentUnreachable is the terminal error of a request that exhausted
+// its retry policy without ever hearing from an agent: the control plane
+// is down (or unreachable from this node). Callers that want to recover
+// should wait for agent liveness (Client.OnAgentAlive) and retry.
+var ErrAgentUnreachable = errors.New("binding: configuration agent unreachable")
+
+// ErrTimeout is the historical name of ErrAgentUnreachable, kept so
+// existing errors.Is / equality checks continue to hold.
+var ErrTimeout = ErrAgentUnreachable
 
 // ErrRejected is reported when the agent answered with a bind error
 // (etag space exhausted or invalid subject).
 var ErrRejected = errors.New("binding: request rejected by agent")
+
+// ErrNotAttached is reported immediately when Bind or Join is called while
+// the client's controller is detached from the bus: the request could
+// never be transmitted, so failing it synchronously beats leaking a
+// pending entry that can only time out.
+var ErrNotAttached = errors.New("binding: controller not attached to the bus")
+
+// RetryPolicy is the unified retry schedule shared by bind, join and the
+// lifecycle re-join: capped exponential backoff with deterministic jitter
+// drawn from the simulation seed. Attempt n (0-based) waits
+// Base·2ⁿ (capped at Cap) plus a uniform jitter of up to JitterFrac of
+// that wait before retrying; after Attempts sends the request fails with
+// ErrAgentUnreachable.
+type RetryPolicy struct {
+	Base       sim.Duration
+	Cap        sim.Duration
+	Attempts   int
+	JitterFrac float64
+}
+
+// DefaultRetryPolicy matches the protocol's historical first-attempt
+// timeout (50 ms) and attempt count, adding the exponential cap.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		Base:       50 * sim.Millisecond,
+		Cap:        400 * sim.Millisecond,
+		Attempts:   5,
+		JitterFrac: 0.1,
+	}
+}
+
+// Backoff returns the wait before retrying after attempt (0-based). The
+// jitter comes from the kernel RNG, so it is deterministic per seed.
+func (p RetryPolicy) Backoff(attempt int, rng *sim.RNG) sim.Duration {
+	d := p.Base
+	if d <= 0 {
+		d = DefaultRetryPolicy().Base
+	}
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if p.Cap > 0 && d >= p.Cap {
+			d = p.Cap
+			break
+		}
+	}
+	if p.Cap > 0 && d > p.Cap {
+		d = p.Cap
+	}
+	if p.JitterFrac > 0 && rng != nil {
+		d += sim.Duration(float64(d) * p.JitterFrac * rng.Float64())
+	}
+	return d
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.Attempts <= 0 {
+		return DefaultRetryPolicy().Attempts
+	}
+	return p.Attempts
+}
 
 // Client issues bind and join requests from a regular node.
 type Client struct {
 	K    *sim.Kernel
 	Ctrl *can.Controller
 	Prio can.Prio
-	// Timeout per attempt and the number of attempts before giving up.
-	Timeout  sim.Duration
-	Attempts int
+	// Retry is the shared retry policy for bind and join requests.
+	Retry RetryPolicy
+
+	// OnAgentAlive, if set, fires whenever a frame proving agent liveness
+	// arrives (a reply, a heartbeat or a checkpoint frame). The lifecycle
+	// manager uses it to re-run a failed re-join as soon as the control
+	// plane is back.
+	OnAgentAlive func()
 
 	nextRid uint8
 	pending map[uint8]*bindCall
@@ -165,24 +378,24 @@ type Client struct {
 type bindCall struct {
 	subject Subject
 	cb      func(can.Etag, error)
-	left    int
+	attempt int
 	timer   sim.Timer
 }
 
 type joinCall struct {
-	uid   uint64
-	cb    func(can.TxNode, error)
-	left  int
-	timer sim.Timer
+	uid     uint64
+	cb      func(can.TxNode, error)
+	attempt int
+	defers  int
+	timer   sim.Timer
 }
 
 // NewClient creates a configuration client on the given controller.
 func NewClient(k *sim.Kernel, ctrl *can.Controller) *Client {
 	return &Client{
 		K: k, Ctrl: ctrl, Prio: DefaultPrio,
-		Timeout:  50 * sim.Millisecond,
-		Attempts: 5,
-		pending:  make(map[uint8]*bindCall),
+		Retry:   DefaultRetryPolicy(),
+		pending: make(map[uint8]*bindCall),
 	}
 }
 
@@ -192,13 +405,17 @@ func (c *Client) Bind(subject Subject, cb func(can.Etag, error)) {
 		cb(0, err)
 		return
 	}
+	if c.Ctrl.Muted() {
+		cb(0, ErrNotAttached)
+		return
+	}
 	rid := c.nextRid & 0x0f
 	c.nextRid++
 	if _, busy := c.pending[rid]; busy {
 		cb(0, fmt.Errorf("binding: too many concurrent bind requests"))
 		return
 	}
-	call := &bindCall{subject: subject, cb: cb, left: c.Attempts}
+	call := &bindCall{subject: subject, cb: cb}
 	c.pending[rid] = call
 	c.sendBind(rid, call)
 }
@@ -211,14 +428,15 @@ func (c *Client) sendBind(rid uint8, call *bindCall) {
 		ID:   can.MakeID(c.Prio, c.Ctrl.Node(), ConfigEtag),
 		Data: payload,
 	}, can.SubmitOpts{})
-	call.left--
-	call.timer = c.K.After(c.Timeout, func() {
+	wait := c.Retry.Backoff(call.attempt, c.K.RNG())
+	call.attempt++
+	call.timer = c.K.After(wait, func() {
 		if c.pending[rid] != call {
 			return
 		}
-		if call.left <= 0 {
+		if call.attempt >= c.Retry.attempts() {
 			delete(c.pending, rid)
-			call.cb(0, ErrTimeout)
+			call.cb(0, ErrAgentUnreachable)
 			return
 		}
 		c.sendBind(rid, call)
@@ -235,11 +453,15 @@ func (c *Client) Join(uid uint64, cb func(can.TxNode, error)) {
 		cb(0, fmt.Errorf("binding: uid %#x out of range", uid))
 		return
 	}
+	if c.Ctrl.Muted() {
+		cb(0, ErrNotAttached)
+		return
+	}
 	if c.joining != nil {
 		cb(0, fmt.Errorf("binding: join already in progress"))
 		return
 	}
-	call := &joinCall{uid: uid, cb: cb, left: c.Attempts}
+	call := &joinCall{uid: uid, cb: cb}
 	c.joining = call
 	c.sendJoin(call)
 }
@@ -247,8 +469,16 @@ func (c *Client) Join(uid uint64, cb func(can.TxNode, error)) {
 func (c *Client) sendJoin(call *joinCall) {
 	if c.Ctrl.Pending() > 0 {
 		// The previous attempt is still queued (congested bus): changing
-		// the node number now would orphan it. Wait another round.
-		call.timer = c.K.After(c.Timeout, func() {
+		// the node number now would orphan it. Wait another round — but a
+		// bounded number of them, or an agent outage under sustained load
+		// would park the join here forever.
+		call.defers++
+		if call.defers > 4*c.Retry.attempts() {
+			c.joining = nil
+			call.cb(0, ErrAgentUnreachable)
+			return
+		}
+		call.timer = c.K.After(c.Retry.Backoff(call.attempt, c.K.RNG()), func() {
 			if c.joining == call {
 				c.sendJoin(call)
 			}
@@ -260,7 +490,8 @@ func (c *Client) sendJoin(call *joinCall) {
 	payload := make([]byte, 8)
 	payload[0] = opJoinReq << 4
 	put56(payload[1:], call.uid)
-	call.left--
+	wait := c.Retry.Backoff(call.attempt, c.K.RNG())
+	call.attempt++
 	c.Ctrl.Submit(can.Frame{
 		ID:   can.MakeID(c.Prio, temp, ConfigEtag),
 		Data: payload,
@@ -274,9 +505,9 @@ func (c *Client) sendJoin(call *joinCall) {
 			// retry with a fresh temporary node number. The per-attempt
 			// timeout is superseded by this faster retry path.
 			c.K.Cancel(call.timer)
-			if call.left <= 0 {
+			if call.attempt >= c.Retry.attempts() {
 				c.joining = nil
-				call.cb(0, ErrTimeout)
+				call.cb(0, ErrAgentUnreachable)
 				return
 			}
 			c.K.After(c.K.RNG().ExpDuration(2*sim.Millisecond), func() {
@@ -286,13 +517,13 @@ func (c *Client) sendJoin(call *joinCall) {
 			})
 		},
 	})
-	call.timer = c.K.After(c.Timeout, func() {
+	call.timer = c.K.After(wait, func() {
 		if c.joining != call {
 			return
 		}
-		if call.left <= 0 {
+		if call.attempt >= c.Retry.attempts() {
 			c.joining = nil
-			call.cb(0, ErrTimeout)
+			call.cb(0, ErrAgentUnreachable)
 			return
 		}
 		c.sendJoin(call)
@@ -306,6 +537,13 @@ func (c *Client) HandleFrame(f can.Frame, _ sim.Time) {
 		return
 	}
 	op, rid := f.Data[0]>>4, f.Data[0]&0x0f
+	switch op {
+	case opBindAck, opBindErr, opJoinAck, opBeat, opCkptKey, opCkptBind, opCkptNode:
+		// Any agent-originated frame proves the control plane is alive.
+		if c.OnAgentAlive != nil {
+			c.OnAgentAlive()
+		}
+	}
 	switch op {
 	case opBindAck:
 		call, ok := c.pending[rid]

@@ -14,6 +14,7 @@ package binding
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"canec/internal/can"
 )
@@ -114,6 +115,14 @@ func (t *Table) BindFixed(s Subject, e can.Etag) error {
 	return nil
 }
 
+// unbind removes one entry. Only the standby agent's wire-authoritative
+// conflict resolution uses it; bindings are otherwise immutable for the
+// lifetime of a configuration.
+func (t *Table) unbind(s Subject, e can.Etag) {
+	delete(t.fwd, s)
+	delete(t.rev, e)
+}
+
 // Lookup returns the etag bound to a subject.
 func (t *Table) Lookup(s Subject) (can.Etag, bool) {
 	e, ok := t.fwd[s]
@@ -128,6 +137,39 @@ func (t *Table) SubjectOf(e can.Etag) (Subject, bool) {
 
 // Len returns the number of bindings.
 func (t *Table) Len() int { return len(t.fwd) }
+
+// NextEtag returns the allocator's next-candidate etag, used by the
+// standby agent to keep its replica allocation pointer aligned with the
+// authoritative table.
+func (t *Table) NextEtag() can.Etag { return t.next }
+
+// AdvanceNext moves the allocation pointer forward to at least e. It never
+// moves backward, so a replica applying checkpoint frames out of order
+// converges to the authoritative pointer.
+func (t *Table) AdvanceNext(e can.Etag) {
+	if e > t.next {
+		t.next = e
+	}
+}
+
+// Binding is one subject↔etag entry of a Snapshot.
+type Binding struct {
+	Subject Subject
+	Etag    can.Etag
+}
+
+// Snapshot returns the table's entries ordered by etag. The deterministic
+// order matters: the agent's checkpoint stream cycles through the snapshot,
+// and campaign reproducibility per seed forbids map-iteration order leaking
+// onto the wire.
+func (t *Table) Snapshot() []Binding {
+	out := make([]Binding, 0, len(t.fwd))
+	for s, e := range t.fwd {
+		out = append(out, Binding{Subject: s, Etag: e})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Etag < out[j].Etag })
+	return out
+}
 
 // Clone returns an independent copy, used to distribute the off-line
 // configuration to every node.

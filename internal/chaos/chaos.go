@@ -11,6 +11,7 @@ package chaos
 import (
 	"fmt"
 
+	"canec/internal/binding"
 	"canec/internal/calendar"
 	"canec/internal/can"
 	"canec/internal/clock"
@@ -21,7 +22,12 @@ import (
 // Event is one scripted fault. Times are virtual milliseconds from the
 // start of the run, so scripts read naturally in JSON.
 type Event struct {
-	// Kind is one of crash, restart, burst, omission, babble.
+	// Kind is one of crash, restart, burst, omission, babble, or one of
+	// the role-targeted kinds agent_crash, agent_restart, master_crash,
+	// master_restart. Role kinds ignore Node: the target is resolved when
+	// the event fires (the station *then* hosting the binding agent or
+	// acting as time master), so a script composes correctly with earlier
+	// takeovers.
 	Kind string `json:"kind"`
 	// AtMS is when the event fires (crash/restart) or the window opens
 	// (burst/omission/babble).
@@ -43,6 +49,19 @@ type Script struct {
 	// GuardianLimit escalates frame muting to node isolation after this
 	// many violations by one station (0 = never isolate).
 	GuardianLimit int `json:"guardian_limit,omitempty"`
+	// AgentStandby, if set, arms a hot-standby binding agent on this
+	// station before the run (required by the agent_crash kind).
+	AgentStandby *int `json:"agent_standby,omitempty"`
+	// AgentHeartbeatMS / AgentMissLimit parameterise the agent heartbeat;
+	// zero selects binding.DefaultHeartbeatConfig.
+	AgentHeartbeatMS float64 `json:"agent_heartbeat_ms,omitempty"`
+	AgentMissLimit   int     `json:"agent_miss_limit,omitempty"`
+	// SyncBackups ranks backup time masters, installed on the system's
+	// syncer before the run (required by the master_crash kind unless the
+	// system was already configured with backups).
+	SyncBackups []int `json:"sync_backups,omitempty"`
+	// FailoverRounds overrides the syncer's missed-round tolerance.
+	FailoverRounds int `json:"failover_rounds,omitempty"`
 	// Events in any order; Install sorts nothing — the kernel does.
 	Events []Event `json:"events"`
 }
@@ -51,12 +70,24 @@ type Script struct {
 // count.
 func (s Script) Validate(nodes int) error {
 	downs := make(map[int]int)
+	agentDowns, masterDowns := 0, 0
 	for i, e := range s.Events {
 		switch e.Kind {
 		case "crash":
 			downs[e.Node]++
 		case "restart":
 			downs[e.Node]--
+		case "agent_crash":
+			if s.AgentStandby == nil {
+				return fmt.Errorf("chaos: event %d crashes the binding agent but no agent_standby is armed", i)
+			}
+			agentDowns++
+		case "agent_restart":
+			agentDowns--
+		case "master_crash":
+			masterDowns++
+		case "master_restart":
+			masterDowns--
 		case "burst", "omission", "babble":
 			if e.UntilMS <= e.AtMS {
 				return fmt.Errorf("chaos: event %d (%s) has empty window [%v, %v)", i, e.Kind, e.AtMS, e.UntilMS)
@@ -73,9 +104,25 @@ func (s Script) Validate(nodes int) error {
 		if e.Node < 0 || e.Node >= nodes {
 			return fmt.Errorf("chaos: event %d targets station %d of %d", i, e.Node, nodes)
 		}
-		if e.Kind == "crash" && e.Node == 0 {
+		if e.Kind == "crash" && e.Node == 0 && s.AgentStandby == nil {
 			return fmt.Errorf("chaos: event %d crashes station 0 (binding agent)", i)
 		}
+	}
+	if s.AgentStandby != nil {
+		if b := *s.AgentStandby; b <= 0 || b >= nodes {
+			return fmt.Errorf("chaos: agent_standby station %d of %d", b, nodes)
+		}
+	}
+	for _, b := range s.SyncBackups {
+		if b < 0 || b >= nodes {
+			return fmt.Errorf("chaos: sync backup station %d of %d", b, nodes)
+		}
+	}
+	if agentDowns < 0 {
+		return fmt.Errorf("chaos: agent restarted more often than crashed")
+	}
+	if masterDowns < 0 {
+		return fmt.Errorf("chaos: master restarted more often than crashed")
 	}
 	for n, d := range downs {
 		if d < 0 {
@@ -101,6 +148,14 @@ type Campaign struct {
 	// station that was never crashed); deterministic scripts should leave
 	// it empty.
 	Errors []error
+
+	// Role-targeted crash bookkeeping: when the acting agent / master was
+	// crashed (feeding the takeover-latency checkers) and which station it
+	// was (so the matching restart event knows its target).
+	agentDownAt    []sim.Time
+	masterDownAt   []sim.Time
+	lastAgentDown  int
+	lastMasterDown int
 }
 
 // NewCampaign prepares a campaign. The system must be observed with
@@ -114,7 +169,33 @@ func NewCampaign(sys *core.System, lc *core.Lifecycle, script Script) (*Campaign
 	if err := script.Validate(len(sys.Nodes)); err != nil {
 		return nil, err
 	}
-	c := &Campaign{Sys: sys, LC: lc, Script: script, Babblers: make(map[int]*Babbler)}
+	c := &Campaign{Sys: sys, LC: lc, Script: script, Babblers: make(map[int]*Babbler),
+		lastAgentDown: -1, lastMasterDown: -1}
+	if script.AgentStandby != nil {
+		err := lc.EnableStandby(*script.AgentStandby, binding.HeartbeatConfig{
+			Period:    sim.Duration(ms(script.AgentHeartbeatMS)),
+			MissLimit: script.AgentMissLimit,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(script.SyncBackups) > 0 || script.FailoverRounds > 0 {
+		if sys.Syncer == nil {
+			return nil, fmt.Errorf("chaos: sync_backups/failover_rounds need clock synchronization enabled")
+		}
+		if len(script.SyncBackups) > 0 {
+			sys.Syncer.SetBackups(script.SyncBackups)
+		}
+		if script.FailoverRounds > 0 {
+			sys.Syncer.Cfg.FailoverRounds = script.FailoverRounds
+		}
+	}
+	for _, e := range script.Events {
+		if e.Kind == "master_crash" && (sys.Syncer == nil || len(sys.Syncer.Backups()) == 0) {
+			return nil, fmt.Errorf("chaos: master_crash needs sync backups (sync_backups or SystemConfig.SyncBackups)")
+		}
+	}
 	if script.Guardian {
 		if sys.Cfg.Calendar == nil {
 			return nil, fmt.Errorf("chaos: guardian needs a calendar")
@@ -127,8 +208,11 @@ func NewCampaign(sys *core.System, lc *core.Lifecycle, script Script) (*Campaign
 		// widen the slot slack to the analytical precision bound when it
 		// exceeds the calendar's ΔG_min, so an honest station is never muted.
 		if sys.Syncer != nil {
-			master := sys.Clocks[0]
-			c.Guardian.LocalAt = master.Read
+			// Follow the *acting* master across failovers: after a takeover
+			// the calendar grid is anchored to the new master's clock.
+			c.Guardian.LocalAt = func(t sim.Time) sim.Time {
+				return sys.Clocks[sys.Syncer.Master].Read(t)
+			}
 			if p := clock.PrecisionBound(sys.Cfg.Sync, sys.Cfg.MaxDriftPPM); p > c.Guardian.Cal.Cfg.GapMin {
 				c.Guardian.Slack = p
 			}
@@ -155,6 +239,50 @@ func (c *Campaign) Install() {
 		case "restart":
 			k.At(ms(e.AtMS), func() {
 				if err := c.LC.Restart(e.Node); err != nil {
+					c.Errors = append(c.Errors, err)
+				}
+			})
+		case "agent_crash":
+			k.At(ms(e.AtMS), func() {
+				n := c.LC.AgentStation()
+				if err := c.LC.Crash(n); err != nil {
+					c.Errors = append(c.Errors, err)
+					return
+				}
+				c.lastAgentDown = n
+				c.agentDownAt = append(c.agentDownAt, k.Now())
+			})
+		case "agent_restart":
+			k.At(ms(e.AtMS), func() {
+				if c.lastAgentDown < 0 {
+					c.Errors = append(c.Errors, fmt.Errorf("chaos: agent_restart with no crashed agent"))
+					return
+				}
+				n := c.lastAgentDown
+				c.lastAgentDown = -1
+				if err := c.LC.Restart(n); err != nil {
+					c.Errors = append(c.Errors, err)
+				}
+			})
+		case "master_crash":
+			k.At(ms(e.AtMS), func() {
+				n := c.Sys.Syncer.Master
+				if err := c.LC.Crash(n); err != nil {
+					c.Errors = append(c.Errors, err)
+					return
+				}
+				c.lastMasterDown = n
+				c.masterDownAt = append(c.masterDownAt, k.Now())
+			})
+		case "master_restart":
+			k.At(ms(e.AtMS), func() {
+				if c.lastMasterDown < 0 {
+					c.Errors = append(c.Errors, fmt.Errorf("chaos: master_restart with no crashed master"))
+					return
+				}
+				n := c.lastMasterDown
+				c.lastMasterDown = -1
+				if err := c.LC.Restart(n); err != nil {
 					c.Errors = append(c.Errors, err)
 				}
 			})
@@ -257,11 +385,15 @@ func (b *Babbler) next() {
 // Report summarises a finished campaign for logs and experiment output.
 type Report struct {
 	Crashes, Restarts int
-	GuardianMuted     uint64
-	GuardianIsolated  uint64
-	BabbleSent        int
-	BabbleMuted       int
-	Violations        []Violation
+	// AgentTakeovers counts standby promotions to binding agent;
+	// MasterTakeovers counts time-master failovers.
+	AgentTakeovers   int
+	MasterTakeovers  int
+	GuardianMuted    uint64
+	GuardianIsolated uint64
+	BabbleSent       int
+	BabbleMuted      int
+	Violations       []Violation
 	// Errors are scripted events that failed to execute (e.g. a restart of
 	// a station that was never crashed).
 	Errors []string
@@ -275,14 +407,53 @@ func (c *Campaign) Finish(recoveryRounds int) Report {
 	if cal := c.Sys.Cfg.Calendar; cal != nil {
 		round = cal.Round
 	}
+	ctx := CheckContext{
+		Records:        c.Sys.Obs.Records(),
+		Round:          round,
+		RecoveryRounds: recoveryRounds,
+		AgentDownAt:    c.agentDownAt,
+		MasterDownAt:   c.masterDownAt,
+	}
+	if len(c.agentDownAt) > 0 {
+		// Window: the standby's watchdog promotes at most MissLimit+1 beat
+		// periods after the last agent frame; one extra period absorbs the
+		// beat in flight when the agent died.
+		hb := binding.HeartbeatConfig{
+			Period:    sim.Duration(ms(c.Script.AgentHeartbeatMS)),
+			MissLimit: c.Script.AgentMissLimit,
+		}
+		hb = hb.WithDefaults()
+		ctx.AgentWindow = hb.Period * sim.Duration(hb.MissLimit+2)
+	}
+	if len(c.masterDownAt) > 0 && c.Sys.Syncer != nil {
+		cfg := c.Sys.Syncer.Cfg
+		// Rank 0 promotes within FailoverRounds+1 periods of master silence;
+		// each dead higher rank adds one period. One extra period absorbs the
+		// round in flight at the crash.
+		rounds := cfg.FailoverRounds
+		if rounds <= 0 {
+			rounds = 3
+		}
+		ctx.MasterWindow = cfg.Period * sim.Duration(rounds+len(c.Sys.Syncer.Backups())+1)
+	}
+	if c.LC.CrashCount > 0 {
+		// Every restart that began at least this long before the end of the
+		// trace must have completed (node_up): bounded re-join plus one sync
+		// round plus the re-bind round-trips.
+		win := 2 * ctx.AgentWindow
+		if c.Sys.Syncer != nil && 2*c.Sys.Syncer.Cfg.Period > win {
+			win = 2 * c.Sys.Syncer.Cfg.Period
+		}
+		ctx.RestartWindow = win + 100*sim.Millisecond
+	}
 	rep := Report{
-		Crashes:  c.LC.CrashCount,
-		Restarts: c.LC.RestartCount,
-		Violations: CheckAll(CheckContext{
-			Records:        c.Sys.Obs.Records(),
-			Round:          round,
-			RecoveryRounds: recoveryRounds,
-		}),
+		Crashes:        c.LC.CrashCount,
+		Restarts:       c.LC.RestartCount,
+		AgentTakeovers: c.LC.AgentTakeovers,
+		Violations:     CheckAll(ctx),
+	}
+	if c.Sys.Syncer != nil {
+		rep.MasterTakeovers = c.Sys.Syncer.Takeovers
 	}
 	st := c.Sys.Bus.Stats()
 	rep.GuardianMuted = st.GuardianMuted

@@ -1,0 +1,262 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"canec/internal/binding"
+	"canec/internal/calendar"
+	"canec/internal/clock"
+	"canec/internal/core"
+	"canec/internal/obs"
+	"canec/internal/sim"
+)
+
+// cpRig is the six-station system for control-plane failover campaigns:
+// station 0 hosts the binding agent, station 1 is the initial time master,
+// stations 2 and 3 publish the two HRT subjects, station 4 subscribes to
+// both, and station 5 is the agent standby and first-ranked sync backup —
+// so both control-plane roles can fail over while the data plane keeps
+// publishing.
+type cpRig struct {
+	t         *testing.T
+	sys       *core.System
+	lc        *core.Lifecycle
+	cal       *calendar.Calendar
+	pubs      map[binding.Subject]*core.HRTEC
+	delivered map[binding.Subject]int
+	late      int
+}
+
+func newCPRig(t *testing.T, seed uint64) *cpRig {
+	t.Helper()
+	cfg := calendar.DefaultConfig()
+	cal, err := calendar.PackSequential(cfg, 10*sim.Millisecond,
+		calendar.Slot{Subject: uint64(subjSteer), Publisher: 2, Payload: 8, Periodic: true},
+		calendar.Slot{Subject: uint64(subjBrake), Publisher: 3, Payload: 8, Periodic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync := clock.DefaultSyncConfig()
+	sync.Period = 20 * sim.Millisecond
+	sys, err := core.NewSystem(core.SystemConfig{
+		Nodes:            6,
+		Seed:             seed,
+		Calendar:         cal,
+		Sync:             sync,
+		Master:           1,
+		MaxDriftPPM:      20,
+		MaxInitialOffset: 100 * sim.Microsecond,
+		Observe:          obs.Default(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &cpRig{
+		t: t, sys: sys, cal: cal,
+		lc:        core.NewLifecycle(sys),
+		pubs:      make(map[binding.Subject]*core.HRTEC),
+		delivered: make(map[binding.Subject]int),
+	}
+	for _, c := range channels {
+		r.announce(c.subj, sys.Node(c.owner).MW)
+	}
+	r.lc.OnRestart = func(n int, mw *core.Middleware) {
+		for _, c := range channels {
+			if c.owner == n {
+				r.announce(c.subj, mw)
+			}
+		}
+	}
+	for _, c := range channels {
+		subj := c.subj
+		sub, err := sys.Node(4).MW.HRTEC(subj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub.Subscribe(core.ChannelAttrs{Payload: 7, Periodic: true}, core.SubscribeAttrs{},
+			func(ev core.Event, di core.DeliveryInfo) {
+				r.delivered[subj]++
+				if di.Late {
+					r.late++
+				}
+			}, nil)
+	}
+	return r
+}
+
+func (r *cpRig) announce(subj binding.Subject, mw *core.Middleware) {
+	c, err := mw.HRTEC(subj)
+	if err != nil {
+		r.t.Fatalf("HRTEC(%#x): %v", uint64(subj), err)
+	}
+	if err := c.Announce(core.ChannelAttrs{Payload: 7, Periodic: true}, nil); err != nil {
+		r.t.Fatalf("Announce(%#x): %v", uint64(subj), err)
+	}
+	r.pubs[subj] = c
+}
+
+func (r *cpRig) drive(rounds int64) {
+	for i := int64(0); i < rounds; i++ {
+		i := i
+		r.sys.K.At(r.sys.Cfg.Epoch+sim.Time(i)*r.cal.Round-100*sim.Microsecond, func() {
+			for _, c := range channels {
+				if !r.lc.Down(c.owner) {
+					_ = r.pubs[c.subj].Publish(core.Event{Subject: c.subj, Payload: []byte{byte(i)}})
+				}
+			}
+		})
+	}
+}
+
+// controlPlaneScript crashes the acting binding agent and, later, the
+// acting time master, restarting each after its successor took over.
+func controlPlaneScript() Script {
+	standby := 5
+	return Script{
+		AgentStandby:     &standby,
+		AgentHeartbeatMS: 5,
+		AgentMissLimit:   3,
+		SyncBackups:      []int{5},
+		FailoverRounds:   2,
+		Events: []Event{
+			{Kind: "agent_crash", AtMS: 100},
+			{Kind: "agent_restart", AtMS: 200},
+			{Kind: "master_crash", AtMS: 280},
+			{Kind: "master_restart", AtMS: 400},
+		},
+	}
+}
+
+const cpRounds = 45
+
+func runControlPlane(t *testing.T, seed uint64) (*cpRig, Report) {
+	t.Helper()
+	r := newCPRig(t, seed)
+	c, err := NewCampaign(r.sys, r.lc, controlPlaneScript())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.drive(cpRounds)
+	c.Install()
+	r.sys.Run(r.sys.Cfg.Epoch + cpRounds*r.cal.Round)
+	rep := c.Finish(0)
+	for _, e := range c.Errors {
+		t.Errorf("campaign event failed: %v", e)
+	}
+	return r, rep
+}
+
+// TestCampaignControlPlaneFailover crashes the binding agent and the time
+// master mid-run and asserts both roles fail over inside their windows
+// (checker-enforced), both crashed stations recover by re-joining against
+// the new agent, and the data plane keeps delivering throughout.
+func TestCampaignControlPlaneFailover(t *testing.T) {
+	r, rep := runControlPlane(t, 1)
+	for _, v := range rep.Violations {
+		t.Errorf("invariant violated: %v", v)
+	}
+	if rep.Crashes != 2 || rep.Restarts != 2 {
+		t.Fatalf("crashes/restarts = %d/%d, want 2/2", rep.Crashes, rep.Restarts)
+	}
+	if rep.AgentTakeovers != 1 {
+		t.Fatalf("agent takeovers = %d, want 1", rep.AgentTakeovers)
+	}
+	if rep.MasterTakeovers != 1 {
+		t.Fatalf("master takeovers = %d, want 1", rep.MasterTakeovers)
+	}
+	if got := r.lc.AgentStation(); got != 5 {
+		t.Fatalf("acting agent on station %d, want 5", got)
+	}
+	if r.sys.Syncer.Master != 5 {
+		t.Fatalf("acting master is station %d, want 5", r.sys.Syncer.Master)
+	}
+	// The deposed agent station re-armed as the new standby after its
+	// restart, so the control plane is again 1-fault tolerant.
+	if r.lc.Standby() == nil || r.lc.Standby().Active() {
+		t.Fatal("old agent station did not re-arm as the new standby")
+	}
+	// Publishers 2 and 3 never crashed: deliveries flow through both
+	// takeovers (the binding and sync outages are control-plane only).
+	for _, c := range channels {
+		if got := r.delivered[c.subj]; got < cpRounds-2 {
+			t.Fatalf("subject %#x: %d deliveries, want ≥ %d", uint64(c.subj), got, cpRounds-2)
+		}
+	}
+	if r.late != 0 {
+		t.Fatalf("%d late HRT deliveries across the failovers", r.late)
+	}
+	// The trace carries the full control-plane story.
+	var agentTO, masterTO, hEnter, hExit bool
+	for _, rec := range r.sys.Obs.Records() {
+		switch rec.Stage {
+		case obs.StageAgentTakeover:
+			agentTO = true
+		case obs.StageMasterTakeover:
+			masterTO = true
+		case obs.StageHoldoverEnter:
+			hEnter = true
+		case obs.StageHoldoverExit:
+			hExit = true
+		}
+	}
+	if !agentTO || !masterTO {
+		t.Fatalf("takeover records missing: agent=%v master=%v", agentTO, masterTO)
+	}
+	if !hEnter || !hExit {
+		t.Fatalf("holdover records missing: enter=%v exit=%v", hEnter, hExit)
+	}
+}
+
+// TestCampaignControlPlaneDeterministic asserts bit-identical traces and
+// reports for two runs of the control-plane campaign under one seed.
+func TestCampaignControlPlaneDeterministic(t *testing.T) {
+	r1, rep1 := runControlPlane(t, 9)
+	r2, rep2 := runControlPlane(t, 9)
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Fatalf("reports diverge:\n%+v\n%+v", rep1, rep2)
+	}
+	a, b := r1.sys.Obs.Records(), r2.sys.Obs.Records()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace record %d diverges:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestControlPlaneScriptValidate pins validation of the new script surface.
+func TestControlPlaneScriptValidate(t *testing.T) {
+	if err := controlPlaneScript().Validate(6); err != nil {
+		t.Fatalf("control-plane script rejected: %v", err)
+	}
+	bad := []Script{
+		// agent_crash without a standby armed.
+		{Events: []Event{{Kind: "agent_crash", AtMS: 1}}},
+		// agent_restart with no preceding agent_crash.
+		{Events: []Event{{Kind: "agent_restart", AtMS: 1}}},
+		// master_restart with no preceding master_crash.
+		{Events: []Event{{Kind: "master_restart", AtMS: 1}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(6); err == nil {
+			t.Errorf("script %d validated, want error", i)
+		}
+	}
+	// standby out of range / on the agent's own station
+	for _, st := range []int{0, 6, -1} {
+		st := st
+		s := Script{AgentStandby: &st}
+		if err := s.Validate(6); err == nil {
+			t.Errorf("agent_standby %d validated, want error", st)
+		}
+	}
+	// crash of station 0 is legal once a standby is armed
+	st := 2
+	s := Script{AgentStandby: &st, Events: []Event{{Kind: "crash", AtMS: 1, Node: 0}}}
+	if err := s.Validate(6); err != nil {
+		t.Errorf("crash of station 0 with standby rejected: %v", err)
+	}
+}

@@ -33,6 +33,21 @@ type CheckContext struct {
 	// RecoveryRounds bounds how many rounds after node_up a slot-owning
 	// node may need before its first HRT transmission (0 selects 5).
 	RecoveryRounds int
+	// AgentDownAt lists the times the acting binding agent's station was
+	// crashed; AgentWindow bounds how long after each of them an
+	// agent_takeover record must appear (0 disables the check).
+	AgentDownAt []sim.Time
+	AgentWindow sim.Duration
+	// MasterDownAt / MasterWindow likewise bound master_takeover records,
+	// and MasterWindow additionally gates the holdover-closure check:
+	// follower holdover entered before a takeover must end once a new
+	// master serves corrections.
+	MasterDownAt []sim.Time
+	MasterWindow sim.Duration
+	// RestartWindow requires every node_restart that began at least this
+	// long before the end of the trace to have reached node_up (0 disables
+	// the check).
+	RestartWindow sim.Duration
 }
 
 func (c CheckContext) recoveryRounds() int {
@@ -101,6 +116,10 @@ func CheckAll(ctx CheckContext) []Violation {
 	out = append(out, CheckHRTOnTime(ctx)...)
 	out = append(out, CheckNoPhantoms(ctx)...)
 	out = append(out, CheckRecoveryBound(ctx)...)
+	out = append(out, CheckAgentFailover(ctx)...)
+	out = append(out, CheckMasterFailover(ctx)...)
+	out = append(out, CheckHoldoverClosed(ctx)...)
+	out = append(out, CheckRestartCompletes(ctx)...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
 }
@@ -278,6 +297,124 @@ func CheckNoPhantoms(ctx CheckContext) []Violation {
 			}
 		}
 	}
+	return out
+}
+
+// takeoverWithin reports whether a record of the given stage appears in
+// (after, after+window].
+func takeoverWithin(recs []obs.Record, stage obs.Stage, after sim.Time, window sim.Duration) bool {
+	for _, r := range recs {
+		if r.Stage == stage && r.At > after && r.At <= after+window {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckAgentFailover asserts that each scripted crash of the acting binding
+// agent is answered by a standby takeover within the heartbeat window.
+func CheckAgentFailover(ctx CheckContext) []Violation {
+	if ctx.AgentWindow <= 0 {
+		return nil
+	}
+	var out []Violation
+	for _, down := range ctx.AgentDownAt {
+		if !takeoverWithin(ctx.Records, obs.StageAgentTakeover, down, ctx.AgentWindow) {
+			out = append(out, Violation{
+				Check: "agent-failover", At: down,
+				Detail: fmt.Sprintf("binding agent crashed at %v; no standby takeover within %v", down, ctx.AgentWindow),
+			})
+		}
+	}
+	return out
+}
+
+// CheckMasterFailover asserts that each scripted crash of the acting time
+// master is answered by a backup takeover within the failover window.
+func CheckMasterFailover(ctx CheckContext) []Violation {
+	if ctx.MasterWindow <= 0 {
+		return nil
+	}
+	var out []Violation
+	for _, down := range ctx.MasterDownAt {
+		if !takeoverWithin(ctx.Records, obs.StageMasterTakeover, down, ctx.MasterWindow) {
+			out = append(out, Violation{
+				Check: "master-failover", At: down,
+				Detail: fmt.Sprintf("time master crashed at %v; no backup takeover within %v", down, ctx.MasterWindow),
+			})
+		}
+	}
+	return out
+}
+
+// CheckHoldoverClosed asserts, on runs where master failover is exercised
+// (MasterWindow set), that follower holdover is transient: every
+// holdover_enter is followed by a holdover_exit, unless the node crashed
+// after entering or entered too close to the end of the trace for a
+// takeover plus sync round to have happened.
+func CheckHoldoverClosed(ctx CheckContext) []Violation {
+	if ctx.MasterWindow <= 0 {
+		return nil
+	}
+	openAt := make(map[int]sim.Time)
+	var end sim.Time
+	for _, r := range ctx.Records {
+		if r.At > end {
+			end = r.At
+		}
+		switch r.Stage {
+		case obs.StageHoldoverEnter:
+			openAt[r.Node] = r.At
+		case obs.StageHoldoverExit, obs.StageNodeDown:
+			delete(openAt, r.Node)
+		}
+	}
+	var out []Violation
+	for node, at := range openAt {
+		if at > end-2*ctx.MasterWindow {
+			continue // entered too late in the run to demand re-convergence
+		}
+		out = append(out, Violation{
+			Check: "holdover-closed", At: at,
+			Detail: fmt.Sprintf("node %d entered holdover at %v and never re-converged on a master", node, at),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// CheckRestartCompletes asserts that every restart reaches node_up: a
+// station that began recovery at least RestartWindow before the end of the
+// trace (and did not crash again mid-recovery) must have a node_up record.
+func CheckRestartCompletes(ctx CheckContext) []Violation {
+	if ctx.RestartWindow <= 0 {
+		return nil
+	}
+	var end sim.Time
+	for _, r := range ctx.Records {
+		if r.At > end {
+			end = r.At
+		}
+	}
+	var out []Violation
+	for node, ws := range outages(ctx.Records) {
+		for i, w := range ws {
+			if !w.restarted || w.recovered {
+				continue
+			}
+			if i+1 < len(ws) {
+				continue // crashed again mid-recovery
+			}
+			if w.restart > end-ctx.RestartWindow {
+				continue // still recovering at the end of the run
+			}
+			out = append(out, Violation{
+				Check: "restart-completes", At: w.restart,
+				Detail: fmt.Sprintf("node %d began recovery at %v but never reached node_up", node, w.restart),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
 }
 

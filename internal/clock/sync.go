@@ -53,6 +53,23 @@ type SyncConfig struct {
 	// timestamps with bit-time granularity, so 1 µs is realistic at
 	// 1 Mbit/s.
 	Quantization sim.Duration
+	// MaxDriftPPM is the assumed bound on per-node clock rate error, the
+	// parameter of the holdover uncertainty model (how fast clocks can
+	// diverge while no master is correcting them). Zero disables growth.
+	MaxDriftPPM float64
+	// FailoverRounds is how many consecutive missed sync rounds the
+	// highest-ranked backup master tolerates before taking over; each
+	// lower rank waits one additional round, which staggers the takeover
+	// deterministically. Zero selects 3.
+	FailoverRounds int
+}
+
+// failoverRounds returns the effective takeover threshold.
+func (c SyncConfig) failoverRounds() int {
+	if c.FailoverRounds <= 0 {
+		return 3
+	}
+	return c.FailoverRounds
 }
 
 // DefaultSyncConfig matches the paper's environment: 1 µs timestamp
@@ -75,14 +92,34 @@ type Syncer struct {
 	K      *sim.Kernel
 	Cfg    SyncConfig
 	Bus    *can.Bus
-	Master int // controller index of the time master
+	Master int // controller index of the acting time master
 
 	clocks []*Clock
 	seq    uint8
 	rxTS   []map[uint8]sim.Time // per node: seq -> local rx timestamp
 
-	// Rounds counts completed synchronization rounds.
-	Rounds int
+	// Rounds counts completed synchronization rounds; Takeovers counts
+	// master failovers.
+	Rounds    int
+	Takeovers int
+
+	// Down, if set, reports whether a station is currently crashed. A down
+	// master emits nothing (its frames would pile up in a detached
+	// controller), and a down backup is skipped in the failover ranking.
+	Down func(int) bool
+
+	// OnTakeover fires after a backup promotes itself to acting master.
+	OnTakeover func(master int, at sim.Time)
+	// OnHoldover fires when a follower enters (enter=true) or leaves
+	// holdover: the explicit state between masters in which its clock
+	// free-runs on its last rate with a growing uncertainty bound.
+	OnHoldover func(node int, enter bool, at sim.Time)
+
+	backups    []int // ranked backup masters (index 0 = first successor)
+	lastWire   sim.Time
+	lastAdj    []sim.Time // per node: kernel time of the last correction
+	inHoldover []bool
+	started    bool
 }
 
 // NewSyncer creates a synchronization service for the given clocks
@@ -93,27 +130,58 @@ func NewSyncer(k *sim.Kernel, bus *can.Bus, cfg SyncConfig, master int, clocks [
 	for i := range s.rxTS {
 		s.rxTS[i] = make(map[uint8]sim.Time)
 	}
+	s.lastAdj = make([]sim.Time, len(clocks))
+	s.inHoldover = make([]bool, len(clocks))
 	return s
 }
 
-// Start schedules the periodic sync rounds. The first round fires
-// immediately so that a freshly configured system converges before HRT
-// traffic begins.
+// SetBackups installs the ranked list of backup time masters. Rank r takes
+// over after FailoverRounds+r missed rounds, so a dead first backup delays
+// — never prevents — failover to the second.
+func (s *Syncer) SetBackups(ranked []int) {
+	s.backups = append([]int(nil), ranked...)
+}
+
+// Backups returns the ranked backup masters.
+func (s *Syncer) Backups() []int { return s.backups }
+
+// down reports whether a station is known-crashed.
+func (s *Syncer) down(i int) bool { return s.Down != nil && s.Down(i) }
+
+// Start schedules the periodic sync rounds and the failover/holdover
+// watchdog. The first round fires immediately so that a freshly configured
+// system converges before HRT traffic begins.
 func (s *Syncer) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
 	var round func()
 	round = func() {
 		s.sendSync()
 		s.K.After(s.Cfg.Period, round)
 	}
 	s.K.After(0, round)
+	var watch func()
+	watch = func() {
+		s.sweep()
+		s.K.After(s.Cfg.Period, watch)
+	}
+	s.K.After(s.Cfg.Period, watch)
 }
 
 // sendSync emits one SYNC frame and, once it completes on the wire, the
-// FOLLOW-UP carrying the master's captured transmission timestamp.
+// FOLLOW-UP carrying the master's captured transmission timestamp. A dead
+// or detached master emits nothing: the silence is what the backups and
+// the holdover machinery detect.
 func (s *Syncer) sendSync() {
+	master := s.Master
+	ctrl := s.Bus.Controller(master)
+	if ctrl.Muted() || s.down(master) {
+		return
+	}
 	s.seq++
 	seq := s.seq
-	ctrl := s.Bus.Controller(s.Master)
 	sync := can.Frame{
 		ID:   can.MakeID(s.Cfg.Prio, ctrl.Node(), s.Cfg.Etag),
 		Data: []byte{packHeader(msgSync, seq)},
@@ -122,9 +190,10 @@ func (s *Syncer) sendSync() {
 		if !ok {
 			return
 		}
+		s.lastWire = at
 		// The master timestamps the same completion instant the receivers
 		// saw, with the same quantization.
-		txLocal := s.stamp(s.Master, at)
+		txLocal := s.stamp(master, at)
 		fu := make([]byte, 8)
 		fu[0] = packHeader(msgFollowUp, seq)
 		putTS(fu[1:], txLocal)
@@ -133,6 +202,64 @@ func (s *Syncer) sendSync() {
 			Data: fu,
 		}, can.SubmitOpts{})
 	}})
+}
+
+// sweep is the once-per-period watchdog: it moves silent followers into
+// holdover and promotes the highest-ranked live backup once the master has
+// been silent past its rank's threshold.
+func (s *Syncer) sweep() {
+	now := s.K.Now()
+	// Holdover entry: a follower that has seen no correction for more than
+	// two sync periods can no longer assume the π precision bound.
+	for i := range s.clocks {
+		if i == s.Master || s.inHoldover[i] || s.down(i) || s.Bus.Controller(i).Muted() {
+			continue // a crashed station is down, not in holdover
+		}
+		ref := s.lastAdj[i]
+		if now-ref > 2*s.Cfg.Period {
+			s.inHoldover[i] = true
+			if s.OnHoldover != nil {
+				s.OnHoldover(i, true, now)
+			}
+		}
+	}
+	// Failover: rank r of the backup list tolerates FailoverRounds+r
+	// missed rounds. Ranks are checked best-first, so the takeover is
+	// deterministic: the highest-ranked live backup always wins.
+	silent := now - s.lastWire
+	for r, b := range s.backups {
+		if b == s.Master || s.down(b) || s.Bus.Controller(b).Muted() {
+			continue
+		}
+		threshold := sim.Duration(s.Cfg.failoverRounds()+r) * s.Cfg.Period
+		if silent > threshold {
+			s.takeover(b, now)
+		}
+		return // lower ranks wait for this one's longer threshold
+	}
+}
+
+// takeover promotes backup b to acting master. Its clock is stepped
+// forward by the current holdover uncertainty so that every follower's
+// first correction under the new master is non-negative: global time may
+// jump forward across a master switch, but never backward.
+func (s *Syncer) takeover(b int, now sim.Time) {
+	step := s.Uncertainty(b, now)
+	s.clocks[b].AdjustBy(now, step)
+	s.Master = b
+	s.Takeovers++
+	s.lastWire = now
+	s.lastAdj[b] = now
+	if s.inHoldover[b] {
+		s.inHoldover[b] = false
+		if s.OnHoldover != nil {
+			s.OnHoldover(b, false, now)
+		}
+	}
+	if s.OnTakeover != nil {
+		s.OnTakeover(b, now)
+	}
+	s.sendSync()
 }
 
 // stamp reads node i's local clock at true time at, with quantization
@@ -167,10 +294,51 @@ func (s *Syncer) HandleFrame(node int, f can.Frame, at sim.Time) {
 		delete(s.rxTS[node], seq)
 		masterTx := getTS(f.Data[1:])
 		s.clocks[node].AdjustBy(at, masterTx-rx)
+		s.lastAdj[node] = at
+		if s.inHoldover[node] {
+			s.inHoldover[node] = false
+			if s.OnHoldover != nil {
+				s.OnHoldover(node, false, at)
+			}
+		}
 		if node == s.lastNonMaster() {
 			s.Rounds++
 		}
 	}
+}
+
+// InHoldover reports whether a follower is currently in holdover.
+func (s *Syncer) InHoldover(node int) bool { return s.inHoldover[node] }
+
+// Uncertainty returns the worst-case bound on how far node's clock may
+// currently be from any other synchronized clock: the steady-state
+// precision π while corrections are flowing, growing by twice the maximum
+// drift rate for every second past the expected correction period. The
+// acting master is the time reference, but its distance to followers is
+// still bounded by the same model (they drift from it symmetrically), so
+// it reports the same bound anchored at the last wire round.
+func (s *Syncer) Uncertainty(node int, now sim.Time) sim.Duration {
+	ref := s.lastAdj[node]
+	if node == s.Master {
+		ref = s.lastWire
+	}
+	return HoldoverUncertainty(s.Cfg, now-ref)
+}
+
+// HoldoverUncertainty is the holdover model: elapsed time since the last
+// correction maps to a pairwise clock uncertainty of
+//
+//	π + 2·d_max·max(0, elapsed − Period)
+//
+// — the steady-state precision bound while corrections arrive on schedule,
+// then linear growth at the worst-case relative drift rate 2·d_max.
+func HoldoverUncertainty(cfg SyncConfig, elapsed sim.Duration) sim.Duration {
+	base := PrecisionBound(cfg, cfg.MaxDriftPPM)
+	extra := elapsed - cfg.Period
+	if extra <= 0 {
+		return base
+	}
+	return base + sim.Duration(2*cfg.MaxDriftPPM*1e-6*float64(extra))
 }
 
 // lastNonMaster returns the highest node index that is not the master,

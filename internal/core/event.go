@@ -259,4 +259,8 @@ type Counters struct {
 	Overflows, TxFailures, FragErrors         uint64
 	LateHRTDeliveries                         uint64
 	PromotionsApplied                         uint64
+	// HoldoverWidened counts HRT guarantee checks performed with slack
+	// widened beyond 2π because the clock-sync uncertainty had grown past
+	// it (master failover in progress).
+	HoldoverWidened uint64
 }

@@ -320,7 +320,7 @@ func (ch *channelState) hrtReceive(f can.Frame, at sim.Time) {
 		// fault burst beyond the assumption): deliver immediately rather
 		// than hold it a full round. Within the sync precision this still
 		// counts as on-time.
-		late := local > deadline+2*mw.Cal.Cfg.Precision
+		late := local > deadline+mw.hrtSlack()
 		ch.hrtDeliver(pub, st, late)
 		return
 	}
@@ -423,8 +423,9 @@ func (c *HRTEC) runDeliver(slot calendar.Slot, round int64) {
 			ch.hrtDeliver(slot.Publisher, st, false)
 		} else if slot.Periodic {
 			// Allow the clock precision before declaring a miss: the
-			// publisher's clock may run up to π behind ours.
-			clock.ScheduleLocal(mw.K, mw.node.Clock, deadline+2*cfg.Precision, func() {
+			// publisher's clock may run up to π behind ours — more during
+			// holdover, when the slack is widened to the uncertainty bound.
+			clock.ScheduleLocal(mw.K, mw.node.Clock, deadline+mw.hrtSlack(), func() {
 				if mw.stopped || !ch.subscribed {
 					return
 				}

@@ -23,12 +23,20 @@ import (
 //  6. OnRestart lets the application re-create its channels, which enter
 //     the calendar at the current round phase (Middleware.startRound).
 //
-// Station 0 hosts the binding agent (and, by convention, the sync master),
-// so it cannot be crashed through this manager.
+// The binding agent initially lives on station 0 (and, by convention, the
+// sync master). Neither role pins its station forever: EnableStandby arms a
+// hot-standby binding agent on another station, and ranked sync backups
+// (SystemConfig.SyncBackups) arm time-master failover. A station hosting an
+// active control-plane role can only be crashed while a live standby or
+// backup exists to take the role over.
 type Lifecycle struct {
-	sys   *System
-	agent *binding.Agent
-	down  map[int]*crashRecord
+	sys            *System
+	agent          *binding.Agent
+	agentStation   int
+	standby        *binding.StandbyAgent
+	standbyStation int // -1 while no standby is armed
+	hbCfg          binding.HeartbeatConfig
+	down           map[int]*crashRecord
 
 	// OnRestart, if set, is invoked once a restarted node is fully
 	// recovered (re-joined, re-bound, re-synced): the application
@@ -36,15 +44,25 @@ type Lifecycle struct {
 	// start-up code would.
 	OnRestart func(node int, mw *Middleware)
 
-	// CrashCount / RestartCount tally completed transitions.
-	CrashCount, RestartCount int
+	// OnRestartError, if set, is invoked when a restarting node exhausts
+	// its bounded re-join attempts (binding.ErrAgentUnreachable). Recovery
+	// is not abandoned: the node keeps listening and re-joins in the
+	// background once the agent is heard again.
+	OnRestartError func(node int, err error)
+
+	// CrashCount / RestartCount tally completed transitions;
+	// AgentTakeovers counts standby promotions to the agent role.
+	CrashCount, RestartCount, AgentTakeovers int
 }
 
 // crashRecord is what survives a crash outside the node: the subjects the
-// station had bound (for over-the-wire re-binding) and when it went down.
+// station had bound (for over-the-wire re-binding), when it went down, and
+// whether it was the acting binding agent at the time (so its restart
+// re-arms it as the new standby).
 type crashRecord struct {
 	channels []ChannelInfo
 	at       sim.Time
+	wasAgent bool
 }
 
 // uidOf derives the stable hardware UID of station i — the identity the
@@ -60,11 +78,17 @@ func uidOf(i int) uint64 { return 0x00C0FFEE00 + uint64(i) }
 // handshake frames a recovery needs.
 var recoveryPrio = DefaultBands().SRT.Min
 
+// rejoinFallback is the background re-join cadence of a node whose bounded
+// join attempts failed: it retries either when the agent is heard on the
+// wire again (heartbeat or any reply) or, failing that signal, on this
+// slow timer.
+const rejoinFallback = 500 * sim.Millisecond
+
 // NewLifecycle installs a lifecycle manager: it hosts the binding agent on
 // station 0 backed by the system's shared binding table, and pre-assigns
 // every station's uid→TxNode so re-joins are stable.
 func NewLifecycle(sys *System) *Lifecycle {
-	lc := &Lifecycle{sys: sys, down: make(map[int]*crashRecord)}
+	lc := &Lifecycle{sys: sys, down: make(map[int]*crashRecord), standbyStation: -1}
 	lc.agent = binding.NewAgent(sys.K, sys.Nodes[0].Ctrl)
 	lc.agent.Table = sys.Bindings
 	lc.agent.Prio = recoveryPrio
@@ -72,29 +96,119 @@ func NewLifecycle(sys *System) *Lifecycle {
 		lc.agent.Preassign(uidOf(i), can.TxNode(i))
 	}
 	sys.Nodes[0].MW.ConfigRx = lc.agent.HandleFrame
+	if sys.Syncer != nil {
+		// The syncer must not elect a crashed backup, and a dead master's
+		// emission loop must go quiet instead of queueing zombie frames.
+		sys.Syncer.Down = lc.Down
+	}
 	return lc
 }
 
-// Agent returns the hosted binding agent.
+// Agent returns the acting binding agent (the standby's replica after a
+// takeover).
 func (lc *Lifecycle) Agent() *binding.Agent { return lc.agent }
+
+// AgentStation returns the station currently hosting the binding agent.
+func (lc *Lifecycle) AgentStation() int { return lc.agentStation }
+
+// Standby returns the armed standby agent (nil before EnableStandby and
+// between a takeover and the old agent's restart).
+func (lc *Lifecycle) Standby() *binding.StandbyAgent { return lc.standby }
+
+// EnableStandby arms a hot-standby binding agent on the given station. The
+// acting agent starts heartbeating and checkpointing its state; the standby
+// replicates passively and takes the agent role over when the heartbeats
+// stop for longer than cfg.Period·cfg.MissLimit. The zero cfg selects
+// DefaultHeartbeatConfig.
+func (lc *Lifecycle) EnableStandby(station int, cfg binding.HeartbeatConfig) error {
+	if station < 0 || station >= len(lc.sys.Nodes) {
+		return fmt.Errorf("core: standby station %d of %d", station, len(lc.sys.Nodes))
+	}
+	if station == lc.agentStation {
+		return fmt.Errorf("core: station %d already hosts the acting agent", station)
+	}
+	if lc.down[station] != nil {
+		return fmt.Errorf("core: standby station %d is down", station)
+	}
+	if lc.standby != nil && !lc.standby.Active() {
+		return fmt.Errorf("core: station %d is already the standby", lc.standbyStation)
+	}
+	lc.hbCfg = cfg
+	lc.installStandby(station)
+	lc.agent.StartHeartbeat(cfg)
+	return nil
+}
+
+// installStandby builds the replica (seeded from the current authoritative
+// state, as an off-line configuration distribution would) and arms its
+// watchdog. The replica keeps converging on-line through the heartbeat and
+// checkpoint stream.
+func (lc *Lifecycle) installStandby(station int) {
+	sys := lc.sys
+	replica := binding.NewAgent(sys.K, sys.Nodes[station].Ctrl)
+	replica.Table = sys.Bindings.Clone()
+	replica.Prio = recoveryPrio
+	for i := range sys.Nodes {
+		replica.Preassign(uidOf(i), can.TxNode(i))
+	}
+	sa := binding.NewStandbyAgent(sys.K, replica, lc.hbCfg)
+	sa.OnTakeover = func(at sim.Time) {
+		lc.agent = sa.Agent()
+		lc.agentStation = station
+		lc.standby = nil
+		lc.standbyStation = -1
+		lc.AgentTakeovers++
+		sys.Obs.ControlPlane(obs.StageAgentTakeover, station, at, "binding agent")
+	}
+	sys.Nodes[station].MW.ConfigRx = sa.HandleFrame
+	lc.standby = sa
+	lc.standbyStation = station
+	sa.Start()
+}
 
 // Down reports whether station i is currently crashed.
 func (lc *Lifecycle) Down(i int) bool { return lc.down[i] != nil }
+
+// standbyAlive reports whether an armed, not-yet-promoted standby is up.
+func (lc *Lifecycle) standbyAlive() bool {
+	return lc.standby != nil && lc.down[lc.standbyStation] == nil
+}
+
+// backupAlive reports whether a ranked sync backup other than the acting
+// master is up.
+func (lc *Lifecycle) backupAlive(master int) bool {
+	if lc.sys.Syncer == nil {
+		return false
+	}
+	for _, b := range lc.sys.Syncer.Backups() {
+		if b != master && lc.down[b] == nil {
+			return true
+		}
+	}
+	return false
+}
 
 // Crash takes station i down: middleware activity stops, queued HRT events
 // are lost (their traces closed with a node_crash drop), and the
 // controller detaches from the bus — a frame it has on the wire is
 // truncated into an error frame, queued requests vanish without callbacks.
+// The station hosting the acting binding agent (or the acting time master)
+// can only be crashed while a live standby (or ranked backup) exists to
+// take the role over.
 func (lc *Lifecycle) Crash(i int) error {
-	if i == 0 {
-		return fmt.Errorf("core: station 0 hosts the binding agent and sync master; cannot crash it")
-	}
 	if lc.down[i] != nil {
 		return fmt.Errorf("core: station %d is already down", i)
 	}
+	wasAgent := i == lc.agentStation
+	if wasAgent && !lc.standbyAlive() {
+		return fmt.Errorf("core: station %d hosts the binding agent and no live standby is armed; cannot crash it", i)
+	}
+	if lc.sys.Syncer != nil && i == lc.sys.Syncer.Master && !lc.backupAlive(i) {
+		return fmt.Errorf("core: station %d is the acting time master and no live backup exists; cannot crash it", i)
+	}
 	node := lc.sys.Nodes[i]
 	now := lc.sys.K.Now()
-	rec := &crashRecord{channels: node.MW.Channels(), at: now}
+	rec := &crashRecord{channels: node.MW.Channels(), at: now, wasAgent: wasAgent}
 
 	// Close the traces of events that die in the crashed node's queues:
 	// the host memory holding them is gone.
@@ -141,34 +255,62 @@ func (lc *Lifecycle) Restart(i int) error {
 	mw.Obs = sys.Obs
 	if sys.Syncer != nil {
 		mw.Syncer = sys.Syncer
+		mw.Health = sys.Syncer
 		node.Clock.SetTo(now, 0) // cold RTC: re-sync will correct it
 	}
 	client := binding.NewClient(sys.K, node.Ctrl)
 	client.Prio = recoveryPrio
 	mw.ConfigRx = client.HandleFrame
+	if i == lc.standbyStation && lc.standby != nil {
+		// A rebooting standby station keeps snooping while it recovers:
+		// without the tap its watchdog would mistake its own recovery
+		// window for agent silence and promote a stale replica.
+		sa := lc.standby
+		mw.ConfigRx = func(f can.Frame, at sim.Time) {
+			client.HandleFrame(f, at)
+			sa.HandleFrame(f, at)
+		}
+	}
 
 	lc.rejoin(i, node, mw, client, rec)
 	return nil
 }
 
-// rejoin runs the join protocol (retrying as long as it takes: the agent
-// may be unreachable during a fault burst), then re-binds the subjects the
-// station used before the crash.
+// rejoin runs the join protocol with the client's bounded retry policy,
+// then re-binds the subjects the station used before the crash. Exhausted
+// attempts surface through OnRestartError and arm a background retry.
 func (lc *Lifecycle) rejoin(i int, node *Node, mw *Middleware, client *binding.Client, rec *crashRecord) {
 	client.Join(uidOf(i), func(_ can.TxNode, err error) {
 		if mw.stopped || node.MW != mw {
 			return // crashed again mid-recovery
 		}
 		if err != nil {
-			lc.sys.K.After(100*sim.Millisecond, func() {
-				if !mw.stopped && node.MW == mw {
-					lc.rejoin(i, node, mw, client, rec)
-				}
-			})
+			lc.joinFailed(i, node, mw, client, rec, err)
 			return
 		}
 		lc.rebind(i, node, mw, client, rec, 0)
 	})
+}
+
+// joinFailed reports the typed error and keeps recovery alive in the
+// background: the next agent frame the client hears (heartbeat or any
+// reply) restarts the join immediately, with a slow fallback timer for
+// configurations where the agent never volunteers traffic.
+func (lc *Lifecycle) joinFailed(i int, node *Node, mw *Middleware, client *binding.Client, rec *crashRecord, err error) {
+	if lc.OnRestartError != nil {
+		lc.OnRestartError(i, err)
+	}
+	retried := false
+	retry := func() {
+		if retried || mw.stopped || node.MW != mw {
+			return
+		}
+		retried = true
+		client.OnAgentAlive = nil
+		lc.rejoin(i, node, mw, client, rec)
+	}
+	client.OnAgentAlive = retry
+	lc.sys.K.After(rejoinFallback, func() { retry() })
 }
 
 // rebind fetches the etag of each previously-bound subject over the wire,
@@ -204,6 +346,15 @@ func (lc *Lifecycle) resync(i int, node *Node, mw *Middleware, rec *crashRecord)
 			return
 		}
 		lc.RestartCount++
+		if rec.wasAgent && lc.standby == nil && i != lc.agentStation {
+			// The deposed agent is back: it re-arms as the new standby,
+			// re-syncing its replica through the checkpoint stream.
+			lc.installStandby(i)
+		} else if i == lc.standbyStation && lc.standby != nil {
+			// The standby station rebooted: re-wire its frame tap onto the
+			// fresh middleware (its replica converges via checkpoints).
+			node.MW.ConfigRx = lc.standby.HandleFrame
+		}
 		if lc.OnRestart != nil {
 			lc.OnRestart(i, mw)
 		}

@@ -100,6 +100,14 @@ type Middleware struct {
 	Syncer interface {
 		HandleFrame(node int, f can.Frame, at sim.Time)
 	}
+	// Health, if set, reports this node's current clock uncertainty bound
+	// (the clock.Syncer implements it). During master failover the bound
+	// grows past the calendar's precision, and the HRT machinery widens
+	// its delivery-guarantee slack accordingly instead of flagging
+	// spurious late deliveries and slot misses.
+	Health interface {
+		Uncertainty(node int, now sim.Time) sim.Duration
+	}
 	// ConfigRx, if set, receives frames on the config etag (binding
 	// agent or client).
 	ConfigRx func(f can.Frame, at sim.Time)
@@ -330,6 +338,23 @@ func (ch *channelState) raiseSub(e Exception) {
 	if ch.subExc != nil {
 		ch.subExc(e)
 	}
+}
+
+// hrtSlack returns the tolerance applied to HRT deadline checks: twice
+// the calendar's clock precision in steady state, widened to the current
+// holdover uncertainty bound when the synchronization health degrades
+// past it (the paper's guarantees assume π; while no master is correcting
+// the clocks, π is unattainable and the guarantee is explicitly widened
+// rather than silently violated).
+func (mw *Middleware) hrtSlack() sim.Duration {
+	slack := 2 * mw.Cal.Cfg.Precision
+	if mw.Health != nil {
+		if u := mw.Health.Uncertainty(mw.node.Index, mw.K.Now()); u > slack {
+			mw.counters.HoldoverWidened++
+			return u
+		}
+	}
+	return slack
 }
 
 // hrtQueuedTotal counts events waiting for slots across the node's HRT

@@ -37,6 +37,11 @@ type SystemConfig struct {
 	// Sync configures clock synchronization; a zero Period disables it
 	// (all clocks then free-run, which is only sensible with zero drift).
 	Sync clock.SyncConfig
+	// Master is the station acting as initial time master (default 0).
+	Master int
+	// SyncBackups ranks the backup time masters for failover; empty keeps
+	// the single-master configuration of the paper.
+	SyncBackups []int
 	// MaxDriftPPM bounds the per-node clock rate error; each node draws
 	// uniformly from ±MaxDriftPPM.
 	MaxDriftPPM float64
@@ -97,8 +102,19 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if cfg.Sync.Period > 0 {
 		cfg.Sync.Prio = cfg.Bands.SyncPrio
 		cfg.Sync.Etag = binding.SyncEtag
+		if cfg.Sync.MaxDriftPPM == 0 {
+			cfg.Sync.MaxDriftPPM = cfg.MaxDriftPPM
+		}
 		if cfg.Epoch == 0 {
 			cfg.Epoch = DefaultEpoch(cfg.Sync)
+		}
+		if cfg.Master < 0 || cfg.Master >= cfg.Nodes {
+			return nil, fmt.Errorf("core: sync master station %d of %d", cfg.Master, cfg.Nodes)
+		}
+		for _, b := range cfg.SyncBackups {
+			if b < 0 || b >= cfg.Nodes || b == cfg.Master {
+				return nil, fmt.Errorf("core: sync backup station %d invalid", b)
+			}
 		}
 	}
 
@@ -155,9 +171,23 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	}
 
 	if cfg.Sync.Period > 0 {
-		sys.Syncer = clock.NewSyncer(k, bus, cfg.Sync, 0, sys.Clocks)
+		sys.Syncer = clock.NewSyncer(k, bus, cfg.Sync, cfg.Master, sys.Clocks)
+		if len(cfg.SyncBackups) > 0 {
+			sys.Syncer.SetBackups(cfg.SyncBackups)
+		}
+		sys.Syncer.OnTakeover = func(m int, at sim.Time) {
+			sys.Obs.ControlPlane(obs.StageMasterTakeover, m, at, "time master")
+		}
+		sys.Syncer.OnHoldover = func(n int, enter bool, at sim.Time) {
+			stage := obs.StageHoldoverExit
+			if enter {
+				stage = obs.StageHoldoverEnter
+			}
+			sys.Obs.ControlPlane(stage, n, at, "")
+		}
 		for _, n := range sys.Nodes {
 			n.MW.Syncer = sys.Syncer
+			n.MW.Health = sys.Syncer
 		}
 		sys.Syncer.Start()
 	}
@@ -202,6 +232,7 @@ func (s *System) TotalCounters() Counters {
 		t.FragErrors += c.FragErrors
 		t.LateHRTDeliveries += c.LateHRTDeliveries
 		t.PromotionsApplied += c.PromotionsApplied
+		t.HoldoverWidened += c.HoldoverWidened
 	}
 	return t
 }

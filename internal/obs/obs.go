@@ -99,6 +99,7 @@ type Observer struct {
 	watchdog    map[string]*Counter // by new state
 	guardian    map[string]*Counter // by band
 	lifecycle   map[string]*Counter // by lifecycle stage
+	ctrlplane   map[string]*Counter // by control-plane stage
 	txStartAt   sim.Time
 	txStartBand string
 	txOpen      bool
@@ -125,6 +126,7 @@ func New(cfg Config, now func() sim.Time, bm BandMap) *Observer {
 		o.watchdog = make(map[string]*Counter)
 		o.guardian = make(map[string]*Counter)
 		o.lifecycle = make(map[string]*Counter)
+		o.ctrlplane = make(map[string]*Counter)
 		o.retries = o.reg.Counter("canec_arb_retries_total",
 			"Transmission attempts beyond the first (retransmissions after error frames).", nil)
 		o.arbLosses = o.reg.Counter("canec_arb_losses_total",
@@ -353,6 +355,30 @@ func (o *Observer) NodeLifecycle(stage Stage, node int, at sim.Time, detail stri
 				"Whole-node lifecycle transitions: node_down, node_restart, node_up.",
 				Labels{"event": string(stage)})
 			o.lifecycle[string(stage)] = c
+		}
+		c.Inc()
+	}
+	if o.tracer != nil {
+		o.tracer.add(Record{Stage: stage, At: at, Node: node, Prio: -1, Detail: detail})
+	}
+}
+
+// ControlPlane records a control-plane failover transition
+// (StageAgentTakeover, StageMasterTakeover, StageHoldoverEnter,
+// StageHoldoverExit). Like node lifecycle records these carry trace ID 0:
+// they belong to a station role, not an event, and the chaos checkers read
+// takeover latencies and holdover windows from them.
+func (o *Observer) ControlPlane(stage Stage, node int, at sim.Time, detail string) {
+	if o == nil {
+		return
+	}
+	if o.reg != nil {
+		c, ok := o.ctrlplane[string(stage)]
+		if !ok {
+			c = o.reg.Counter("canec_control_plane_total",
+				"Control-plane failover transitions: agent_takeover, master_takeover, holdover_enter, holdover_exit.",
+				Labels{"event": string(stage)})
+			o.ctrlplane[string(stage)] = c
 		}
 		c.Inc()
 	}

@@ -70,6 +70,22 @@ const (
 	// StageNodeUp marks a completed recovery: re-joined, re-synced,
 	// re-bound and back on the calendar.
 	StageNodeUp Stage = "node_up"
+
+	// Control-plane failover stages also carry trace ID 0 with Node set to
+	// the station whose role changed. Chaos invariant checkers use them to
+	// verify takeover latency bounds.
+
+	// StageAgentTakeover marks a standby binding agent assuming the agent
+	// role after missed heartbeats.
+	StageAgentTakeover Stage = "agent_takeover"
+	// StageMasterTakeover marks a backup time master starting to emit SYNC
+	// rounds after the acting master fell silent.
+	StageMasterTakeover Stage = "master_takeover"
+	// StageHoldoverEnter marks a follower clock switching to holdover:
+	// extrapolating on its last known rate with a growing uncertainty bound.
+	StageHoldoverEnter Stage = "holdover_enter"
+	// StageHoldoverExit marks a follower clock re-converging on a master.
+	StageHoldoverExit Stage = "holdover_exit"
 )
 
 // Record is one timestamped stage of one event's life cycle.

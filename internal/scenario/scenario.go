@@ -55,16 +55,20 @@ type NRTBulk struct {
 
 // Scenario is the top-level description.
 type Scenario struct {
-	Name           string      `json:"name"`
-	Nodes          int         `json:"nodes"`
-	Seed           uint64      `json:"seed"`
-	DurationMs     int64       `json:"durationMs"`
-	MaxDriftPPM    float64     `json:"maxDriftPPM"`
-	FaultRate      float64     `json:"faultRate"`
-	OmissionDegree int         `json:"omissionDegree"`
-	HRT            []HRTStream `json:"hrt"`
-	SRT            []SRTStream `json:"srt"`
-	NRT            []NRTBulk   `json:"nrt"`
+	Name           string  `json:"name"`
+	Nodes          int     `json:"nodes"`
+	Seed           uint64  `json:"seed"`
+	DurationMs     int64   `json:"durationMs"`
+	MaxDriftPPM    float64 `json:"maxDriftPPM"`
+	FaultRate      float64 `json:"faultRate"`
+	OmissionDegree int     `json:"omissionDegree"`
+	// SyncMaster selects the initial time master (default station 0);
+	// SyncBackups ranks the backup masters for failover.
+	SyncMaster  int         `json:"syncMaster,omitempty"`
+	SyncBackups []int       `json:"syncBackups,omitempty"`
+	HRT         []HRTStream `json:"hrt"`
+	SRT         []SRTStream `json:"srt"`
+	NRT         []NRTBulk   `json:"nrt"`
 
 	// Chaos, when present, runs the scenario under a seeded fault campaign:
 	// node crashes and restarts, error bursts, omission windows and
@@ -139,6 +143,14 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario: nrt[%d] invalid size", i)
 		}
 	}
+	if s.SyncMaster < 0 || s.SyncMaster >= s.Nodes {
+		return fmt.Errorf("scenario: syncMaster %d of %d", s.SyncMaster, s.Nodes)
+	}
+	for i, b := range s.SyncBackups {
+		if b < 0 || b >= s.Nodes || b == s.SyncMaster {
+			return fmt.Errorf("scenario: syncBackups[%d] = %d invalid", i, b)
+		}
+	}
 	if s.Chaos != nil {
 		if err := s.Chaos.Validate(s.Nodes); err != nil {
 			return err
@@ -184,6 +196,10 @@ func (r *Report) String() string {
 	if ch := r.Chaos; ch != nil {
 		out += fmt.Sprintf("chaos: %d crashes, %d restarts, guardian muted %d frames (isolated %d nodes), babbler sent %d / muted %d\n",
 			ch.Crashes, ch.Restarts, ch.GuardianMuted, ch.GuardianIsolated, ch.BabbleSent, ch.BabbleMuted)
+		if ch.AgentTakeovers > 0 || ch.MasterTakeovers > 0 {
+			out += fmt.Sprintf("chaos: control plane: %d agent takeover(s), %d master takeover(s)\n",
+				ch.AgentTakeovers, ch.MasterTakeovers)
+		}
 		if len(ch.Violations) == 0 {
 			out += "chaos: all trace invariants hold\n"
 		}
@@ -239,6 +255,8 @@ func (s *Scenario) Run() (*Report, error) {
 	sys, err := core.NewSystem(core.SystemConfig{
 		Nodes: s.Nodes, Seed: s.Seed, Calendar: cal,
 		Sync:             clock.DefaultSyncConfig(),
+		Master:           s.SyncMaster,
+		SyncBackups:      s.SyncBackups,
 		MaxDriftPPM:      s.MaxDriftPPM,
 		MaxInitialOffset: 200 * sim.Microsecond,
 		Observe:          s.Observe,

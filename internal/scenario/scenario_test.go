@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -193,5 +194,49 @@ func TestValidateChaosSection(t *testing.T) {
 	  "chaos": {"events": [{"kind": "crash", "at_ms": 1, "node": 0}]}}`
 	if _, err := Load(strings.NewReader(bad)); err == nil {
 		t.Fatal("crash of station 0 accepted")
+	}
+}
+
+// TestRunControlPlaneSample runs the shipped control-plane chaos sample:
+// the binding agent and the time master each crash and restart, both roles
+// fail over, and every trace invariant holds.
+func TestRunControlPlaneSample(t *testing.T) {
+	f, err := os.Open("../../testdata/chaos-agent-master.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := rep.Chaos
+	if ch == nil {
+		t.Fatal("chaos section ran but Report.Chaos is nil")
+	}
+	for _, v := range ch.Violations {
+		t.Errorf("invariant violated: %v", v)
+	}
+	for _, e := range ch.Errors {
+		t.Errorf("campaign event failed: %s", e)
+	}
+	if ch.Crashes != 2 || ch.Restarts != 2 {
+		t.Fatalf("crashes/restarts = %d/%d, want 2/2", ch.Crashes, ch.Restarts)
+	}
+	if ch.AgentTakeovers < 1 || ch.MasterTakeovers < 1 {
+		t.Fatalf("takeovers agent=%d master=%d, want ≥1 each", ch.AgentTakeovers, ch.MasterTakeovers)
+	}
+	// The data plane publishes from stations that never crash: both HRT
+	// streams must keep flowing through both control-plane outages.
+	if rep.Counters.DeliveredHRT < 300 {
+		t.Fatalf("DeliveredHRT = %d, want ≥ 300", rep.Counters.DeliveredHRT)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "agent takeover") {
+		t.Fatalf("report missing control-plane summary:\n%s", out)
 	}
 }
