@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos-smoke fuzz-smoke bench tidy
+.PHONY: all build vet test race check chaos-smoke fuzz-smoke relay-smoke bench tidy
 
 all: check
 
@@ -33,11 +33,18 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzPut56RoundTrip -fuzztime 5s ./internal/binding/
 	$(GO) test -run '^$$' -fuzz FuzzSyncerHandleFrame -fuzztime 5s ./internal/clock/
 	$(GO) test -run '^$$' -fuzz FuzzTSRoundTrip -fuzztime 5s ./internal/clock/
+	$(GO) test -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime 5s ./internal/can/
+
+# relay-smoke is the multi-process federation gate: two canecd daemons on
+# localhost, three SRT events published on segment a, delivery and trace
+# continuity asserted on segment b.
+relay-smoke:
+	./scripts/relay_smoke.sh
 
 # check is the PR gate: compile everything, vet, run the full suite under
-# the race detector, replay the chaos smoke sweep, and smoke the fuzz
-# targets.
-check: build vet race chaos-smoke fuzz-smoke
+# the race detector, replay the chaos smoke sweep, smoke the fuzz
+# targets, and run the two-daemon relay federation smoke.
+check: build vet race chaos-smoke fuzz-smoke relay-smoke
 
 bench:
 	$(GO) test -bench . -benchmem ./internal/can ./internal/sim

@@ -1,0 +1,417 @@
+// canecd hosts one canec bus segment per process and federates it with
+// other segments over TCP relay links (internal/relay). The segment's
+// discrete-event kernel runs in paced mode — virtual time throttled
+// against the wall clock — so multiple daemons interoperate in real time
+// while every in-process simulation semantic stays intact.
+//
+// A two-daemon federation, subject 0x42 flowing left to right:
+//
+//	canecd -segment b -trace-base 2 -listen 127.0.0.1:7443 \
+//	       -sub 0x42 -announce srt:0x42 -expect 0x42:3 -expect-origin 1
+//	canecd -segment a -trace-base 1 -uplink 127.0.0.1:7443 \
+//	       -forward srt:0x42 -publish srt:0x42:3:20ms
+//
+// The first process exits 0 once three events published on segment a
+// were delivered on segment b with their origin traces intact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"canec/internal/binding"
+	"canec/internal/core"
+	"canec/internal/gateway"
+	"canec/internal/obs"
+	"canec/internal/relay"
+	"canec/internal/sim"
+)
+
+func main() { os.Exit(run()) }
+
+// chanSpec is one parsed class:subject federation entry.
+type chanSpec struct {
+	class   core.Class
+	subject binding.Subject
+}
+
+func parseClass(s string) (core.Class, error) {
+	switch strings.ToLower(s) {
+	case "hrt":
+		return core.HRT, nil
+	case "srt":
+		return core.SRT, nil
+	case "nrt":
+		return core.NRT, nil
+	}
+	return 0, fmt.Errorf("unknown class %q (want hrt|srt|nrt)", s)
+}
+
+func parseSubject(s string) (binding.Subject, error) {
+	v, err := strconv.ParseUint(s, 0, 56)
+	if err != nil {
+		return 0, fmt.Errorf("subject %q: %w", s, err)
+	}
+	return binding.Subject(v), nil
+}
+
+// parseChanList parses "class:subject,class:subject,...".
+func parseChanList(s string) ([]chanSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []chanSpec
+	for _, part := range strings.Split(s, ",") {
+		f := strings.SplitN(part, ":", 2)
+		if len(f) != 2 {
+			return nil, fmt.Errorf("entry %q: want class:subject", part)
+		}
+		class, err := parseClass(f[0])
+		if err != nil {
+			return nil, err
+		}
+		subj, err := parseSubject(f[1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chanSpec{class, subj})
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func die(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "canecd: "+format+"\n", args...)
+	return 1
+}
+
+func run() int {
+	var (
+		segment   = flag.String("segment", "", "segment name, unique across the federation (required)")
+		nodes     = flag.Int("nodes", 4, "stations on this segment (node 0 publishes, node 1 subscribes, the top nodes host relay bridges)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		traceBase = flag.Uint64("trace-base", 0, "trace-ID base index; IDs are minted as base<<32|n, keep it disjoint per segment")
+		pace      = flag.Float64("pace", 1.0, "virtual nanoseconds per wall nanosecond")
+		listen    = flag.String("listen", "", "comma-separated addresses to accept relay peers on")
+		uplink    = flag.String("uplink", "", "comma-separated relay server addresses to dial")
+		forward   = flag.String("forward", "", "comma list class:subject shipped to peers (e.g. srt:0x42)")
+		announce  = flag.String("announce", "", "comma list class:subject expected in from peers")
+		subs      = flag.String("sub", "", "comma list of subjects requested from peers")
+		publish   = flag.String("publish", "", "class:subject:count:period — demo publisher on node 0")
+		expect    = flag.String("expect", "", "subject:count — exit 0 once node 1 delivered count events")
+		expOrigin = flag.Uint64("expect-origin", 0, "require delivered trace IDs to originate from this trace base (0 disables)")
+		dur       = flag.Duration("dur", 30*time.Second, "wall-clock run limit")
+		hb        = flag.Duration("hb", 500*time.Millisecond, "relay heartbeat period")
+		verbose   = flag.Bool("v", false, "log relay link events to stderr")
+	)
+	flag.Parse()
+	if *segment == "" {
+		return die("-segment is required")
+	}
+	fwd, err := parseChanList(*forward)
+	if err != nil {
+		return die("-forward: %v", err)
+	}
+	ann, err := parseChanList(*announce)
+	if err != nil {
+		return die("-announce: %v", err)
+	}
+	listens, uplinks := splitList(*listen), splitList(*uplink)
+	nLinks := len(listens) + len(uplinks)
+	if nLinks == 0 {
+		return die("need at least one -listen or -uplink")
+	}
+	if *nodes < nLinks+2 {
+		return die("%d nodes cannot host %d relay bridges plus app stations", *nodes, nLinks)
+	}
+
+	k := sim.NewKernel(*seed)
+	sys, err := core.NewSystem(core.SystemConfig{
+		Nodes:  *nodes,
+		Kernel: k,
+		Observe: &obs.Config{
+			Trace: true, Metrics: true, TraceIDBase: *traceBase << 32,
+		},
+	})
+	if err != nil {
+		return die("system: %v", err)
+	}
+	paced := sim.NewPaced(k, *pace)
+
+	cfg := relay.Config{
+		Segment:        *segment,
+		HeartbeatEvery: *hb,
+		Seed:           *seed,
+	}
+	if *verbose {
+		cfg.Trace = func(e relay.Event) {
+			fmt.Fprintf(os.Stderr, "canecd[%s]: relay %s peer=%s %s\n", *segment, e.Kind, e.Peer, e.Detail)
+		}
+	}
+
+	var links []relay.Link
+	for _, addr := range listens {
+		srv, err := relay.Serve(addr, cfg)
+		if err != nil {
+			return die("listen %s: %v", addr, err)
+		}
+		defer srv.Close()
+		fmt.Printf("canecd[%s]: listening on %s\n", *segment, srv.Addr())
+		links = append(links, srv)
+	}
+	for _, addr := range uplinks {
+		up := relay.Dial(addr, cfg)
+		defer up.Close()
+		fmt.Printf("canecd[%s]: uplink to %s\n", *segment, addr)
+		links = append(links, up)
+	}
+
+	// One bridge per link, hosted on the segment's top stations; siblings
+	// linked so transit traffic keeps origin, hops and budget.
+	var bridges []*gateway.RemoteBridge
+	for i, l := range links {
+		station := *nodes - 1 - i
+		b, err := gateway.NewRemote(sys.Node(station).MW, relay.NewPort(paced, l), *segment)
+		if err != nil {
+			return die("bridge on station %d: %v", station, err)
+		}
+		bridges = append(bridges, b)
+	}
+	for i, b := range bridges {
+		b.LinkSiblings(bridges[i+1:]...)
+	}
+	for _, s := range splitList(*subs) {
+		subj, err := parseSubject(s)
+		if err != nil {
+			return die("-sub: %v", err)
+		}
+		for _, l := range links {
+			if err := l.Subscribe(subj, nil, nil); err != nil {
+				return die("subscribe %s: %v", s, err)
+			}
+		}
+	}
+	for _, c := range fwd {
+		for _, b := range bridges {
+			if err := b.Forward(c.class, c.subject, core.ChannelAttrs{}); err != nil {
+				return die("forward %v:%#x: %v", c.class, c.subject, err)
+			}
+		}
+	}
+	for _, c := range ann {
+		for _, b := range bridges {
+			if err := b.Announce(c.class, c.subject, core.ChannelAttrs{}); err != nil {
+				return die("announce %v:%#x: %v", c.class, c.subject, err)
+			}
+		}
+	}
+
+	// Demo expectation: node 1 subscribes and counts deliveries.
+	var delivered atomic.Uint64
+	var originBad atomic.Uint64
+	var expectSubj binding.Subject
+	expectCount := uint64(0)
+	var lastTraceID atomic.Uint64
+	if *expect != "" {
+		f := strings.SplitN(*expect, ":", 2)
+		if len(f) != 2 {
+			return die("-expect: want subject:count")
+		}
+		if expectSubj, err = parseSubject(f[0]); err != nil {
+			return die("-expect: %v", err)
+		}
+		if expectCount, err = strconv.ParseUint(f[1], 0, 64); err != nil {
+			return die("-expect count: %v", err)
+		}
+		class := core.SRT
+		for _, c := range ann {
+			if c.subject == expectSubj {
+				class = c.class
+			}
+		}
+		handler := func(ev core.Event, _ core.DeliveryInfo) {
+			if *expOrigin != 0 && ev.TraceID()>>32 != *expOrigin {
+				originBad.Add(1)
+			}
+			lastTraceID.Store(ev.TraceID())
+			delivered.Add(1)
+		}
+		if err := subscribeClass(sys.Node(1).MW, class, expectSubj, handler); err != nil {
+			return die("-expect subscribe: %v", err)
+		}
+	}
+
+	// Demo publisher on node 0.
+	var pubCh func(payload []byte)
+	pubCount := uint64(0)
+	pubPeriod := time.Duration(0)
+	if *publish != "" {
+		f := strings.Split(*publish, ":")
+		if len(f) != 4 {
+			return die("-publish: want class:subject:count:period")
+		}
+		class, err := parseClass(f[0])
+		if err != nil {
+			return die("-publish: %v", err)
+		}
+		subj, err := parseSubject(f[1])
+		if err != nil {
+			return die("-publish: %v", err)
+		}
+		if pubCount, err = strconv.ParseUint(f[2], 0, 64); err != nil {
+			return die("-publish count: %v", err)
+		}
+		if pubPeriod, err = time.ParseDuration(f[3]); err != nil {
+			return die("-publish period: %v", err)
+		}
+		mw := sys.Node(0).MW
+		switch class {
+		case core.SRT:
+			ch, err := mw.SRTEC(subj)
+			if err != nil {
+				return die("-publish: %v", err)
+			}
+			if err := ch.Announce(core.ChannelAttrs{}, nil); err != nil {
+				return die("-publish announce: %v", err)
+			}
+			pubCh = func(p []byte) {
+				now := mw.LocalTime()
+				ch.Publish(core.Event{Subject: subj, Payload: p,
+					Attrs: core.EventAttrs{
+						Deadline:   now + 10*sim.Millisecond,
+						Expiration: now + 50*sim.Millisecond,
+					}})
+			}
+		case core.NRT:
+			ch, err := mw.NRTEC(subj)
+			if err != nil {
+				return die("-publish: %v", err)
+			}
+			if err := ch.Announce(core.ChannelAttrs{}, nil); err != nil {
+				return die("-publish announce: %v", err)
+			}
+			pubCh = func(p []byte) { ch.Publish(core.Event{Subject: subj, Payload: p}) }
+		default:
+			return die("-publish: demo publisher supports srt and nrt")
+		}
+	}
+
+	// Settle bindings deterministically, then hand the kernel to the pacer.
+	sys.K.Run(100 * sim.Millisecond)
+	pacerDone := make(chan struct{})
+	go func() {
+		defer close(pacerDone)
+		paced.Run(sim.Time(1<<62) - 1)
+	}()
+	defer func() {
+		paced.Stop()
+		<-pacerDone
+	}()
+
+	deadline := time.Now().Add(*dur)
+	// Publisher: wait for a link, then emit pubCount events.
+	if pubCh != nil {
+		for time.Now().Before(deadline) && !anyLinkUp(links) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		for i := uint64(0); i < pubCount; i++ {
+			paced.Call(func() { pubCh([]byte{byte(i), 0xEC}) })
+			time.Sleep(pubPeriod)
+		}
+		fmt.Printf("canecd[%s]: published %d events\n", *segment, pubCount)
+	}
+
+	// Expectation: poll until met or the wall limit expires.
+	if expectCount > 0 {
+		for time.Now().Before(deadline) && delivered.Load() < expectCount {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if got := delivered.Load(); got < expectCount {
+			return die("expected %d deliveries on %#x, got %d", expectCount, expectSubj, got)
+		}
+		if originBad.Load() > 0 {
+			return die("%d deliveries carried trace IDs outside origin base %d", originBad.Load(), *expOrigin)
+		}
+		if !traceContinuous(paced, sys, lastTraceID.Load()) {
+			return die("delivered trace %#x has no relay_rx record: trace not continuous", lastTraceID.Load())
+		}
+		fmt.Printf("canecd[%s]: expect met: %d deliveries on %#x, trace continuity ok (id=%#x)\n",
+			*segment, delivered.Load(), expectSubj, lastTraceID.Load())
+		return 0
+	}
+
+	// Pure relay / publisher process: idle until the wall limit.
+	if pubCh == nil {
+		time.Sleep(time.Until(deadline))
+	} else {
+		// Give the egress queue a moment to drain before exiting.
+		time.Sleep(200 * time.Millisecond)
+	}
+	return 0
+}
+
+// subscribeClass wires a delivery handler on one class/subject pair.
+func subscribeClass(mw *core.Middleware, class core.Class, subj binding.Subject,
+	h func(core.Event, core.DeliveryInfo)) error {
+	switch class {
+	case core.SRT:
+		ch, err := mw.SRTEC(subj)
+		if err != nil {
+			return err
+		}
+		return ch.Subscribe(core.ChannelAttrs{}, core.SubscribeAttrs{}, h, nil)
+	case core.NRT:
+		ch, err := mw.NRTEC(subj)
+		if err != nil {
+			return err
+		}
+		return ch.Subscribe(core.ChannelAttrs{}, core.SubscribeAttrs{}, h, nil)
+	case core.HRT:
+		ch, err := mw.HRTEC(subj)
+		if err != nil {
+			return err
+		}
+		return ch.Subscribe(core.ChannelAttrs{}, core.SubscribeAttrs{}, h, nil)
+	}
+	return fmt.Errorf("unknown class %v", class)
+}
+
+// anyLinkUp reports whether any relay link has a live peer.
+func anyLinkUp(links []relay.Link) bool {
+	for _, l := range links {
+		if l.Counters().LinkUps() > l.Counters().LinkDowns() {
+			return true
+		}
+	}
+	return false
+}
+
+// traceContinuous checks, in kernel context, that the delivered trace ID
+// carries a relay_rx record on this segment — i.e. the local trace chain
+// links back to the remote origin rather than starting fresh here.
+func traceContinuous(paced *sim.Paced, sys *core.System, id uint64) bool {
+	if id == 0 {
+		return false
+	}
+	ok := false
+	paced.Call(func() {
+		for _, r := range sys.Obs.Records() {
+			if r.ID == id && r.Stage == obs.StageRelayRx {
+				ok = true
+				return
+			}
+		}
+	})
+	return ok
+}

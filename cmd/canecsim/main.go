@@ -40,6 +40,7 @@ func main() {
 		chaosCfg = flag.String("chaos", "", "JSON chaos script (crash/restart/burst/omission/babble campaign) applied to the -config scenario")
 		hist     = flag.Bool("hist", false, "print latency distribution histograms")
 		prom     = flag.String("prom", "", "write the run's metrics registry to this file (Prometheus text format)")
+		pace     = flag.Float64("pace", 0, "throttle the run against the wall clock at this many virtual ns per wall ns (0 = free-running, deterministic)")
 	)
 	flag.Parse()
 	if *chaosCfg != "" && *config == "" {
@@ -53,7 +54,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*nodes, *hrt, *srtLoad, *bulk, *faults, *omission, sim.Duration(dur.Nanoseconds()), *seed, *drift, *traceN, *hist, *prom); err != nil {
+	if err := run(*nodes, *hrt, *srtLoad, *bulk, *faults, *omission, sim.Duration(dur.Nanoseconds()), *seed, *drift, *traceN, *hist, *prom, *pace); err != nil {
 		fmt.Fprintln(os.Stderr, "canecsim:", err)
 		os.Exit(1)
 	}
@@ -116,7 +117,7 @@ func runConfig(path, prom, chaosPath string) error {
 }
 
 func run(nodes, nHRT int, srtLoad float64, bulkBytes int, faultRate float64,
-	omission int, dur sim.Duration, seed uint64, drift float64, traceN int, hist bool, prom string) error {
+	omission int, dur sim.Duration, seed uint64, drift float64, traceN int, hist bool, prom string, pace float64) error {
 
 	if nHRT >= nodes {
 		return fmt.Errorf("need more nodes (%d) than HRT channels (%d)", nodes, nHRT)
@@ -271,7 +272,14 @@ func run(nodes, nHRT int, srtLoad float64, bulkBytes int, faultRate float64,
 		sys.K.At(sys.Cfg.Epoch, feed)
 	}
 
-	sys.Run(end)
+	if pace > 0 {
+		// Paced mode: the same discrete-event run, throttled against the
+		// wall clock (1.0 = real time). Opt-in; free-running stays default
+		// so results remain bit-reproducible.
+		sim.NewPaced(sys.K, pace).Run(end)
+	} else {
+		sys.Run(end)
+	}
 
 	c := sys.TotalCounters()
 	fmt.Printf("simulated %v on a %d-node bus (seed %d, fault rate %.3f)\n",

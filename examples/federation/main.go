@@ -1,0 +1,335 @@
+// Federation: three bus segments on three independent paced kernels,
+// connected over real loopback TCP by internal/relay — the multi-network
+// event channel of §2.2.1 made concrete. Segment A publishes one channel
+// per class (HRT on calendar slots, SRT with deadlines, NRT best-effort);
+// every event crosses two relay hops (A→B→C, segment B is a pure transit
+// hub) and is delivered on segment C with its origin trace adopted.
+//
+// The run has two phases: a clean network, then 20% data-plane loss and
+// +1 ms latency injected on the A→B link by the chaos proxy. The summary
+// shows per-class two-hop latency/jitter per phase and the relay's
+// class policy under loss: SRT sheds on exhausted budgets, HRT is
+// forwarded late but never dropped by the relay itself.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"canec/internal/binding"
+	"canec/internal/calendar"
+	"canec/internal/can"
+	"canec/internal/chaos"
+	"canec/internal/core"
+	"canec/internal/gateway"
+	"canec/internal/obs"
+	"canec/internal/relay"
+	"canec/internal/sim"
+	"canec/internal/stats"
+)
+
+const (
+	subjHRT binding.Subject = 0x601
+	subjSRT binding.Subject = 0x602
+	subjNRT binding.Subject = 0x603
+
+	perPhase = 40
+	period   = 10 * time.Millisecond
+)
+
+type segment struct {
+	name  string
+	sys   *core.System
+	paced *sim.Paced
+}
+
+// newSegment builds one 4-node segment with an HRT calendar slot for
+// subjHRT owned by the given publisher station.
+func newSegment(name string, seed, traceBase uint64, hrtPublisher int) *segment {
+	cal, err := calendar.PackSequential(calendar.DefaultConfig(), 10*sim.Millisecond, calendar.Slot{
+		Subject: uint64(subjHRT), Publisher: 0, Payload: 8, Periodic: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	cal.Slots[0].Publisher = can.TxNode(hrtPublisher)
+	k := sim.NewKernel(seed)
+	sys, err := core.NewSystem(core.SystemConfig{
+		Nodes:    4,
+		Kernel:   k,
+		Calendar: cal,
+		Observe:  &obs.Config{Trace: true, Metrics: true, TraceIDBase: traceBase << 32},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return &segment{name: name, sys: sys, paced: sim.NewPaced(k, 1.0)}
+}
+
+func main() {
+	segA := newSegment("plant", 11, 1, 0)
+	segB := newSegment("backbone", 12, 2, 2)
+	segC := newSegment("control-room", 13, 3, 2)
+
+	// B is the transit hub: one listener per neighbour.
+	srvAB := mustServe("backbone")
+	defer srvAB.Close()
+	srvBC := mustServe("backbone")
+	defer srvBC.Close()
+
+	// The A→B link runs through the chaos proxy so we can degrade it.
+	proxy, err := chaos.NewLinkProxy(srvAB.Addr().String(), chaos.LinkFaults{})
+	if err != nil {
+		panic(err)
+	}
+	defer proxy.Close()
+	var evMu sync.Mutex
+	var upAEvents []relay.Event
+	cfgA := relayCfg("plant")
+	cfgA.Trace = func(e relay.Event) {
+		evMu.Lock()
+		upAEvents = append(upAEvents, e)
+		evMu.Unlock()
+	}
+	upA := relay.Dial(proxy.Addr(), cfgA)
+	defer upA.Close()
+	upC := relay.Dial(srvBC.Addr().String(), relayCfg("control-room"))
+	defer upC.Close()
+
+	// Bridges: A ships out via station 3; B receives on 2 and re-ships on
+	// 3 (siblings keep origin/hops/budget on transit); C receives on 2.
+	bA := mustBridge(segA, 3, relay.NewPort(segA.paced, upA))
+	bBA := mustBridge(segB, 2, relay.NewPort(segB.paced, srvAB))
+	bBC := mustBridge(segB, 3, relay.NewPort(segB.paced, srvBC))
+	bC := mustBridge(segC, 2, relay.NewPort(segC.paced, upC))
+	bBA.LinkSiblings(bBC)
+
+	// Relay-level interest: B pulls the subjects from A, C from B.
+	hrtAttrs := core.ChannelAttrs{Payload: 7, Periodic: true}
+	nrtAttrs := core.ChannelAttrs{Prio: 254}
+	for _, subj := range []binding.Subject{subjHRT, subjSRT, subjNRT} {
+		must(srvAB.Subscribe(subj, nil, nil))
+		must(upC.Subscribe(subj, nil, nil))
+	}
+	must(bA.Forward(core.HRT, subjHRT, hrtAttrs))
+	must(bA.Forward(core.SRT, subjSRT, core.ChannelAttrs{}))
+	must(bA.Forward(core.NRT, subjNRT, nrtAttrs))
+	must(bBA.Announce(core.HRT, subjHRT, hrtAttrs))
+	must(bBA.Announce(core.SRT, subjSRT, core.ChannelAttrs{}))
+	must(bBA.Announce(core.NRT, subjNRT, nrtAttrs))
+	must(bBC.Forward(core.HRT, subjHRT, hrtAttrs))
+	must(bBC.Forward(core.SRT, subjSRT, core.ChannelAttrs{}))
+	must(bBC.Forward(core.NRT, subjNRT, nrtAttrs))
+	must(bC.Announce(core.HRT, subjHRT, hrtAttrs))
+	must(bC.Announce(core.SRT, subjSRT, core.ChannelAttrs{}))
+	must(bC.Announce(core.NRT, subjNRT, nrtAttrs))
+
+	// Publishers on A's station 0.
+	chH, err := segA.sys.Node(0).MW.HRTEC(subjHRT)
+	must(err)
+	must(chH.Announce(hrtAttrs, nil))
+	chS, err := segA.sys.Node(0).MW.SRTEC(subjSRT)
+	must(err)
+	must(chS.Announce(core.ChannelAttrs{}, nil))
+	chN, err := segA.sys.Node(0).MW.NRTEC(subjNRT)
+	must(err)
+	must(chN.Announce(nrtAttrs, nil))
+
+	// Subscribers on C's station 1: measure two-hop latency against the
+	// wall-clock timestamp the publisher stamped into the payload.
+	start := time.Now()
+	var phase atomic.Int32
+	type lat struct{ clean, lossy *stats.Series }
+	series := map[binding.Subject]lat{
+		subjHRT: {stats.NewSeries("hrt-clean"), stats.NewSeries("hrt-lossy")},
+		subjSRT: {stats.NewSeries("srt-clean"), stats.NewSeries("srt-lossy")},
+		subjNRT: {stats.NewSeries("nrt-clean"), stats.NewSeries("nrt-lossy")},
+	}
+	var seriesMu sync.Mutex
+	subscribe := func(subj binding.Subject, class core.Class, attrs core.ChannelAttrs) {
+		h := func(ev core.Event, _ core.DeliveryInfo) {
+			d := time.Since(start) - time.Duration(getTS(ev.Payload))
+			seriesMu.Lock()
+			if phase.Load() == 0 {
+				series[subj].clean.ObserveDuration(sim.Duration(d))
+			} else {
+				series[subj].lossy.ObserveDuration(sim.Duration(d))
+			}
+			seriesMu.Unlock()
+		}
+		mw := segC.sys.Node(1).MW
+		switch class {
+		case core.HRT:
+			ch, err := mw.HRTEC(subj)
+			must(err)
+			must(ch.Subscribe(attrs, core.SubscribeAttrs{}, h, nil))
+		case core.SRT:
+			ch, err := mw.SRTEC(subj)
+			must(err)
+			must(ch.Subscribe(attrs, core.SubscribeAttrs{}, h, nil))
+		case core.NRT:
+			ch, err := mw.NRTEC(subj)
+			must(err)
+			must(ch.Subscribe(attrs, core.SubscribeAttrs{}, h, nil))
+		}
+	}
+	subscribe(subjHRT, core.HRT, hrtAttrs)
+	subscribe(subjSRT, core.SRT, core.ChannelAttrs{})
+	subscribe(subjNRT, core.NRT, nrtAttrs)
+
+	// Settle bindings deterministically, then pace all three kernels
+	// against the wall clock so the TCP links interoperate in real time.
+	for _, s := range []*segment{segA, segB, segC} {
+		s.sys.K.Run(100 * sim.Millisecond)
+	}
+	var wg sync.WaitGroup
+	for _, s := range []*segment{segA, segB, segC} {
+		wg.Add(1)
+		go func(s *segment) {
+			defer wg.Done()
+			s.paced.Run(sim.Time(time.Hour))
+		}(s)
+	}
+	waitLinksUp(upA, upC)
+
+	publishRound := func(i int) {
+		segA.paced.Call(func() {
+			ts := putTS(time.Since(start))
+			now := segA.sys.Node(0).MW.LocalTime()
+			chH.Publish(core.Event{Subject: subjHRT, Payload: ts})
+			chS.Publish(core.Event{Subject: subjSRT, Payload: putTS(time.Since(start)),
+				Attrs: core.EventAttrs{Deadline: now + 15*sim.Millisecond, Expiration: now + 60*sim.Millisecond}})
+			chN.Publish(core.Event{Subject: subjNRT, Payload: putTS(time.Since(start))})
+			_ = i
+		})
+	}
+
+	fmt.Println("phase 1: clean network —", perPhase, "events per class, two TCP hops")
+	for i := 0; i < perPhase; i++ {
+		publishRound(i)
+		time.Sleep(period)
+	}
+	time.Sleep(300 * time.Millisecond) // drain in-flight deliveries
+	phase.Store(1)
+
+	fmt.Println("phase 2: chaos on the A→B link — 20% frame loss, +1 ms latency")
+	proxy.SetFaults(chaos.LinkFaults{FrameLossRate: 0.2, ExtraLatency: time.Millisecond, Seed: 7})
+	for i := 0; i < perPhase; i++ {
+		publishRound(i)
+		time.Sleep(period)
+	}
+	proxy.SetFaults(chaos.LinkFaults{})
+	time.Sleep(300 * time.Millisecond)
+
+	for _, s := range []*segment{segA, segB, segC} {
+		s.paced.Stop()
+	}
+	wg.Wait()
+
+	fmt.Printf("\nclass  phase   delivered/sent   latency ms (mean/p99)  jitter ms (stddev)\n")
+	for _, row := range []struct {
+		name string
+		subj binding.Subject
+	}{{"HRT", subjHRT}, {"SRT", subjSRT}, {"NRT", subjNRT}} {
+		for i, ser := range []*stats.Series{series[row.subj].clean, series[row.subj].lossy} {
+			phaseName := [2]string{"clean", "lossy"}[i]
+			fmt.Printf("%-5s  %-6s  %3d/%-3d          %6.2f / %-6.2f        %6.2f\n",
+				row.name, phaseName, ser.N(), perPhase,
+				ser.Mean()/1e6, ser.Quantile(0.99)/1e6, ser.StdDev()/1e6)
+		}
+	}
+	fmt.Printf("\ntransit hub (segment B): forwarded %d onward, HRT late %d, dropped %d\n",
+		bBC.Forwarded(), bBC.Late(), bBC.Dropped())
+	fmt.Printf("chaos proxy: dropped %d data-plane frames on the wire\n", proxy.DroppedFrames.Load())
+	fmt.Printf("uplink A: sent %d frames (%d bytes), link downs %d\n",
+		upA.Counters().Sent(), upA.Counters().BytesOut(), upA.Counters().LinkDowns())
+
+	evMu.Lock()
+	events := append([]relay.Event(nil), upAEvents...)
+	evMu.Unlock()
+	viol := chaos.CheckRelayLiveness(chaos.RelayCheckContext{
+		Events:               events,
+		Counters:             upA.Counters(),
+		ConnectedAtEnd:       upA.Connected(),
+		DeliveredAfterFaults: uint64(series[subjSRT].lossy.N()),
+		RequireDelivery:      true,
+	})
+	if len(viol) == 0 {
+		fmt.Println("relay liveness invariants: all pass (hrt-never-dropped, link-recovers, relay-liveness)")
+	} else {
+		fmt.Printf("relay liveness VIOLATIONS: %v\n", viol)
+	}
+
+	// One continuous trace: pick a delivered event on C and show its
+	// relay_rx chain links back to A's trace-ID base.
+	var sample uint64
+	segC.paced.Call(func() {
+		for _, r := range segC.sys.Obs.Records() {
+			if r.Stage == obs.StageDelivered && r.ID != 0 {
+				sample = r.ID
+				break
+			}
+		}
+	})
+	fmt.Printf("trace continuity: delivered trace %#x originates from segment A (base %d)\n",
+		sample, sample>>32)
+}
+
+func mustServe(segName string) *relay.Server {
+	srv, err := relay.Serve("127.0.0.1:0", relayCfg(segName))
+	must(err)
+	return srv
+}
+
+func mustBridge(s *segment, station int, port *relay.Port) *gateway.RemoteBridge {
+	b, err := gateway.NewRemote(s.sys.Node(station).MW, port, s.name)
+	must(err)
+	return b
+}
+
+func relayCfg(segName string) relay.Config {
+	return relay.Config{Segment: segName, HeartbeatEvery: 100 * time.Millisecond, Seed: 5}
+}
+
+func waitLinksUp(ups ...*relay.Uplink) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, u := range ups {
+			if !u.Connected() {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	panic("relay links never came up")
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// putTS stamps a duration-since-start into a 7-byte payload.
+func putTS(d time.Duration) []byte {
+	v := uint64(d.Nanoseconds())
+	p := make([]byte, 7)
+	for i := 0; i < 7; i++ {
+		p[i] = byte(v >> (8 * i))
+	}
+	return p
+}
+
+func getTS(src []byte) int64 {
+	var v uint64
+	for i := 0; i < 7 && i < len(src); i++ {
+		v |= uint64(src[i]) << (8 * i)
+	}
+	return int64(v)
+}

@@ -37,7 +37,10 @@ func main() {
 		panic(err)
 	}
 	// Gateway occupies node 3 on both segments; store-and-forward 100 µs.
-	gw := gateway.New(field.Node(3).MW, super.Node(3).MW, 100*sim.Microsecond)
+	gw, err := gateway.New(field.Node(3).MW, super.Node(3).MW, 100*sim.Microsecond)
+	if err != nil {
+		panic(err)
+	}
 	if err := gw.ForwardSRT(temp, gateway.AtoB); err != nil {
 		panic(err)
 	}

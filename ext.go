@@ -34,8 +34,11 @@ const (
 	Both = gateway.Both
 )
 
-// NewBridge creates a gateway between two middleware endpoints.
-func NewBridge(a, b *Middleware, delay Duration) *Bridge {
+// NewBridge creates a gateway between two middleware endpoints. It fails
+// when the endpoints do not share a simulation kernel (segments on
+// different kernels — typically different processes — are federated over
+// an IP transport instead; see internal/relay and cmd/canecd).
+func NewBridge(a, b *Middleware, delay Duration) (*Bridge, error) {
 	return gateway.New(a, b, delay)
 }
 

@@ -17,7 +17,10 @@ func TestFacadeBridge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := canec.NewBridge(segA.Node(1).MW, segB.Node(1).MW, 100*canec.Microsecond)
+	g, err := canec.NewBridge(segA.Node(1).MW, segB.Node(1).MW, 100*canec.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := g.ForwardSRT(0x55, canec.Both); err != nil {
 		t.Fatal(err)
 	}

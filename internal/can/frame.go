@@ -75,12 +75,32 @@ func crc15(bits []byte) uint16 {
 	return crc
 }
 
+// maxUnstuffedBits and maxStuffedBits bound the codec buffer sizes: a
+// full 8-byte payload yields 54+64 = 118 pre-stuffing bits, and stuffing
+// inserts at most one bit per four (⌊(118−1)/4⌋ = 29).
+const (
+	maxUnstuffedBits = extStuffedOverheadBits + 8*MaxPayload
+	maxStuffedBits   = maxUnstuffedBits + (maxUnstuffedBits-1)/4
+)
+
+// MaxStuffedBits is the worst-case stuffed bit count of one extended
+// data frame's stuffed region — the sizing bound for codec buffers held
+// by transports that carry encoded frames (internal/relay).
+const MaxStuffedBits = maxStuffedBits
+
 // unstuffedBits builds the exact pre-stuffing bit sequence of the frame's
 // stuffed region (SOF through CRC sequence). It is exported through
 // WireBits and StuffBits so that tests can cross-check against the
 // worst-case formulas.
 func unstuffedBits(f Frame) []byte {
-	bits := make([]byte, 0, extStuffedOverheadBits+8*len(f.Data))
+	return appendUnstuffedBits(make([]byte, 0, extStuffedOverheadBits+8*len(f.Data)), f)
+}
+
+// appendUnstuffedBits appends the pre-stuffing bit sequence to dst,
+// reusing its capacity (the allocation-free form for hot paths).
+func appendUnstuffedBits(dst []byte, f Frame) []byte {
+	bits := dst
+	base := len(dst)
 	put := func(v uint32, n int) {
 		for i := n - 1; i >= 0; i-- {
 			bits = append(bits, byte((v>>uint(i))&1))
@@ -97,7 +117,7 @@ func unstuffedBits(f Frame) []byte {
 	for _, b := range f.Data {
 		put(uint32(b), 8)
 	}
-	put(uint32(crc15(bits)), 15) // CRC over everything so far
+	put(uint32(crc15(bits[base:])), 15) // CRC over the frame bits so far
 	return bits
 }
 

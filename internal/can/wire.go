@@ -19,8 +19,22 @@ var ErrWire = errors.New("can: wire decode error")
 // the stuffed region of the frame. The constant-form tail (CRC delimiter,
 // ACK, EOF, IFS) carries no information and is omitted.
 func EncodeBits(f Frame) []byte {
-	raw := unstuffedBits(f)
-	out := make([]byte, 0, len(raw)+len(raw)/5)
+	return AppendEncodeBits(make([]byte, 0, maxStuffedBits), f)
+}
+
+// AppendEncodeBits appends the frame's stuffed wire bits to dst, reusing
+// its capacity — the allocation-free form for hot paths (the relay
+// egress loop encodes every forwarded frame). The pre-stuffing scratch
+// lives on the stack.
+func AppendEncodeBits(dst []byte, f Frame) []byte {
+	var scratch [maxUnstuffedBits]byte
+	raw := appendUnstuffedBits(scratch[:0], f)
+	return appendStuffed(dst, raw)
+}
+
+// appendStuffed applies the CAN bit-stuffing rule to raw, appending the
+// stuffed stream to dst.
+func appendStuffed(dst, raw []byte) []byte {
 	run := 0
 	var prev byte = 2
 	for _, b := range raw {
@@ -29,19 +43,24 @@ func EncodeBits(f Frame) []byte {
 		} else {
 			prev, run = b, 1
 		}
-		out = append(out, b)
+		dst = append(dst, b)
 		if run == 5 {
-			out = append(out, 1-b)
+			dst = append(dst, 1-b)
 			prev, run = 1-b, 1
 		}
 	}
-	return out
+	return dst
 }
 
 // destuff removes stuff bits, failing on a six-bit run (which on a real
 // bus signals an error frame, not data).
 func destuff(bits []byte) ([]byte, error) {
-	out := make([]byte, 0, len(bits))
+	return destuffInto(make([]byte, 0, len(bits)), bits)
+}
+
+// destuffInto removes stuff bits, appending the raw stream to dst.
+func destuffInto(dst, bits []byte) ([]byte, error) {
+	out := dst
 	run := 0
 	var prev byte = 2
 	skip := false
@@ -78,6 +97,42 @@ func DecodeBits(bits []byte) (Frame, error) {
 	if err != nil {
 		return Frame{}, err
 	}
+	return decodeRaw(raw, nil)
+}
+
+// Codec is a reusable encoder/decoder whose scratch buffers survive
+// across calls, for hot paths that frame thousands of messages per
+// second (the relay transport). A Codec is not safe for concurrent use;
+// the Frame returned by Decode aliases the codec's internal payload
+// buffer and is only valid until the next Decode call — clone it (or
+// copy Data) to retain it.
+type Codec struct {
+	raw  []byte
+	data [MaxPayload]byte
+}
+
+// Encode appends f's stuffed wire bits to dst (see AppendEncodeBits).
+func (c *Codec) Encode(dst []byte, f Frame) []byte {
+	return AppendEncodeBits(dst, f)
+}
+
+// Decode parses a stuffed wire stream without allocating: the destuffed
+// scratch and the payload buffer are reused across calls.
+func (c *Codec) Decode(bits []byte) (Frame, error) {
+	if c.raw == nil {
+		c.raw = make([]byte, 0, maxStuffedBits)
+	}
+	raw, err := destuffInto(c.raw[:0], bits)
+	if err != nil {
+		return Frame{}, err
+	}
+	c.raw = raw[:0]
+	return decodeRaw(raw, c.data[:0])
+}
+
+// decodeRaw parses a destuffed bit stream. data, when non-nil, is the
+// payload scratch to append into (cap ≥ MaxPayload); nil allocates.
+func decodeRaw(raw []byte, data []byte) (Frame, error) {
 	// Minimum frame: SOF..DLC (39 bits) + CRC (15).
 	if len(raw) < extStuffedOverheadBits {
 		return Frame{}, fmt.Errorf("%w: truncated frame (%d bits)", ErrWire, len(raw))
@@ -114,9 +169,11 @@ func DecodeBits(bits []byte) (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: length %d bits does not match DLC %d",
 			ErrWire, len(raw), dlc)
 	}
-	data := make([]byte, dlc)
-	for i := range data {
-		data[i] = byte(take(8))
+	if data == nil {
+		data = make([]byte, 0, dlc)
+	}
+	for i := 0; i < dlc; i++ {
+		data = append(data, byte(take(8)))
 	}
 	gotCRC := uint16(take(15))
 	// The CRC must be validated over the *received* bits (everything
@@ -127,4 +184,31 @@ func DecodeBits(bits []byte) (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: CRC mismatch %#x != %#x", ErrWire, gotCRC, wantCRC)
 	}
 	return Frame{ID: ID(idA<<18 | idB), Data: data}, nil
+}
+
+// PackBits appends a bit-per-byte stream (EncodeBits output) to dst
+// packed 8 bits per byte, MSB first. The relay transport uses it to ship
+// stuffed CAN bit streams over IP without the 8x blow-up of the
+// simulator's bit-per-byte form.
+func PackBits(dst, bits []byte) []byte {
+	for i := 0; i < len(bits); i += 8 {
+		var b byte
+		for j := 0; j < 8 && i+j < len(bits); j++ {
+			b |= (bits[i+j] & 1) << uint(7-j)
+		}
+		dst = append(dst, b)
+	}
+	return dst
+}
+
+// UnpackBits appends n bits unpacked from the MSB-first packed stream to
+// dst (one bit per byte). It fails when packed holds fewer than n bits.
+func UnpackBits(dst, packed []byte, n int) ([]byte, error) {
+	if n < 0 || len(packed)*8 < n {
+		return nil, fmt.Errorf("%w: %d packed bytes hold fewer than %d bits", ErrWire, len(packed), n)
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, (packed[i/8]>>uint(7-i%8))&1)
+	}
+	return dst, nil
 }

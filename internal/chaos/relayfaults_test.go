@@ -1,0 +1,178 @@
+package chaos
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"canec/internal/binding"
+	"canec/internal/core"
+	"canec/internal/gateway"
+	"canec/internal/relay"
+	"canec/internal/sim"
+)
+
+const chaosSubj binding.Subject = 0x7A
+
+func chaosRelayCfg(segment string, trace func(relay.Event)) relay.Config {
+	return relay.Config{
+		Segment:          segment,
+		HeartbeatEvery:   10 * time.Millisecond,
+		HeartbeatTimeout: 60 * time.Millisecond,
+		Retry: binding.RetryPolicy{
+			Base: sim.Duration(5 * time.Millisecond), Cap: sim.Duration(20 * time.Millisecond),
+			Attempts: 1000, JitterFrac: 0.1,
+		},
+		Seed:  42,
+		Trace: trace,
+	}
+}
+
+func waitForCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestLinkChaosLivenessInvariants runs a full link-fault campaign against
+// a real relay pair — added latency, 50% data-plane loss, two link flaps —
+// then lifts the faults and asserts the liveness invariants: the uplink
+// re-dialed back to connected, traffic flows again, and the relay itself
+// never dropped an HRT frame (wire loss is the proxy's doing, not the
+// relay's).
+func TestLinkChaosLivenessInvariants(t *testing.T) {
+	var delivered atomic.Uint64
+	srv, err := relay.Serve("127.0.0.1:0", chaosRelayCfg("hub", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.OnFrame(func(gateway.RemoteEvent) { delivered.Add(1) })
+	if err := srv.Subscribe(chaosSubj, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	proxy, err := NewLinkProxy(srv.Addr().String(), LinkFaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	var evMu sync.Mutex
+	var events []relay.Event
+	up := relay.Dial(proxy.Addr(), chaosRelayCfg("edge", func(e relay.Event) {
+		evMu.Lock()
+		events = append(events, e)
+		evMu.Unlock()
+	}))
+	defer up.Close()
+
+	send := func() {
+		up.Send(gateway.RemoteEvent{
+			Class: core.HRT, Subject: chaosSubj, Payload: []byte{0xEC},
+			Origin: 1, OriginSeg: "edge", TraceID: 7,
+		}, time.Time{})
+	}
+
+	// Phase 0: healthy link, traffic flows.
+	waitForCond(t, "link up", up.Connected)
+	waitForCond(t, "baseline delivery", func() bool {
+		send()
+		time.Sleep(5 * time.Millisecond)
+		return delivered.Load() > 0
+	})
+
+	// Phase 1: latency + 50% data-plane loss.
+	proxy.SetFaults(LinkFaults{ExtraLatency: 2 * time.Millisecond, FrameLossRate: 0.5, Seed: 99})
+	for i := 0; i < 40; i++ {
+		send()
+		time.Sleep(time.Millisecond)
+	}
+	if proxy.DroppedFrames.Load() == 0 {
+		t.Fatal("loss injection dropped nothing over 40 sends at 50%")
+	}
+
+	// Phase 2: flap the link twice; the uplink must re-dial through.
+	for i := 0; i < 2; i++ {
+		proxy.Flap()
+		time.Sleep(10 * time.Millisecond)
+	}
+	waitForCond(t, "re-dial after flaps", up.Connected)
+
+	// Phase 3: lift the faults; traffic must flow again.
+	proxy.SetFaults(LinkFaults{})
+	before := delivered.Load()
+	waitForCond(t, "post-fault delivery", func() bool {
+		send()
+		time.Sleep(5 * time.Millisecond)
+		return delivered.Load() > before
+	})
+
+	evMu.Lock()
+	snapshot := append([]relay.Event(nil), events...)
+	evMu.Unlock()
+	v := CheckRelayLiveness(RelayCheckContext{
+		Events:               snapshot,
+		Counters:             up.Counters(),
+		ConnectedAtEnd:       up.Connected(),
+		DeliveredAfterFaults: delivered.Load() - before,
+		RequireDelivery:      true,
+	})
+	if len(v) != 0 {
+		t.Fatalf("liveness violations: %v", v)
+	}
+	// The campaign must actually have exercised the failure path.
+	downs := 0
+	for _, e := range snapshot {
+		if e.Kind == "down" {
+			downs++
+		}
+	}
+	if downs == 0 {
+		t.Fatal("flaps produced no link-down events")
+	}
+}
+
+// TestCheckRelayLivenessFlagsBreaches feeds the checker synthetic breach
+// traces and expects each invariant to fire.
+func TestCheckRelayLivenessFlagsBreaches(t *testing.T) {
+	hrt := &gateway.RemoteEvent{Class: core.HRT}
+	v := CheckRelayLiveness(RelayCheckContext{
+		Events: []relay.Event{
+			{Kind: "drop", Peer: "hub", Detail: "backpressure", Frame: hrt},
+			{Kind: "down", Peer: "hub", Detail: "heartbeat timeout"},
+		},
+		Counters:        &relay.Counters{}, // zeroed: the traced drop is unaccounted
+		ConnectedAtEnd:  false,
+		RequireDelivery: true,
+	})
+	got := map[string]bool{}
+	for _, x := range v {
+		got[x.Check] = true
+	}
+	for _, want := range []string{"hrt-never-dropped", "link-recovers", "relay-liveness", "drop-accounting"} {
+		if !got[want] {
+			t.Errorf("checker missed %s (violations: %v)", want, v)
+		}
+	}
+	// A clean SRT shed on a recovered link is not a violation.
+	srt := &gateway.RemoteEvent{Class: core.SRT}
+	cnt := &relay.Counters{}
+	v = CheckRelayLiveness(RelayCheckContext{
+		Events:         []relay.Event{{Kind: "down"}, {Kind: "up"}, {Kind: "drop", Frame: srt, Detail: "expired"}},
+		Counters:       cnt,
+		ConnectedAtEnd: true,
+	})
+	for _, x := range v {
+		if x.Check != "drop-accounting" { // counters are empty in this synthetic trace
+			t.Errorf("unexpected violation: %v", x)
+		}
+	}
+}

@@ -74,6 +74,20 @@ type Event struct {
 	traceID uint64
 }
 
+// TraceID returns the event's observability trace identifier (0 when
+// untraced). Gateways read it to carry the trace across segments.
+func (e Event) TraceID() uint64 { return e.traceID }
+
+// WithTraceID returns a copy of ev carrying a preset trace identifier.
+// Publishing such an event continues the existing trace (the observer
+// adopts the foreign ID) instead of opening a new one — the mechanism a
+// relay uses to keep one continuous trace across bus segments that each
+// run their own observer.
+func WithTraceID(ev Event, id uint64) Event {
+	ev.traceID = id
+	return ev
+}
+
 // ChannelAttrs describe an event channel (§2): they abstract the
 // properties of the underlying dissemination — class, rates, reliability —
 // rather than any single event.

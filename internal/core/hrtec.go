@@ -125,7 +125,11 @@ func (c *HRTEC) Publish(ev Event) error {
 		return fmt.Errorf("core: HRT queue overflow on subject %d", ch.subject)
 	}
 	ev.Attrs.Timestamp = mw.LocalTime()
-	ev.traceID = mw.Obs.Begin(HRT.String(), mw.node.Index, uint64(ch.subject), mw.K.Now())
+	if ev.traceID == 0 {
+		ev.traceID = mw.Obs.Begin(HRT.String(), mw.node.Index, uint64(ch.subject), mw.K.Now())
+	} else {
+		mw.Obs.Adopt(ev.traceID, HRT.String(), mw.node.Index, uint64(ch.subject), mw.K.Now())
+	}
 	ch.hrtQueue = append(ch.hrtQueue, ev)
 	ch.hrtSeq = (ch.hrtSeq + 1) & 0x0f
 	mw.counters.PublishedHRT++

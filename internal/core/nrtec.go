@@ -95,7 +95,11 @@ func (c *NRTEC) Publish(ev Event) error {
 	if err != nil {
 		return err
 	}
-	ev.traceID = mw.Obs.Begin(NRT.String(), mw.node.Index, uint64(ch.subject), mw.K.Now())
+	if ev.traceID == 0 {
+		ev.traceID = mw.Obs.Begin(NRT.String(), mw.node.Index, uint64(ch.subject), mw.K.Now())
+	} else {
+		mw.Obs.Adopt(ev.traceID, NRT.String(), mw.node.Index, uint64(ch.subject), mw.K.Now())
+	}
 	c.enqueueChain(c.toFrames(payloads, ev.traceID))
 	mw.counters.PublishedNRT++
 	mw.Obs.Emit(ev.traceID, obs.StageEnqueued, NRT.String(), mw.node.Index,

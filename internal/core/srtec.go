@@ -121,7 +121,11 @@ func (c *SRTEC) Publish(ev Event) error {
 		}
 	}
 	mw.srtSeq++
-	ev.traceID = mw.Obs.Begin(SRT.String(), mw.node.Index, uint64(ch.subject), mw.K.Now())
+	if ev.traceID == 0 {
+		ev.traceID = mw.Obs.Begin(SRT.String(), mw.node.Index, uint64(ch.subject), mw.K.Now())
+	} else {
+		mw.Obs.Adopt(ev.traceID, SRT.String(), mw.node.Index, uint64(ch.subject), mw.K.Now())
+	}
 	e := &srtEntry{ev: ev, ch: ch, deadline: ev.Attrs.Deadline,
 		expiration: ev.Attrs.Expiration, seq: mw.srtSeq}
 	prio := mw.bands.SRT.PrioFor(now, e.deadline)

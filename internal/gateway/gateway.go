@@ -35,6 +35,17 @@ type Bridge struct {
 	// the standard decomposition for multi-network channels.
 	RelayDeadline sim.Duration
 
+	// ExcludeA and ExcludeB list additional publisher TxNodes the bridge
+	// ignores on the respective ingress segment, beyond its own endpoint
+	// node (which is always excluded). They make multi-bridge topologies
+	// loop-safe: in a ring of Both-direction bridges, each bridge lists
+	// the other gateways' TxNodes on its segments, so only events that
+	// originate locally on a segment are ever forwarded off it — a copy
+	// arriving through one bridge can never be re-forwarded by another.
+	// Set them before any Forward* call; later changes have no effect on
+	// established forwarding.
+	ExcludeA, ExcludeB []can.TxNode
+
 	forwarded uint64
 	dropped   uint64
 }
@@ -53,12 +64,30 @@ const (
 )
 
 // New creates a bridge between two middleware endpoints that must live on
-// the same simulation kernel.
-func New(a, b *core.Middleware, delay sim.Duration) *Bridge {
-	if a.K != b.K {
-		panic("gateway: endpoints on different kernels")
+// the same simulation kernel (segments that do not share a kernel are
+// federated over a Remote transport instead; see RemoteBridge).
+func New(a, b *core.Middleware, delay sim.Duration) (*Bridge, error) {
+	if a == nil || b == nil {
+		return nil, errors.New("gateway: nil endpoint")
 	}
-	return &Bridge{A: a, B: b, Delay: delay, RelayDeadline: 10 * sim.Millisecond}
+	if a.K != b.K {
+		return nil, errors.New("gateway: endpoints on different kernels (use RemoteBridge to federate separate kernels)")
+	}
+	return &Bridge{A: a, B: b, Delay: delay, RelayDeadline: 10 * sim.Millisecond}, nil
+}
+
+// ingressExcludes returns the publishers to ignore when subscribing on
+// `from`: the bridge's own endpoint node there plus the configured
+// per-side exclusion list.
+func (g *Bridge) ingressExcludes(from *core.Middleware) []can.TxNode {
+	extra := g.ExcludeA
+	if from == g.B {
+		extra = g.ExcludeB
+	}
+	ex := make([]can.TxNode, 0, len(extra)+1)
+	ex = append(ex, from.Node().Ctrl.Node())
+	ex = append(ex, extra...)
+	return ex
 }
 
 // Forwarded reports how many events crossed the bridge.
@@ -97,20 +126,21 @@ func (g *Bridge) forwardSRTOne(from, to *core.Middleware, subject binding.Subjec
 	}
 	return in.Subscribe(core.ChannelAttrs{},
 		core.SubscribeAttrs{
-			// Never re-forward what this bridge injected on `from`.
-			ExcludePublishers: []can.TxNode{from.Node().Ctrl.Node()},
+			// Never re-forward what this bridge injected on `from`, nor
+			// what a sibling bridge relayed in (ring safety).
+			ExcludePublishers: g.ingressExcludes(from),
 		},
 		func(ev core.Event, _ core.DeliveryInfo) {
 			g.relay(to, func() error {
 				now := to.LocalTime()
-				return out.Publish(core.Event{
+				return out.Publish(core.WithTraceID(core.Event{
 					Subject: subject,
 					Payload: ev.Payload,
 					Attrs: core.EventAttrs{
 						Deadline:   now + g.RelayDeadline,
 						Expiration: now + 2*g.RelayDeadline,
 					},
-				})
+				}, ev.TraceID()))
 			})
 		}, nil)
 }
@@ -146,11 +176,12 @@ func (g *Bridge) forwardNRTOne(from, to *core.Middleware, subject binding.Subjec
 	}
 	return in.Subscribe(attrs,
 		core.SubscribeAttrs{
-			ExcludePublishers: []can.TxNode{from.Node().Ctrl.Node()},
+			ExcludePublishers: g.ingressExcludes(from),
 		},
 		func(ev core.Event, _ core.DeliveryInfo) {
 			g.relay(to, func() error {
-				return out.Publish(core.Event{Subject: subject, Payload: ev.Payload})
+				return out.Publish(core.WithTraceID(
+					core.Event{Subject: subject, Payload: ev.Payload}, ev.TraceID()))
 			})
 		}, nil)
 }
@@ -184,11 +215,12 @@ func (g *Bridge) ForwardHRT(subject binding.Subject, attrs core.ChannelAttrs, di
 	}
 	return in.Subscribe(attrs,
 		core.SubscribeAttrs{
-			ExcludePublishers: []can.TxNode{from.Node().Ctrl.Node()},
+			ExcludePublishers: g.ingressExcludes(from),
 		},
 		func(ev core.Event, _ core.DeliveryInfo) {
 			g.relay(to, func() error {
-				return out.Publish(core.Event{Subject: subject, Payload: ev.Payload})
+				return out.Publish(core.WithTraceID(
+					core.Event{Subject: subject, Payload: ev.Payload}, ev.TraceID()))
 			})
 		}, nil)
 }

@@ -25,7 +25,10 @@ func rig(t *testing.T, seed uint64) (*sim.Kernel, *core.System, *core.System, *B
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := New(segA.Node(2).MW, segB.Node(2).MW, 50*sim.Microsecond)
+	g, err := New(segA.Node(2).MW, segB.Node(2).MW, 50*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return k, segA, segB, g
 }
 
@@ -189,15 +192,15 @@ func TestSegmentIndependence(t *testing.T) {
 	}
 }
 
-func TestMismatchedKernelsPanic(t *testing.T) {
+func TestMismatchedKernelsError(t *testing.T) {
 	segA, _ := core.NewSystem(core.SystemConfig{Nodes: 2, Seed: 1})
 	segB, _ := core.NewSystem(core.SystemConfig{Nodes: 2, Seed: 2})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("bridging across kernels did not panic")
-		}
-	}()
-	New(segA.Node(0).MW, segB.Node(0).MW, 0)
+	if _, err := New(segA.Node(0).MW, segB.Node(0).MW, 0); err == nil {
+		t.Fatal("bridging across kernels accepted")
+	}
+	if _, err := New(nil, segB.Node(0).MW, 0); err == nil {
+		t.Fatal("nil endpoint accepted")
+	}
 }
 
 func TestHRTForwardAcrossSegments(t *testing.T) {
@@ -225,7 +228,10 @@ func TestHRTForwardAcrossSegments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := New(segA.Node(2).MW, segB.Node(2).MW, 50*sim.Microsecond)
+	g, err := New(segA.Node(2).MW, segB.Node(2).MW, 50*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := g.ForwardHRT(subjTemp, core.ChannelAttrs{Payload: 7, Periodic: true}, AtoB); err != nil {
 		t.Fatal(err)
 	}

@@ -29,6 +29,12 @@ type Config struct {
 	LatencyHorizon sim.Duration
 	// LatencyBuckets is the bucket count of those histograms (default 50).
 	LatencyBuckets int
+	// TraceIDBase offsets this observer's trace-ID sequence. Federated
+	// segments use disjoint bases (e.g. segment index << 32) so that an
+	// event relayed across segments can keep its origin trace ID without
+	// colliding with IDs assigned locally — that is what makes one
+	// continuous trace span several observers.
+	TraceIDBase uint64
 }
 
 // Default returns a configuration with tracing and metrics both enabled.
@@ -100,6 +106,10 @@ type Observer struct {
 	guardian    map[string]*Counter // by band
 	lifecycle   map[string]*Counter // by lifecycle stage
 	ctrlplane   map[string]*Counter // by control-plane stage
+	relayFwd    map[string]*Counter // relay forwarded, by class
+	relayDrop   map[string]*Counter // relay drops, by class:reason
+	relayLink   map[string]*Counter // relay link transitions, by stage
+	relayBytes  map[string]*Counter // relay bytes, by direction
 	txStartAt   sim.Time
 	txStartBand string
 	txOpen      bool
@@ -108,7 +118,8 @@ type Observer struct {
 // New builds an observer. now is the kernel clock (sim.Kernel.Now); bm is
 // the system's priority band layout.
 func New(cfg Config, now func() sim.Time, bm BandMap) *Observer {
-	o := &Observer{cfg: cfg, now: now, bm: bm, pubAt: make(map[uint64]sim.Time)}
+	o := &Observer{cfg: cfg, now: now, bm: bm, pubAt: make(map[uint64]sim.Time),
+		nextID: cfg.TraceIDBase}
 	if cfg.Trace {
 		o.tracer = newTracer(cfg.TraceCap)
 	}
@@ -127,6 +138,10 @@ func New(cfg Config, now func() sim.Time, bm BandMap) *Observer {
 		o.guardian = make(map[string]*Counter)
 		o.lifecycle = make(map[string]*Counter)
 		o.ctrlplane = make(map[string]*Counter)
+		o.relayFwd = make(map[string]*Counter)
+		o.relayDrop = make(map[string]*Counter)
+		o.relayLink = make(map[string]*Counter)
+		o.relayBytes = make(map[string]*Counter)
 		o.retries = o.reg.Counter("canec_arb_retries_total",
 			"Transmission attempts beyond the first (retransmissions after error frames).", nil)
 		o.arbLosses = o.reg.Counter("canec_arb_losses_total",
@@ -198,6 +213,107 @@ func (o *Observer) Begin(class string, node int, subject uint64, at sim.Time) ui
 			Class: class, Subject: subject, Prio: -1})
 	}
 	return id
+}
+
+// Adopt continues a trace opened on another segment's observer: the
+// publish counter is maintained and the foreign trace ID is registered
+// with the local publish time (feeding the per-segment slice of the
+// end-to-end latency histogram), but no new ID is allocated — relayed
+// events keep the ID of their origin segment, which is what stitches
+// the per-segment traces into one continuous chain.
+func (o *Observer) Adopt(id uint64, class string, node int, subject uint64, at sim.Time) {
+	if o == nil || id == 0 {
+		return
+	}
+	if o.reg != nil {
+		o.classCounter(o.published, "canec_events_published_total",
+			"Events handed to Publish, by channel class.", class).Inc()
+	}
+	if _, ok := o.pubAt[id]; !ok {
+		o.pubAt[id] = at
+	}
+	if o.tracer != nil {
+		o.tracer.add(Record{ID: id, Stage: StagePublished, At: at, Node: node,
+			Class: class, Subject: subject, Prio: -1, Detail: "relayed"})
+	}
+}
+
+// RelayFrame records a relay-hop stage of one event (relay_tx, relay_rx,
+// relay_drop, relay_late) and maintains the relay forwarding counters.
+// detail carries the drop reason or the peer/link annotation.
+func (o *Observer) RelayFrame(id uint64, stage Stage, class string, node int, subject uint64, at sim.Time, detail string) {
+	if o == nil {
+		return
+	}
+	if o.reg != nil {
+		switch stage {
+		case StageRelayTx:
+			c, ok := o.relayFwd[class]
+			if !ok {
+				c = o.reg.Counter("canec_relay_forwarded_total",
+					"Events handed to a relay link for forwarding, by channel class.",
+					Labels{"class": class})
+				o.relayFwd[class] = c
+			}
+			c.Inc()
+		case StageRelayDrop, StageRelayLate:
+			key := class + ":" + detail
+			c, ok := o.relayDrop[key]
+			if !ok {
+				name := "canec_relay_dropped_total"
+				help := "Events shed by relay backpressure or budget policy, by class and reason."
+				if stage == StageRelayLate {
+					name = "canec_relay_late_total"
+					help = "Events forwarded after their relay-deadline budget expired, by class and reason."
+				}
+				c = o.reg.Counter(name, help, Labels{"class": class, "reason": detail})
+				o.relayDrop[key] = c
+			}
+			c.Inc()
+		}
+	}
+	if o.tracer != nil {
+		o.tracer.add(Record{ID: id, Stage: stage, At: at, Node: node,
+			Class: class, Subject: subject, Prio: -1, Detail: detail})
+	}
+}
+
+// RelayLink records a relay link lifecycle transition (relay_up,
+// relay_down, relay_redial). Node is the local gateway station; the
+// records carry trace ID 0, and the chaos liveness checker reconstructs
+// flap windows and recovery from them.
+func (o *Observer) RelayLink(stage Stage, node int, at sim.Time, detail string) {
+	if o == nil {
+		return
+	}
+	if o.reg != nil {
+		c, ok := o.relayLink[string(stage)]
+		if !ok {
+			c = o.reg.Counter("canec_relay_link_total",
+				"Relay link lifecycle transitions: relay_up, relay_down, relay_redial.",
+				Labels{"event": string(stage)})
+			o.relayLink[string(stage)] = c
+		}
+		c.Inc()
+	}
+	if o.tracer != nil {
+		o.tracer.add(Record{Stage: stage, At: at, Node: node, Prio: -1, Detail: detail})
+	}
+}
+
+// RelayBytes accounts wire bytes crossing relay links, by direction
+// ("tx" or "rx").
+func (o *Observer) RelayBytes(dir string, n int) {
+	if o == nil || o.reg == nil || n <= 0 {
+		return
+	}
+	c, ok := o.relayBytes[dir]
+	if !ok {
+		c = o.reg.Counter("canec_relay_bytes_total",
+			"Bytes crossing relay links, by direction.", Labels{"dir": dir})
+		o.relayBytes[dir] = c
+	}
+	c.Add(float64(n))
 }
 
 // Emit records a middleware-side stage record and maintains the stage's

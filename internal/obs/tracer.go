@@ -86,6 +86,41 @@ const (
 	StageHoldoverEnter Stage = "holdover_enter"
 	// StageHoldoverExit marks a follower clock re-converging on a master.
 	StageHoldoverExit Stage = "holdover_exit"
+
+	// Relay stages tie the segments of a federated channel together: an
+	// event published on segment A and delivered on segment C leaves
+	// relay_tx/relay_rx pairs at every hop, all carrying the trace ID
+	// opened on the origin segment (segments use disjoint trace-ID bases,
+	// so the origin ID is preserved across republication).
+
+	// StageRelayTx marks an event leaving the local segment through a
+	// relay link (enqueued toward a peer).
+	StageRelayTx Stage = "relay_tx"
+	// StageRelayRx marks an event arriving from a relay peer, before
+	// republication on the local segment.
+	StageRelayRx Stage = "relay_rx"
+	// StageRelayDrop closes a relayed event's local life: the relay shed
+	// it (NRT under backpressure, SRT budget expired, loop/hop guard).
+	// HRT events are never given this stage — they are forwarded late
+	// and marked StageRelayLate instead.
+	StageRelayDrop Stage = "relay_drop"
+	// StageRelayLate marks a relayed event forwarded after its per-hop
+	// deadline budget was exhausted (counted, never silently dropped).
+	StageRelayLate Stage = "relay_late"
+
+	// Relay link lifecycle stages carry trace ID 0 with Node set to the
+	// local gateway station; chaos liveness checkers read flap windows
+	// and recovery from them.
+
+	// StageRelayUp marks a relay link becoming usable (dial or accept
+	// completed, Hello exchanged).
+	StageRelayUp Stage = "relay_up"
+	// StageRelayDown marks a relay link loss (peer disconnect, heartbeat
+	// timeout, scripted flap).
+	StageRelayDown Stage = "relay_down"
+	// StageRelayRedial marks an uplink starting a re-dial attempt under
+	// the retry policy's backoff.
+	StageRelayRedial Stage = "relay_redial"
 )
 
 // Record is one timestamped stage of one event's life cycle.

@@ -1,0 +1,373 @@
+package relay
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"canec/internal/binding"
+	"canec/internal/can"
+	"canec/internal/core"
+	"canec/internal/gateway"
+	"canec/internal/obs"
+	"canec/internal/sim"
+)
+
+// segment bundles one federated bus segment for the e2e tests: its own
+// kernel, system, observer and paced driver.
+type segment struct {
+	name  string
+	sys   *core.System
+	paced *sim.Paced
+}
+
+func newSegment(t *testing.T, name string, seed, traceBase uint64) *segment {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	sys, err := core.NewSystem(core.SystemConfig{
+		Nodes:  4,
+		Kernel: k,
+		Observe: &obs.Config{
+			Trace: true, Metrics: true, TraceIDBase: traceBase,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &segment{name: name, sys: sys, paced: sim.NewPaced(k, 1.0)}
+}
+
+// records snapshots the segment's trace records in kernel context.
+func (s *segment) records() []obs.Record {
+	var out []obs.Record
+	s.paced.Call(func() {
+		out = append(out, s.sys.Obs.Records()...)
+	})
+	return out
+}
+
+// TestE2EThreeSegmentFederation is the acceptance scenario: an SRT
+// event published on segment A reaches a subscriber on segment C
+// through two real TCP relay hops (A→B, B→C), with
+//
+//   - the per-hop deadline budget carried and debited at the transit
+//     segment,
+//   - origin-TxNode filtering honored remotely (C's subscription
+//     excludes one of A's publishers, enforced before the B→C wire),
+//   - one continuous observability trace spanning all three segments
+//     (disjoint trace-ID bases, origin ID adopted at every hop).
+func TestE2EThreeSegmentFederation(t *testing.T) {
+	const subj binding.Subject = 0x51
+	segA := newSegment(t, "segA", 101, 1<<32)
+	segB := newSegment(t, "segB", 102, 2<<32)
+	segC := newSegment(t, "segC", 103, 3<<32)
+
+	// B is the transit hub: it listens once per link.
+	srvAB, err := Serve("127.0.0.1:0", fastCfg("segB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvAB.Close()
+	srvBC, err := Serve("127.0.0.1:0", fastCfg("segB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvBC.Close()
+	upA := Dial(srvAB.Addr().String(), fastCfg("segA"))
+	defer upA.Close()
+	upC := Dial(srvBC.Addr().String(), fastCfg("segC"))
+	defer upC.Close()
+
+	// Ports adapt the links into each segment's kernel.
+	portA := NewPort(segA.paced, upA)
+	portBA := NewPort(segB.paced, srvAB)
+	portBC := NewPort(segB.paced, srvBC)
+	portC := NewPort(segC.paced, upC)
+
+	// Bridges: A ships subj out; B receives on node 2, re-ships via
+	// node 3 (siblings preserve origin/hops/budget); C receives.
+	bA, err := gateway.NewRemote(segA.sys.Node(3).MW, portA, "segA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bBA, err := gateway.NewRemote(segB.sys.Node(2).MW, portBA, "segB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bBC, err := gateway.NewRemote(segB.sys.Node(3).MW, portBC, "segB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bC, err := gateway.NewRemote(segC.sys.Node(2).MW, portC, "segC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bBA.LinkSiblings(bBC)
+
+	// Egress subscriptions at the relay layer: B wants subj from A
+	// (any origin); C wants subj but explicitly NOT from A's TxNode 1 —
+	// the remote origin filter under test.
+	if err := srvAB.Subscribe(subj, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := upC.Subscribe(subj, nil, []can.TxNode{1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kernel-side channel wiring (before the kernels start running).
+	if err := bA.Forward(core.SRT, subj, core.ChannelAttrs{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bBA.Announce(core.SRT, subj, core.ChannelAttrs{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bBC.Forward(core.SRT, subj, core.ChannelAttrs{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bC.Announce(core.SRT, subj, core.ChannelAttrs{}); err != nil {
+		t.Fatal(err)
+	}
+
+	pub0, err := segA.sys.Node(0).MW.SRTEC(subj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub0.Announce(core.ChannelAttrs{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	pub1, err := segA.sys.Node(1).MW.SRTEC(subj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub1.Announce(core.ChannelAttrs{}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var delivered atomic.Uint64
+	var mu sync.Mutex
+	var payloads [][]byte
+	subC, err := segC.sys.Node(1).MW.SRTEC(subj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subC.Subscribe(core.ChannelAttrs{}, core.SubscribeAttrs{},
+		func(ev core.Event, _ core.DeliveryInfo) {
+			mu.Lock()
+			payloads = append(payloads, append([]byte(nil), ev.Payload...))
+			mu.Unlock()
+			delivered.Add(1)
+		}, nil)
+
+	// Settle bindings deterministically before pacing starts.
+	for _, s := range []*segment{segA, segB, segC} {
+		s.sys.K.Run(100 * sim.Millisecond)
+	}
+
+	const horizon = time.Hour // the test stops the pacers explicitly
+	var wg sync.WaitGroup
+	for _, s := range []*segment{segA, segB, segC} {
+		wg.Add(1)
+		go func(s *segment) {
+			defer wg.Done()
+			s.paced.Run(sim.Time(horizon))
+		}(s)
+	}
+	defer func() {
+		for _, s := range []*segment{segA, segB, segC} {
+			s.paced.Stop()
+		}
+		wg.Wait()
+	}()
+
+	waitFor(t, "links up", func() bool {
+		return upA.Connected() && upC.Connected() && srvAB.Peers() == 1 && srvBC.Peers() == 1
+	})
+
+	// Publish from the allowed origin (TxNode 0) until one copy lands
+	// on C (the first sends may race the Sub handshake).
+	want := []byte{0xCA, 0xFE}
+	waitFor(t, "A→B→C delivery", func() bool {
+		segA.paced.Call(func() {
+			now := segA.sys.Node(0).MW.LocalTime()
+			pub0.Publish(core.Event{Subject: subj, Payload: want,
+				Attrs: core.EventAttrs{Deadline: now + 10*sim.Millisecond}})
+		})
+		time.Sleep(20 * time.Millisecond)
+		return delivered.Load() > 0
+	})
+	mu.Lock()
+	if !bytes.Equal(payloads[0], want) {
+		t.Fatalf("C received %v, want %v", payloads[0], want)
+	}
+	mu.Unlock()
+
+	// Origin filtering honored remotely: a publication from A's TxNode 1
+	// must never reach C (blocked at B's egress, before the B→C wire).
+	waitFor(t, "quiesce", func() bool {
+		v := delivered.Load()
+		time.Sleep(30 * time.Millisecond)
+		return delivered.Load() == v
+	})
+	before := delivered.Load()
+	segA.paced.Call(func() {
+		now := segA.sys.Node(1).MW.LocalTime()
+		pub1.Publish(core.Event{Subject: subj, Payload: []byte{0xBA, 0xD0},
+			Attrs: core.EventAttrs{Deadline: now + 10*sim.Millisecond}})
+	})
+	time.Sleep(80 * time.Millisecond)
+	if delivered.Load() != before {
+		t.Fatal("origin-filtered publisher reached C")
+	}
+
+	// Stop the pacers before reading cross-segment state.
+	for _, s := range []*segment{segA, segB, segC} {
+		s.paced.Stop()
+	}
+	wg.Wait()
+
+	// One continuous trace: find the delivered event's trace ID on C,
+	// then demand the same ID appears in every segment's records with
+	// the expected relay stages. IDs from A's base prove the origin ID
+	// survived both hops.
+	recA, recB, recC := segA.records(), segB.records(), segC.records()
+	var traceID uint64
+	for _, r := range recC {
+		if r.Stage == obs.StageDelivered && r.ID != 0 {
+			traceID = r.ID
+		}
+	}
+	if traceID == 0 {
+		t.Fatal("no delivered trace on C")
+	}
+	if traceID>>32 != 1 {
+		t.Fatalf("trace ID %#x not from segment A's base", traceID)
+	}
+	stages := func(recs []obs.Record) map[obs.Stage][]obs.Record {
+		m := make(map[obs.Stage][]obs.Record)
+		for _, r := range recs {
+			if r.ID == traceID {
+				m[r.Stage] = append(m[r.Stage], r)
+			}
+		}
+		return m
+	}
+	sA, sB, sC := stages(recA), stages(recB), stages(recC)
+	for _, tc := range []struct {
+		seg   string
+		m     map[obs.Stage][]obs.Record
+		stage obs.Stage
+	}{
+		{"A", sA, obs.StagePublished},
+		{"A", sA, obs.StageRelayTx},
+		{"B", sB, obs.StageRelayRx},
+		{"B", sB, obs.StagePublished}, // adopted republication
+		{"B", sB, obs.StageRelayTx},   // onward transit hop
+		{"C", sC, obs.StageRelayRx},
+		{"C", sC, obs.StagePublished},
+		{"C", sC, obs.StageDelivered},
+	} {
+		if len(tc.m[tc.stage]) == 0 {
+			t.Errorf("segment %s: no %s record for trace %#x", tc.seg, tc.stage, traceID)
+		}
+	}
+	// Per-hop metadata: C's relay_rx must show the second hop, and B's
+	// relay_tx a budget already debited below the origin grant.
+	if rx := sC[obs.StageRelayRx]; len(rx) > 0 && !strings.Contains(rx[0].Detail, "hop 2") {
+		t.Errorf("C relay_rx detail = %q, want hop 2", rx[0].Detail)
+	}
+	if bBC.Forwarded() == 0 {
+		t.Error("transit bridge forwarded nothing")
+	}
+}
+
+// TestE2EBudgetExhaustedShedsSRT proves the per-hop deadline budget has
+// teeth: an SRT event granted a budget smaller than one bus traversal
+// is shed at a relay hop (egress-queue expiry or transit debit) and
+// never reaches the far segment. HRT semantics (late, never silently
+// dropped) are covered by queue tests.
+func TestE2EBudgetExhaustedShedsSRT(t *testing.T) {
+	const subj binding.Subject = 0x52
+	segA := newSegment(t, "segA", 201, 1<<32)
+	segB := newSegment(t, "segB", 202, 2<<32)
+
+	srv, err := Serve("127.0.0.1:0", fastCfg("segB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	up := Dial(srv.Addr().String(), fastCfg("segA"))
+	defer up.Close()
+
+	portA := NewPort(segA.paced, up)
+	portB := NewPort(segB.paced, srv)
+	bA, err := gateway.NewRemote(segA.sys.Node(3).MW, portA, "segA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bB, err := gateway.NewRemote(segB.sys.Node(2).MW, portB, "segB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget far below one CAN frame time (125 µs at 1 Mbit/s): the
+	// event cannot survive a hop's residence, let alone the queue wait.
+	bA.Budget = 10 * sim.Microsecond
+	if err := srv.Subscribe(subj, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := bA.Forward(core.SRT, subj, core.ChannelAttrs{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bB.Announce(core.SRT, subj, core.ChannelAttrs{}); err != nil {
+		t.Fatal(err)
+	}
+
+	pub, err := segA.sys.Node(0).MW.SRTEC(subj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Announce(core.ChannelAttrs{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var deliveredB atomic.Uint64
+	subB, err := segB.sys.Node(1).MW.SRTEC(subj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subB.Subscribe(core.ChannelAttrs{}, core.SubscribeAttrs{},
+		func(core.Event, core.DeliveryInfo) { deliveredB.Add(1) }, nil)
+
+	for _, s := range []*segment{segA, segB} {
+		s.sys.K.Run(100 * sim.Millisecond)
+	}
+	var wg sync.WaitGroup
+	for _, s := range []*segment{segA, segB} {
+		wg.Add(1)
+		go func(s *segment) {
+			defer wg.Done()
+			s.paced.Run(sim.Time(time.Hour))
+		}(s)
+	}
+	defer func() {
+		segA.paced.Stop()
+		segB.paced.Stop()
+		wg.Wait()
+	}()
+
+	waitFor(t, "link up", func() bool { return up.Connected() && srv.Peers() == 1 })
+	waitFor(t, "budget shed recorded", func() bool {
+		segA.paced.Call(func() {
+			now := segA.sys.Node(0).MW.LocalTime()
+			pub.Publish(core.Event{Subject: subj, Payload: []byte{1},
+				Attrs: core.EventAttrs{Deadline: now + 10*sim.Millisecond}})
+		})
+		time.Sleep(10 * time.Millisecond)
+		return up.Counters().Dropped() > 0
+	})
+	time.Sleep(50 * time.Millisecond)
+	if deliveredB.Load() != 0 {
+		t.Fatalf("budget-starved SRT event reached B %d times", deliveredB.Load())
+	}
+}

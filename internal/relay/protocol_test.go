@@ -1,0 +1,145 @@
+package relay
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"canec/internal/can"
+	"canec/internal/core"
+	"canec/internal/gateway"
+	"canec/internal/sim"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	b, err := encodeHello("plant-floor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != msgHello {
+		t.Fatalf("type byte = %d", b[0])
+	}
+	ver, seg, err := decodeHello(b[1:])
+	if err != nil || ver != ProtoVersion || seg != "plant-floor" {
+		t.Fatalf("decode: ver=%d seg=%q err=%v", ver, seg, err)
+	}
+}
+
+func TestSubRoundTrip(t *testing.T) {
+	in := subscription{Subject: 0x1234, Include: []can.TxNode{3, 7}, Exclude: []can.TxNode{9}}
+	b, err := encodeSub(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := decodeSub(b[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	if !out.accepts(3) || !out.accepts(7) {
+		t.Fatal("included origin rejected")
+	}
+	if out.accepts(9) || out.accepts(5) {
+		t.Fatal("excluded/unlisted origin accepted")
+	}
+	open := subscription{Subject: 1}
+	if !open.accepts(42) {
+		t.Fatal("open subscription rejected an origin")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var codec can.Codec
+	for _, payloadLen := range []int{0, 1, 8, 9, 40} {
+		payload := make([]byte, payloadLen)
+		for i := range payload {
+			payload[i] = byte(i*7 + 1)
+		}
+		in := gateway.RemoteEvent{
+			Class:     core.SRT,
+			Subject:   0xBEEF,
+			Payload:   payload,
+			Origin:    5,
+			OriginSeg: "segA",
+			Hops:      2,
+			Budget:    30 * sim.Millisecond,
+			TraceID:   1_000_042,
+		}
+		b, err := encodeFrame(&codec, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b[0] != msgFrame {
+			t.Fatalf("type byte = %d", b[0])
+		}
+		out, err := decodeFrame(&codec, b[1:])
+		if err != nil {
+			t.Fatalf("payload %d: %v", payloadLen, err)
+		}
+		if !bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("payload %d: %v != %v", payloadLen, out.Payload, in.Payload)
+		}
+		out.Payload, in.Payload = nil, nil
+		if !reflect.DeepEqual(out, in) {
+			t.Fatalf("metadata: %+v != %+v", out, in)
+		}
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	var codec can.Codec
+	in := gateway.RemoteEvent{
+		Class: core.HRT, Subject: 7, Payload: []byte{1, 2, 3, 4},
+		OriginSeg: "x", TraceID: 9,
+	}
+	b, err := encodeFrame(&codec, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit inside the packed CAN chunk: the CRC-15 check must
+	// refuse the frame.
+	b[len(b)-3] ^= 0x10
+	if _, err := decodeFrame(&codec, b[1:]); err == nil {
+		t.Fatal("corrupted chunk accepted")
+	}
+	// Truncations at every prefix must error, never panic.
+	good, _ := encodeFrame(&codec, in)
+	for cut := 1; cut < len(good); cut++ {
+		if _, err := decodeFrame(&codec, good[1:cut]); err == nil && cut < len(good)-1 {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Unknown class byte.
+	bad := append([]byte(nil), good[1:]...)
+	bad[0] = 99
+	if _, err := decodeFrame(&codec, bad); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestReadWriteMsgFraming(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := [][]byte{{msgHeartbeat}, {msgUnsub, 0, 0, 0, 0, 0, 0, 0, 9}}
+	for _, m := range msgs {
+		if _, err := writeMsg(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := readMsg(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("framing: %v != %v", got, want)
+		}
+	}
+	// Oversized length prefix is stream corruption.
+	buf.Reset()
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := readMsg(&buf); err == nil {
+		t.Fatal("oversized message accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package relay
+
+import (
+	"testing"
+	"time"
+
+	"canec/internal/core"
+	"canec/internal/gateway"
+)
+
+func item(class core.Class, id uint64, deadline time.Time) qItem {
+	return qItem{
+		re:           gateway.RemoteEvent{Class: class, TraceID: id},
+		wallDeadline: deadline,
+	}
+}
+
+func TestQueueDrainOrder(t *testing.T) {
+	q := newEgressQueue(8, 8)
+	now := time.Now()
+	q.push(item(core.NRT, 1, time.Time{}), now)
+	q.push(item(core.SRT, 2, now.Add(time.Hour)), now)
+	q.push(item(core.HRT, 3, time.Time{}), now)
+	var order []uint64
+	for {
+		it, ok, _ := q.pop(now)
+		if !ok {
+			break
+		}
+		order = append(order, it.re.TraceID)
+	}
+	if len(order) != 3 || order[0] != 3 || order[1] != 2 || order[2] != 1 {
+		t.Fatalf("drain order = %v, want [3 2 1] (HRT→SRT→NRT)", order)
+	}
+}
+
+func TestQueueNRTDropsOldestFirst(t *testing.T) {
+	q := newEgressQueue(8, 2)
+	now := time.Now()
+	var drops []uint64
+	for id := uint64(1); id <= 4; id++ {
+		for _, f := range q.push(item(core.NRT, id, time.Time{}), now) {
+			if f.reason != "backpressure" {
+				t.Fatalf("NRT drop reason = %q", f.reason)
+			}
+			drops = append(drops, f.item.re.TraceID)
+		}
+	}
+	if len(drops) != 2 || drops[0] != 1 || drops[1] != 2 {
+		t.Fatalf("NRT drops = %v, want oldest-first [1 2]", drops)
+	}
+}
+
+func TestQueueSRTShedsExpiredBeforeDropping(t *testing.T) {
+	q := newEgressQueue(2, 8)
+	now := time.Now()
+	// One already-expired item and one live one fill the queue.
+	q.push(item(core.SRT, 1, now.Add(-time.Second)), now)
+	q.push(item(core.SRT, 2, now.Add(time.Hour)), now)
+	// The third push must shed the expired copy, not the live one.
+	fates := q.push(item(core.SRT, 3, now.Add(time.Hour)), now)
+	if len(fates) != 1 || fates[0].item.re.TraceID != 1 || fates[0].reason != "expired" {
+		t.Fatalf("fates = %+v, want expired item 1 shed", fates)
+	}
+	// With only live items, overflow falls back to drop-oldest.
+	fates = q.push(item(core.SRT, 4, now.Add(time.Hour)), now)
+	if len(fates) != 1 || fates[0].item.re.TraceID != 2 || fates[0].reason != "backpressure" {
+		t.Fatalf("fates = %+v, want backpressure drop of item 2", fates)
+	}
+}
+
+func TestQueueSRTShedsExpiredAtPop(t *testing.T) {
+	q := newEgressQueue(8, 8)
+	now := time.Now()
+	q.push(item(core.SRT, 1, now.Add(time.Millisecond)), now)
+	q.push(item(core.SRT, 2, now.Add(time.Hour)), now)
+	later := now.Add(time.Second)
+	it, ok, shed := q.pop(later)
+	if !ok || it.re.TraceID != 2 {
+		t.Fatalf("pop = %+v ok=%v, want live item 2", it.re, ok)
+	}
+	if len(shed) != 1 || shed[0].item.re.TraceID != 1 || shed[0].reason != "expired" {
+		t.Fatalf("shed = %+v", shed)
+	}
+}
+
+func TestQueueHRTNeverDroppedOnlyLate(t *testing.T) {
+	q := newEgressQueue(1, 1)
+	now := time.Now()
+	// Push far past any bound: HRT has no cap.
+	for id := uint64(1); id <= 100; id++ {
+		if fates := q.push(item(core.HRT, id, now.Add(-time.Second)), now); len(fates) != 0 {
+			t.Fatalf("HRT push dropped: %+v", fates)
+		}
+	}
+	late := 0
+	for {
+		it, ok, _ := q.pop(now)
+		if !ok {
+			break
+		}
+		if it.late {
+			late++
+		}
+	}
+	if late != 100 {
+		t.Fatalf("late HRT count = %d, want 100 (delivered late, never dropped)", late)
+	}
+}

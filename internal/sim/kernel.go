@@ -158,6 +158,30 @@ func (k *Kernel) Cancel(t Timer) bool {
 // Pending reports the number of events waiting in the queue.
 func (k *Kernel) Pending() int { return len(k.queue) }
 
+// NextAt returns the scheduled time of the earliest pending event. ok is
+// false when the queue is empty.
+func (k *Kernel) NextAt() (Time, bool) {
+	if len(k.queue) == 0 {
+		return 0, false
+	}
+	return k.queue[0].at, true
+}
+
+// AdvanceTo moves the clock forward to t without executing any event. It
+// panics when an event is still pending at or before t (callers must Step
+// those first) — silently jumping over due work would reorder causality.
+// Moving backward is a no-op. Paced execution uses it to keep the virtual
+// clock tracking the wall clock while the event queue is idle.
+func (k *Kernel) AdvanceTo(t Time) {
+	if t <= k.now {
+		return
+	}
+	if len(k.queue) > 0 && k.queue[0].at <= t {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) over pending event at %v", t, k.queue[0].at))
+	}
+	k.now = t
+}
+
 // Step executes the earliest pending event, advancing the clock to its
 // scheduled time. It reports false when the queue is empty.
 func (k *Kernel) Step() bool {
