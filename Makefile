@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos-smoke fuzz-smoke relay-smoke bench tidy
+.PHONY: all build vet test race check chaos-smoke fuzz-smoke relay-smoke obs-smoke bench tidy
 
 all: check
 
@@ -41,10 +41,17 @@ fuzz-smoke:
 relay-smoke:
 	./scripts/relay_smoke.sh
 
+# obs-smoke is the live-introspection gate: the two-daemon federation
+# with -admin enabled on both, /healthz /slo /metrics answered live,
+# the Prometheus exposition strictly validated, and a canecstat fleet
+# poll reporting both segments healthy.
+obs-smoke:
+	./scripts/obs_smoke.sh
+
 # check is the PR gate: compile everything, vet, run the full suite under
 # the race detector, replay the chaos smoke sweep, smoke the fuzz
-# targets, and run the two-daemon relay federation smoke.
-check: build vet race chaos-smoke fuzz-smoke relay-smoke
+# targets, and run the two-daemon relay and introspection smokes.
+check: build vet race chaos-smoke fuzz-smoke relay-smoke obs-smoke
 
 bench:
 	$(GO) test -bench . -benchmem ./internal/can ./internal/sim

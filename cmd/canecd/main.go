@@ -28,6 +28,7 @@ import (
 	"canec/internal/core"
 	"canec/internal/gateway"
 	"canec/internal/obs"
+	"canec/internal/obs/admin"
 	"canec/internal/relay"
 	"canec/internal/sim"
 )
@@ -114,6 +115,12 @@ func run() int {
 		dur       = flag.Duration("dur", 30*time.Second, "wall-clock run limit")
 		hb        = flag.Duration("hb", 500*time.Millisecond, "relay heartbeat period")
 		verbose   = flag.Bool("v", false, "log relay link events to stderr")
+
+		adminAddr = flag.String("admin", "", "serve the admin introspection plane (/metrics /healthz /channels /slo /relay /flight, pprof) on this address; empty disables")
+		flightN   = flag.Int("flight", 2048, "flight-recorder retention, trace records per node (0 disables)")
+		flightDir = flag.String("flight-dir", ".", "directory for flight-recorder post-mortem dumps")
+		slo       = flag.Bool("slo", true, "run the SLO engine (default objective set)")
+		sloSRT    = flag.Float64("slo-srt-budget", 0.05, "SRT deadline-miss budget (fraction of published events)")
 	)
 	flag.Parse()
 	if *segment == "" {
@@ -136,13 +143,20 @@ func run() int {
 		return die("%d nodes cannot host %d relay bridges plus app stations", *nodes, nLinks)
 	}
 
+	obsCfg := &obs.Config{
+		Trace: true, Metrics: true, TraceIDBase: *traceBase << 32,
+		FlightRecords: *flightN, FlightDir: *flightDir,
+	}
+	if *slo {
+		sloCfg := obs.DefaultSLOConfig()
+		sloCfg.SRTMissBudget = *sloSRT
+		obsCfg.SLO = &sloCfg
+	}
 	k := sim.NewKernel(*seed)
 	sys, err := core.NewSystem(core.SystemConfig{
-		Nodes:  *nodes,
-		Kernel: k,
-		Observe: &obs.Config{
-			Trace: true, Metrics: true, TraceIDBase: *traceBase << 32,
-		},
+		Nodes:   *nodes,
+		Kernel:  k,
+		Observe: obsCfg,
 	})
 	if err != nil {
 		return die("system: %v", err)
@@ -154,27 +168,46 @@ func run() int {
 		HeartbeatEvery: *hb,
 		Seed:           *seed,
 	}
+	var verboseTrace func(relay.Event)
 	if *verbose {
-		cfg.Trace = func(e relay.Event) {
+		verboseTrace = func(e relay.Event) {
 			fmt.Fprintf(os.Stderr, "canecd[%s]: relay %s peer=%s %s\n", *segment, e.Kind, e.Peer, e.Detail)
 		}
 	}
+	// Each link's trace stream feeds the observability plane from its
+	// bridge station (top stations, one per link, assigned below).
+	linkCfg := func(i int) relay.Config {
+		c := cfg
+		c.Trace = relay.ObserveTrace(paced, sys.Obs, *nodes-1-i, verboseTrace)
+		return c
+	}
 
 	var links []relay.Link
+	var relayRows []func() admin.RelayRow
 	for _, addr := range listens {
-		srv, err := relay.Serve(addr, cfg)
+		srv, err := relay.Serve(addr, linkCfg(len(links)))
 		if err != nil {
 			return die("listen %s: %v", addr, err)
 		}
 		defer srv.Close()
 		fmt.Printf("canecd[%s]: listening on %s\n", *segment, srv.Addr())
 		links = append(links, srv)
+		name := "listen " + srv.Addr().String()
+		relayRows = append(relayRows, func() admin.RelayRow {
+			return admin.LinkRow(name, "listen", srv.Peers() > 0, srv.Peers(),
+				srv.Counters(), srv.Depths)
+		})
 	}
 	for _, addr := range uplinks {
-		up := relay.Dial(addr, cfg)
+		up := relay.Dial(addr, linkCfg(len(links)))
 		defer up.Close()
 		fmt.Printf("canecd[%s]: uplink to %s\n", *segment, addr)
 		links = append(links, up)
+		name := "uplink " + addr
+		relayRows = append(relayRows, func() admin.RelayRow {
+			return admin.LinkRow(name, "uplink", up.Connected(), 0,
+				up.Counters(), up.Depths)
+		})
 	}
 
 	// One bridge per link, hosted on the segment's top stations; siblings
@@ -215,6 +248,32 @@ func run() int {
 				return die("announce %v:%#x: %v", c.class, c.subject, err)
 			}
 		}
+	}
+
+	// Admin introspection plane: kernel-owned state is snapshotted via
+	// paced.Call so HTTP handlers never race the simulation.
+	if *adminAddr != "" {
+		adm, err := admin.Serve(*adminAddr, admin.Options{
+			Segment:  *segment,
+			Registry: sys.Obs.Registry(),
+			Observer: sys.Obs,
+			SLO:      sys.SLO,
+			Now:      k.Now,
+			Channels: admin.SystemChannels(sys),
+			InKernel: paced.Call,
+			Relay: func() []admin.RelayRow {
+				rows := make([]admin.RelayRow, 0, len(relayRows))
+				for _, fn := range relayRows {
+					rows = append(rows, fn())
+				}
+				return rows
+			},
+		})
+		if err != nil {
+			return die("admin: %v", err)
+		}
+		defer adm.Close()
+		fmt.Printf("canecd[%s]: admin on %s\n", *segment, adm.Addr())
 	}
 
 	// Demo expectation: node 1 subscribes and counts deliveries.

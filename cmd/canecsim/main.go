@@ -18,6 +18,7 @@ import (
 	"canec/internal/can"
 	"canec/internal/chaos"
 	"canec/internal/obs"
+	"canec/internal/obs/admin"
 	"canec/internal/scenario"
 	"canec/internal/sim"
 	"canec/internal/stats"
@@ -40,6 +41,7 @@ func main() {
 		chaosCfg = flag.String("chaos", "", "JSON chaos script (crash/restart/burst/omission/babble campaign) applied to the -config scenario")
 		hist     = flag.Bool("hist", false, "print latency distribution histograms")
 		prom     = flag.String("prom", "", "write the run's metrics registry to this file (Prometheus text format)")
+		adminOpt = flag.String("admin", "", "serve the admin introspection plane on this address during a -pace run (flag mode only)")
 		pace     = flag.Float64("pace", 0, "throttle the run against the wall clock at this many virtual ns per wall ns (0 = free-running, deterministic)")
 	)
 	flag.Parse()
@@ -47,22 +49,74 @@ func main() {
 		fmt.Fprintln(os.Stderr, "canecsim: -chaos needs a -config scenario to inject faults into")
 		os.Exit(1)
 	}
+	plane := obsPlane{promPath: *prom, adminAddr: *adminOpt}
+	if *adminOpt != "" {
+		if *config != "" {
+			fmt.Fprintln(os.Stderr, "canecsim: -admin is not available with -config (use canecd to host long-running scenarios)")
+			os.Exit(1)
+		}
+		if *pace <= 0 {
+			fmt.Fprintln(os.Stderr, "canecsim: -admin needs -pace > 0 (a free-running simulation finishes before anything could poll it)")
+			os.Exit(1)
+		}
+	}
 	if *config != "" {
-		if err := runConfig(*config, *prom, *chaosCfg); err != nil {
+		if err := runConfig(*config, plane, *chaosCfg); err != nil {
 			fmt.Fprintln(os.Stderr, "canecsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*nodes, *hrt, *srtLoad, *bulk, *faults, *omission, sim.Duration(dur.Nanoseconds()), *seed, *drift, *traceN, *hist, *prom, *pace); err != nil {
+	if err := run(*nodes, *hrt, *srtLoad, *bulk, *faults, *omission, sim.Duration(dur.Nanoseconds()), *seed, *drift, *traceN, *hist, plane, *pace); err != nil {
 		fmt.Fprintln(os.Stderr, "canecsim:", err)
 		os.Exit(1)
 	}
 }
 
-// writeProm dumps a metrics registry to path in the text exposition format.
-func writeProm(reg *obs.Registry, path string) error {
-	f, err := os.Create(path)
+// obsPlane is the single plumbing path behind canecsim's metrics flags:
+// -prom (write the registry to a file after the run) and -admin (serve
+// the same registry live over HTTP during a paced run). Both share one
+// obs.Config, so enabling either collects the same metric set.
+type obsPlane struct {
+	promPath  string
+	adminAddr string
+}
+
+func (p obsPlane) config() *obs.Config {
+	if p.promPath == "" && p.adminAddr == "" {
+		return nil
+	}
+	return &obs.Config{Metrics: true}
+}
+
+// serve starts the admin plane over a paced run; the returned stop is
+// safe to call unconditionally.
+func (p obsPlane) serve(sys *canec.System, paced *sim.Paced) (stop func(), err error) {
+	if p.adminAddr == "" {
+		return func() {}, nil
+	}
+	adm, err := admin.Serve(p.adminAddr, admin.Options{
+		Segment:  "canecsim",
+		Registry: sys.Obs.Registry(),
+		Observer: sys.Obs,
+		SLO:      sys.SLO,
+		Now:      sys.K.Now,
+		Channels: admin.SystemChannels(sys),
+		InKernel: paced.Call,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("canecsim: admin on %s\n", adm.Addr())
+	return func() { adm.Close() }, nil
+}
+
+// flush writes the -prom file, when requested, from the run's registry.
+func (p obsPlane) flush(reg *obs.Registry) error {
+	if p.promPath == "" {
+		return nil
+	}
+	f, err := os.Create(p.promPath)
 	if err != nil {
 		return err
 	}
@@ -72,7 +126,7 @@ func writeProm(reg *obs.Registry, path string) error {
 
 // runConfig loads and executes a declarative scenario file, optionally
 // overlaying a chaos campaign script.
-func runConfig(path, prom, chaosPath string) error {
+func runConfig(path string, plane obsPlane, chaosPath string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -99,8 +153,8 @@ func runConfig(path, prom, chaosPath string) error {
 			return err
 		}
 	}
-	if prom != "" {
-		sc.Observe = &obs.Config{Metrics: true}
+	if cfg := plane.config(); cfg != nil {
+		sc.Observe = cfg
 	}
 	rep, err := sc.Run()
 	if err != nil {
@@ -110,14 +164,11 @@ func runConfig(path, prom, chaosPath string) error {
 	if rep.Chaos != nil && len(rep.Chaos.Violations) > 0 {
 		return fmt.Errorf("%d trace invariants violated", len(rep.Chaos.Violations))
 	}
-	if prom != "" {
-		return writeProm(rep.Obs.Registry(), prom)
-	}
-	return nil
+	return plane.flush(rep.Obs.Registry())
 }
 
 func run(nodes, nHRT int, srtLoad float64, bulkBytes int, faultRate float64,
-	omission int, dur sim.Duration, seed uint64, drift float64, traceN int, hist bool, prom string, pace float64) error {
+	omission int, dur sim.Duration, seed uint64, drift float64, traceN int, hist bool, plane obsPlane, pace float64) error {
 
 	if nHRT >= nodes {
 		return fmt.Errorf("need more nodes (%d) than HRT channels (%d)", nodes, nHRT)
@@ -138,10 +189,7 @@ func run(nodes, nHRT int, srtLoad float64, bulkBytes int, faultRate float64,
 			return err
 		}
 	}
-	var observe *obs.Config
-	if prom != "" {
-		observe = &obs.Config{Metrics: true}
-	}
+	observe := plane.config()
 	sys, err := canec.NewSystem(canec.SystemConfig{
 		Nodes: nodes, Seed: seed, Calendar: cal,
 		Sync:             canec.DefaultSyncConfig(),
@@ -275,8 +323,15 @@ func run(nodes, nHRT int, srtLoad float64, bulkBytes int, faultRate float64,
 	if pace > 0 {
 		// Paced mode: the same discrete-event run, throttled against the
 		// wall clock (1.0 = real time). Opt-in; free-running stays default
-		// so results remain bit-reproducible.
-		sim.NewPaced(sys.K, pace).Run(end)
+		// so results remain bit-reproducible. The admin plane, when
+		// requested, serves live state for the run's duration.
+		paced := sim.NewPaced(sys.K, pace)
+		stopAdmin, err := plane.serve(sys, paced)
+		if err != nil {
+			return err
+		}
+		paced.Run(end)
+		stopAdmin()
 	} else {
 		sys.Run(end)
 	}
@@ -321,10 +376,7 @@ func run(nodes, nHRT int, srtLoad float64, bulkBytes int, faultRate float64,
 			return err
 		}
 	}
-	if prom != "" {
-		return writeProm(sys.Obs.Registry(), prom)
-	}
-	return nil
+	return plane.flush(sys.Obs.Registry())
 }
 
 func putTS(dst []byte, t sim.Time) {

@@ -1,0 +1,400 @@
+// canecstat polls the admin endpoints of every canecd in a federation
+// and renders one fleet table: per-segment health, SLO burn state,
+// relay queue depths, uplink liveness and trace-continuity status.
+//
+//	canecstat -once 127.0.0.1:9441 127.0.0.1:9442
+//	canecstat -interval 2s host-a:9441 host-b:9441
+//
+// Exit code (with -once): 0 all segments healthy, 1 at least one SLO
+// breach, 2 at least one target unreachable or (with -validate-metrics)
+// serving a malformed exposition.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"canec/internal/obs/admin"
+)
+
+func main() { os.Exit(run()) }
+
+func die(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "canecstat: "+format+"\n", args...)
+	return 2
+}
+
+// target is one daemon's polled state for a table row.
+type target struct {
+	addr string
+
+	err       error
+	health    admin.Health
+	slo       admin.SLOView
+	relay     []admin.RelayRow
+	validated bool
+	promErr   error
+}
+
+func run() int {
+	var (
+		once     = flag.Bool("once", false, "poll once, print the table, exit with fleet status")
+		interval = flag.Duration("interval", 2*time.Second, "poll period when watching")
+		timeout  = flag.Duration("timeout", 2*time.Second, "per-request HTTP timeout")
+		validate = flag.Bool("validate-metrics", false, "fetch /metrics from every target and strictly validate the Prometheus text exposition")
+	)
+	flag.Parse()
+	addrs := flag.Args()
+	if len(addrs) == 0 {
+		return die("usage: canecstat [-once] [-interval d] [-validate-metrics] host:port...")
+	}
+	client := &http.Client{Timeout: *timeout}
+	for {
+		targets := poll(client, addrs, *validate)
+		render(os.Stdout, targets)
+		if *once {
+			return fleetStatus(targets)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	// /healthz answers 503 in breach with the same JSON body; any other
+	// non-2xx/503 status is a real error.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.Unmarshal(body, v)
+}
+
+func poll(client *http.Client, addrs []string, validate bool) []*target {
+	out := make([]*target, len(addrs))
+	for i, addr := range addrs {
+		tg := &target{addr: addr}
+		out[i] = tg
+		base := "http://" + addr
+		if err := getJSON(client, base+"/healthz", &tg.health); err != nil {
+			tg.err = err
+			continue
+		}
+		if err := getJSON(client, base+"/slo", &tg.slo); err != nil {
+			tg.err = err
+			continue
+		}
+		if err := getJSON(client, base+"/relay", &tg.relay); err != nil {
+			tg.err = err
+			continue
+		}
+		if validate {
+			tg.validated = true
+			tg.promErr = validateMetrics(client, base+"/metrics")
+		}
+	}
+	return out
+}
+
+func findObjective(tg *target, name string) (short, long float64, breached, ok bool) {
+	for _, ob := range tg.slo.Objectives {
+		if ob.Name == name {
+			return ob.Short, ob.Long, ob.Breached, true
+		}
+	}
+	return 0, 0, false, false
+}
+
+// traceStatus checks fleet-wide trace continuity: every segment must
+// run a distinct, nonzero trace base, or cross-segment trace IDs
+// collide and post-mortem merges lie.
+func traceStatus(targets []*target) map[*target]string {
+	seen := map[uint64][]*target{}
+	for _, tg := range targets {
+		if tg.err == nil {
+			seen[tg.health.TraceBase] = append(seen[tg.health.TraceBase], tg)
+		}
+	}
+	out := map[*target]string{}
+	for base, tgs := range seen {
+		st := fmt.Sprintf("base %#x", base)
+		switch {
+		case base == 0:
+			st = "NO BASE"
+		case len(tgs) > 1:
+			st = fmt.Sprintf("DUP %#x", base)
+		}
+		for _, tg := range tgs {
+			out[tg] = st
+		}
+	}
+	return out
+}
+
+func render(w io.Writer, targets []*target) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SEGMENT\tADDR\tHEALTH\tSRT MISS (s/l)\tBREACHED\tLINKS\tQ(H/S/N)\tDROPS\tTRACE\tMETRICS")
+	traces := traceStatus(targets)
+	for _, tg := range targets {
+		if tg.err != nil {
+			fmt.Fprintf(tw, "?\t%s\tUNREACHABLE\t-\t-\t-\t-\t-\t-\t%v\n", tg.addr, tg.err)
+			continue
+		}
+		var breached []string
+		for _, ob := range tg.slo.Objectives {
+			if ob.Breached {
+				breached = append(breached, ob.Name)
+			}
+		}
+		breachCol := "-"
+		if len(breached) > 0 {
+			breachCol = strings.Join(breached, ",")
+		}
+		missCol := "-"
+		if s, l, _, ok := findObjective(tg, "srt-miss-rate"); ok {
+			missCol = fmt.Sprintf("%.3f/%.3f", s, l)
+		}
+		var h, sq, n int
+		var drops uint64
+		up := 0
+		for _, r := range tg.relay {
+			h += r.DepthHRT
+			sq += r.DepthSRT
+			n += r.DepthNRT
+			drops += r.Dropped
+			if r.Connected {
+				up++
+			}
+		}
+		metricsCol := "-"
+		if tg.validated {
+			metricsCol = "ok"
+			if tg.promErr != nil {
+				metricsCol = "INVALID: " + tg.promErr.Error()
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d/%d\t%d/%d/%d\t%d\t%s\t%s\n",
+			tg.health.Segment, tg.addr, strings.ToUpper(tg.health.Status),
+			missCol, breachCol, up, len(tg.relay), h, sq, n, drops,
+			traces[tg], metricsCol)
+	}
+	tw.Flush()
+}
+
+// fleetStatus folds the poll into the -once exit code.
+func fleetStatus(targets []*target) int {
+	code := 0
+	for _, tg := range targets {
+		switch {
+		case tg.err != nil:
+			fmt.Fprintf(os.Stderr, "canecstat: %s: %v\n", tg.addr, tg.err)
+			return 2
+		case tg.promErr != nil:
+			fmt.Fprintf(os.Stderr, "canecstat: %s: invalid metrics: %v\n", tg.addr, tg.promErr)
+			return 2
+		case tg.health.Breached:
+			code = 1
+		}
+	}
+	return code
+}
+
+// --- strict Prometheus text-format (0.0.4) validation ---
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+func validateMetrics(client *http.Client, url string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return ValidateExposition(resp.Body)
+}
+
+// ValidateExposition strictly parses a Prometheus text exposition:
+// well-formed HELP/TYPE comments, legal metric and label names, correct
+// label-value escaping, parseable sample values (float, +Inf, -Inf,
+// NaN) and optional integer timestamps.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	typed := map[string]string{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, typed); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := validateSample(line, typed); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	return sc.Err()
+}
+
+func validateComment(line string, typed map[string]string) error {
+	f := strings.SplitN(line, " ", 4)
+	if len(f) < 3 || f[0] != "#" {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch f[1] {
+	case "HELP":
+		if !metricNameRe.MatchString(f[2]) {
+			return fmt.Errorf("HELP for illegal metric name %q", f[2])
+		}
+	case "TYPE":
+		if !metricNameRe.MatchString(f[2]) {
+			return fmt.Errorf("TYPE for illegal metric name %q", f[2])
+		}
+		if len(f) != 4 {
+			return fmt.Errorf("TYPE %s missing type", f[2])
+		}
+		switch f[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("TYPE %s has unknown type %q", f[2], f[3])
+		}
+		if prev, dup := typed[f[2]]; dup {
+			return fmt.Errorf("duplicate TYPE for %s (already %s)", f[2], prev)
+		}
+		typed[f[2]] = f[3]
+	default:
+		// Arbitrary comments are legal; nothing to check.
+	}
+	return nil
+}
+
+func validateSample(line string, typed map[string]string) error {
+	name, rest, err := scanName(line)
+	if err != nil {
+		return err
+	}
+	if strings.HasPrefix(rest, "{") {
+		if rest, err = scanLabels(rest); err != nil {
+			return fmt.Errorf("metric %s: %w", name, err)
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("metric %s: want value [timestamp], got %q", name, rest)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return fmt.Errorf("metric %s: bad value %q", name, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("metric %s: bad timestamp %q", name, fields[1])
+		}
+	}
+	// A histogram's series names append _bucket/_sum/_count to the
+	// family name in TYPE; accept those suffixes when matching.
+	base := name
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if s, ok := strings.CutSuffix(name, suf); ok {
+			if _, isHist := typed[s]; isHist {
+				base = s
+			}
+		}
+	}
+	if _, ok := typed[base]; !ok {
+		return fmt.Errorf("metric %s has no preceding TYPE line", name)
+	}
+	return nil
+}
+
+// scanName splits the metric name off a sample line.
+func scanName(line string) (name, rest string, err error) {
+	end := strings.IndexAny(line, "{ ")
+	if end < 0 {
+		return "", "", fmt.Errorf("sample %q has no value", line)
+	}
+	name = line[:end]
+	if !metricNameRe.MatchString(name) {
+		return "", "", fmt.Errorf("illegal metric name %q", name)
+	}
+	return name, line[end:], nil
+}
+
+// scanLabels consumes a {name="value",...} label set, enforcing the
+// exposition's escape rules inside quoted values (\\, \", \n only).
+func scanLabels(s string) (rest string, err error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return "", fmt.Errorf("unterminated label set")
+		}
+		if s[i] == '}' {
+			return s[i+1:], nil
+		}
+		j := strings.IndexByte(s[i:], '=')
+		if j < 0 {
+			return "", fmt.Errorf("label without '='")
+		}
+		lname := s[i : i+j]
+		if !labelNameRe.MatchString(lname) {
+			return "", fmt.Errorf("illegal label name %q", lname)
+		}
+		i += j + 1
+		if i >= len(s) || s[i] != '"' {
+			return "", fmt.Errorf("label %s: unquoted value", lname)
+		}
+		i++ // past opening quote
+		for {
+			if i >= len(s) {
+				return "", fmt.Errorf("label %s: unterminated value", lname)
+			}
+			switch s[i] {
+			case '\\':
+				if i+1 >= len(s) {
+					return "", fmt.Errorf("label %s: dangling escape", lname)
+				}
+				switch s[i+1] {
+				case '\\', '"', 'n':
+					i += 2
+				default:
+					return "", fmt.Errorf("label %s: illegal escape \\%c", lname, s[i+1])
+				}
+			case '"':
+				i++
+				goto valueDone
+			default:
+				i++
+			}
+		}
+	valueDone:
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}

@@ -397,6 +397,10 @@ type Report struct {
 	// Errors are scripted events that failed to execute (e.g. a restart of
 	// a station that was never crashed).
 	Errors []string
+	// PostMortem lists the flight-recorder dump files written because the
+	// campaign found invariant violations (empty when no recorder was
+	// attached or all invariants held).
+	PostMortem []string
 }
 
 // Finish runs the invariant checkers over the recorded trace and returns
@@ -464,6 +468,15 @@ func (c *Campaign) Finish(recoveryRounds int) Report {
 	}
 	for _, e := range c.Errors {
 		rep.Errors = append(rep.Errors, e.Error())
+	}
+	if len(rep.Violations) > 0 {
+		if f := c.Sys.Obs.Flight(); f != nil {
+			if paths, err := f.Dump("chaos-invariant"); err == nil {
+				rep.PostMortem = paths
+			} else {
+				rep.Errors = append(rep.Errors, "post-mortem dump: "+err.Error())
+			}
+		}
 	}
 	return rep
 }

@@ -237,6 +237,10 @@ type channelState struct {
 	// handler retrieves it with getEvent()).
 	lastEvent *Event
 	lastInfo  DeliveryInfo
+
+	// missed counts this channel's timing failures (deadline misses,
+	// validity expiries, missed HRT slots) for the introspection plane.
+	missed uint64
 }
 
 // getEvent returns the mailbox contents.
@@ -311,8 +315,10 @@ func (ch *channelState) raisePub(e Exception) {
 	switch e.Kind {
 	case ExcDeadlineMissed:
 		ch.mw.counters.DeadlineMissed++
+		ch.missed++
 	case ExcValidityExpired:
 		ch.mw.counters.Expired++
+		ch.missed++
 	case ExcQueueOverflow:
 		ch.mw.counters.Overflows++
 	case ExcLoadShed:
@@ -331,6 +337,7 @@ func (ch *channelState) raiseSub(e Exception) {
 	switch e.Kind {
 	case ExcSlotMissed:
 		ch.mw.counters.SlotMissed++
+		ch.missed++
 	case ExcFragError:
 		ch.mw.counters.FragErrors++
 	}
@@ -382,7 +389,7 @@ func (mw *Middleware) nrtQueuedTotal() int {
 }
 
 // ChannelInfo is a read-only snapshot of one channel's state, for
-// monitoring and debugging.
+// monitoring and debugging (the admin plane serves it at /channels).
 type ChannelInfo struct {
 	Subject    binding.Subject
 	Etag       can.Etag
@@ -390,6 +397,26 @@ type ChannelInfo struct {
 	Announced  bool
 	Subscribed bool
 	Attrs      ChannelAttrs
+	// Queued is the channel's current send-side backlog: pending HRT
+	// slot events, active (unexpired) SRT entries, or queued NRT
+	// fragment chains.
+	Queued int
+	// Missed counts the channel's timing failures so far: deadline
+	// misses, validity expiries, and missed HRT slots.
+	Missed uint64
+}
+
+// queued returns the channel's current send-side backlog.
+func (ch *channelState) queued() int {
+	switch ch.class {
+	case HRT:
+		return len(ch.hrtQueue)
+	case SRT:
+		return len(ch.srtActive)
+	case NRT:
+		return len(ch.nrtQueue)
+	}
+	return 0
 }
 
 // Channels lists the channels this node's middleware currently holds,
@@ -404,6 +431,8 @@ func (mw *Middleware) Channels() []ChannelInfo {
 			Announced:  ch.announced,
 			Subscribed: ch.subscribed,
 			Attrs:      ch.attrs,
+			Queued:     ch.queued(),
+			Missed:     ch.missed,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Etag < out[j].Etag })

@@ -77,6 +77,8 @@ type System struct {
 	Bindings *binding.Table
 	// Obs is the observability layer (nil unless Cfg.Observe was set).
 	Obs *obs.Observer
+	// SLO is the objective engine (nil unless Cfg.Observe.SLO was set).
+	SLO *obs.SLO
 }
 
 // NewSystem builds and validates a system. The caller typically announces
@@ -138,6 +140,11 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 			return uint64(s), ok
 		}
 		sys.Obs.InstallBus(bus)
+		if cfg.Observe.SLO != nil {
+			// Note: the engine keeps a tick pending, so SLO-enabled systems
+			// must be driven with Run(horizon), never RunUntilIdle.
+			sys.SLO = sys.Obs.StartSLO(k, *cfg.Observe.SLO)
+		}
 	}
 
 	for i := 0; i < cfg.Nodes; i++ {

@@ -35,6 +35,15 @@ type Config struct {
 	// colliding with IDs assigned locally — that is what makes one
 	// continuous trace span several observers.
 	TraceIDBase uint64
+	// SLO, when set, starts the per-class objective engine (burn-rate
+	// evaluation, breach trace records, /slo state) on the system kernel.
+	SLO *SLOConfig
+	// FlightRecords, when positive, attaches a flight recorder retaining
+	// the last FlightRecords trace records per node, independent of Trace.
+	FlightRecords int
+	// FlightDir is where flight-recorder post-mortems are dumped
+	// (default: the process working directory).
+	FlightDir string
 }
 
 // Default returns a configuration with tracing and metrics both enabled.
@@ -78,6 +87,7 @@ type Observer struct {
 	bm     BandMap
 	tracer *Tracer
 	reg    *Registry
+	flight *FlightRecorder
 
 	// nextID and pubAt live on the observer (not the tracer) because the
 	// e2e latency metric needs publish times even when tracing is off.
@@ -93,6 +103,9 @@ type Observer struct {
 	delivered map[string]*Counter
 	dropped   map[string]*Counter // by reason
 	latency   map[uint64]*Histogram
+	jitter    map[string]*Histogram // delivery jitter, by class
+	prevLat   map[uint64]float64    // last observed latency per subject, µs
+	sloBreach map[string]*Counter   // SLO breach transitions, by objective
 
 	bandBusy    map[string]*Counter
 	retries     *Counter
@@ -123,12 +136,18 @@ func New(cfg Config, now func() sim.Time, bm BandMap) *Observer {
 	if cfg.Trace {
 		o.tracer = newTracer(cfg.TraceCap)
 	}
+	if cfg.FlightRecords > 0 {
+		o.flight = NewFlightRecorder(cfg.FlightRecords, cfg.FlightDir)
+	}
 	if cfg.Metrics {
 		o.reg = NewRegistry()
 		o.published = make(map[string]*Counter)
 		o.delivered = make(map[string]*Counter)
 		o.dropped = make(map[string]*Counter)
 		o.latency = make(map[uint64]*Histogram)
+		o.jitter = make(map[string]*Histogram)
+		o.prevLat = make(map[uint64]float64)
+		o.sloBreach = make(map[string]*Counter)
 		o.bandBusy = make(map[string]*Counter)
 		o.slots = make(map[string]*Counter)
 		o.copies = make(map[string]*Counter)
@@ -194,6 +213,50 @@ func (o *Observer) Records() []Record {
 	return o.tracer.Records()
 }
 
+// Flight returns the attached flight recorder (nil when none).
+func (o *Observer) Flight() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.flight
+}
+
+// AttachFlight installs (or replaces) the flight recorder. It keeps
+// working when tracing is off: emitRecord feeds it independently.
+func (o *Observer) AttachFlight(f *FlightRecorder) {
+	if o == nil {
+		return
+	}
+	o.flight = f
+}
+
+// TraceBase returns the observer's trace-ID base (0 on a nil observer).
+// Fleet tooling uses it to attribute trace IDs to segments.
+func (o *Observer) TraceBase() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.cfg.TraceIDBase
+}
+
+// emitRecord fans one stage record out to the tracer (when tracing is
+// on) and the flight recorder (when attached). Callers already hold a
+// non-nil observer; either sink may still be absent.
+func (o *Observer) emitRecord(r Record) {
+	if o.tracer != nil {
+		o.tracer.add(r)
+	}
+	if o.flight != nil {
+		o.flight.Add(r)
+	}
+}
+
+// recording reports whether any record sink is attached, so call sites
+// can skip assembling records that nobody would retain.
+func (o *Observer) recording() bool {
+	return o.tracer != nil || o.flight != nil
+}
+
 // Begin opens a trace for a freshly published event and returns its
 // monotonically increasing ID. It returns 0 (an untraced event) on a nil
 // observer.
@@ -208,10 +271,8 @@ func (o *Observer) Begin(class string, node int, subject uint64, at sim.Time) ui
 	o.nextID++
 	id := o.nextID
 	o.pubAt[id] = at
-	if o.tracer != nil {
-		o.tracer.add(Record{ID: id, Stage: StagePublished, At: at, Node: node,
-			Class: class, Subject: subject, Prio: -1})
-	}
+	o.emitRecord(Record{ID: id, Stage: StagePublished, At: at, Node: node,
+		Class: class, Subject: subject, Prio: -1})
 	return id
 }
 
@@ -232,10 +293,8 @@ func (o *Observer) Adopt(id uint64, class string, node int, subject uint64, at s
 	if _, ok := o.pubAt[id]; !ok {
 		o.pubAt[id] = at
 	}
-	if o.tracer != nil {
-		o.tracer.add(Record{ID: id, Stage: StagePublished, At: at, Node: node,
-			Class: class, Subject: subject, Prio: -1, Detail: "relayed"})
-	}
+	o.emitRecord(Record{ID: id, Stage: StagePublished, At: at, Node: node,
+		Class: class, Subject: subject, Prio: -1, Detail: "relayed"})
 }
 
 // RelayFrame records a relay-hop stage of one event (relay_tx, relay_rx,
@@ -257,7 +316,7 @@ func (o *Observer) RelayFrame(id uint64, stage Stage, class string, node int, su
 			}
 			c.Inc()
 		case StageRelayDrop, StageRelayLate:
-			key := class + ":" + detail
+			key := string(stage) + ":" + class + ":" + detail
 			c, ok := o.relayDrop[key]
 			if !ok {
 				name := "canec_relay_dropped_total"
@@ -272,10 +331,8 @@ func (o *Observer) RelayFrame(id uint64, stage Stage, class string, node int, su
 			c.Inc()
 		}
 	}
-	if o.tracer != nil {
-		o.tracer.add(Record{ID: id, Stage: stage, At: at, Node: node,
-			Class: class, Subject: subject, Prio: -1, Detail: detail})
-	}
+	o.emitRecord(Record{ID: id, Stage: stage, At: at, Node: node,
+		Class: class, Subject: subject, Prio: -1, Detail: detail})
 }
 
 // RelayLink records a relay link lifecycle transition (relay_up,
@@ -296,9 +353,7 @@ func (o *Observer) RelayLink(stage Stage, node int, at sim.Time, detail string) 
 		}
 		c.Inc()
 	}
-	if o.tracer != nil {
-		o.tracer.add(Record{Stage: stage, At: at, Node: node, Prio: -1, Detail: detail})
-	}
+	o.emitRecord(Record{Stage: stage, At: at, Node: node, Prio: -1, Detail: detail})
 }
 
 // RelayBytes accounts wire bytes crossing relay links, by direction
@@ -338,10 +393,8 @@ func (o *Observer) Emit(id uint64, stage Stage, class string, node int, subject 
 			o.reasonCounter(reason).Inc()
 		}
 	}
-	if o.tracer != nil {
-		o.tracer.add(Record{ID: id, Stage: stage, At: at, Node: node,
-			Class: class, Subject: subject, Prio: -1, Detail: detail})
-	}
+	o.emitRecord(Record{ID: id, Stage: stage, At: at, Node: node,
+		Class: class, Subject: subject, Prio: -1, Detail: detail})
 }
 
 // Delivered closes a trace on a successful notification and feeds the
@@ -355,29 +408,76 @@ func (o *Observer) Delivered(id uint64, class string, node int, subject uint64, 
 			"Events delivered to a subscriber's notification handler, by channel class.", class).Inc()
 	}
 	pub, havePub := o.pubAt[id]
-	if o.tracer != nil {
-		o.tracer.add(Record{ID: id, Stage: StageDelivered, At: at, Node: node,
-			Class: class, Subject: subject, Prio: -1, Detail: detail})
-	}
+	o.emitRecord(Record{ID: id, Stage: StageDelivered, At: at, Node: node,
+		Class: class, Subject: subject, Prio: -1, Detail: detail})
 	if o.reg != nil && havePub && at >= pub {
 		h, ok := o.latency[subject]
 		if !ok {
-			horizon := o.cfg.LatencyHorizon
-			if horizon <= 0 {
-				horizon = 50 * sim.Millisecond
-			}
-			buckets := o.cfg.LatencyBuckets
-			if buckets <= 0 {
-				buckets = 50
-			}
-			h = o.reg.Histogram("canec_e2e_latency_microseconds",
-				"Publish-to-delivery latency per channel, in virtual microseconds.",
+			h = o.reg.LogHistogram("canec_e2e_latency_microseconds",
+				"Publish-to-delivery latency per channel, in virtual microseconds (log buckets).",
 				Labels{"subject": fmt.Sprintf("0x%x", subject), "class": class},
-				0, float64(horizon)/1e3, buckets)
+				latencyHistMin, o.latencyHistMax(), o.latencyHistBuckets())
 			o.latency[subject] = h
 		}
-		h.Observe(float64(at-pub) / 1e3)
+		lat := float64(at-pub) / 1e3
+		h.Observe(lat)
+		// Delivery jitter: spread between consecutive deliveries' latency
+		// on the same channel, aggregated per class. For HRT this is the
+		// quantity the paper bounds by clock-sync precision.
+		if prev, ok := o.prevLat[subject]; ok {
+			d := lat - prev
+			if d < 0 {
+				d = -d
+			}
+			j, ok := o.jitter[class]
+			if !ok {
+				j = o.reg.LogHistogram("canec_delivery_jitter_microseconds",
+					"Absolute latency delta between consecutive deliveries on a channel, by class (log buckets).",
+					Labels{"class": class},
+					jitterHistMin, o.latencyHistMax(), o.latencyHistBuckets())
+				o.jitter[class] = j
+			}
+			j.Observe(d)
+		}
+		o.prevLat[subject] = lat
 	}
+}
+
+// latencyHistMin is the lower edge (µs) of the log-bucketed latency
+// histograms; jitterHistMin the lower edge of the jitter ones (sub-µs,
+// because perfectly regular HRT delivery produces near-zero deltas).
+const (
+	latencyHistMin = 1.0
+	jitterHistMin  = 0.1
+)
+
+func (o *Observer) latencyHistMax() float64 {
+	horizon := o.cfg.LatencyHorizon
+	if horizon <= 0 {
+		horizon = 50 * sim.Millisecond
+	}
+	return float64(horizon) / 1e3
+}
+
+func (o *Observer) latencyHistBuckets() int {
+	if o.cfg.LatencyBuckets > 0 {
+		return o.cfg.LatencyBuckets
+	}
+	return 50
+}
+
+// JitterHist exposes the per-class delivery jitter histogram backend
+// (nil when metrics are off or no jitter sample was recorded yet). The
+// SLO engine evaluates windowed quantiles over its bucket deltas.
+func (o *Observer) JitterHist(class string) HistSource {
+	if o == nil || o.jitter == nil {
+		return nil
+	}
+	h, ok := o.jitter[class]
+	if !ok {
+		return nil
+	}
+	return h.Snapshot()
 }
 
 // PublishKernelTime exposes the trace-open time so the middleware can
@@ -474,9 +574,7 @@ func (o *Observer) NodeLifecycle(stage Stage, node int, at sim.Time, detail stri
 		}
 		c.Inc()
 	}
-	if o.tracer != nil {
-		o.tracer.add(Record{Stage: stage, At: at, Node: node, Prio: -1, Detail: detail})
-	}
+	o.emitRecord(Record{Stage: stage, At: at, Node: node, Prio: -1, Detail: detail})
 }
 
 // ControlPlane records a control-plane failover transition
@@ -498,9 +596,7 @@ func (o *Observer) ControlPlane(stage Stage, node int, at sim.Time, detail strin
 		}
 		c.Inc()
 	}
-	if o.tracer != nil {
-		o.tracer.add(Record{Stage: stage, At: at, Node: node, Prio: -1, Detail: detail})
-	}
+	o.emitRecord(Record{Stage: stage, At: at, Node: node, Prio: -1, Detail: detail})
 }
 
 // RegisterQueueDepth installs a collection-time gauge for one node-local
@@ -610,13 +706,13 @@ func (o *Observer) busEvent(e can.TraceEvent) {
 	if e.Kind == can.TraceTxOK && o.reg != nil {
 		o.frameCounter("ok").Inc()
 	}
-	if o.tracer != nil {
+	if o.recording() {
 		etag := e.Frame.ID.Etag()
 		var subject uint64
 		if o.SubjectOf != nil {
 			subject, _ = o.SubjectOf(etag)
 		}
-		o.tracer.add(Record{ID: e.Frame.Tag, Stage: stage, At: e.At, Node: node,
+		o.emitRecord(Record{ID: e.Frame.Tag, Stage: stage, At: e.At, Node: node,
 			Subject: subject, Etag: uint16(etag), Prio: int(prio), Band: band,
 			Attempt: e.Attempt})
 	}

@@ -8,14 +8,20 @@ import (
 
 // WriteText renders the registry in the Prometheus text exposition format
 // (version 0.0.4): one HELP and TYPE line per family, then one sample
-// line per instance. Histograms expose cumulative le-bucketed counts plus
+// line per instance. HELP text escapes backslash and line feed; label
+// values (escaped at registration in labelKey) additionally escape the
+// double quote. Histograms expose cumulative le-bucketed counts plus
 // _sum and _count, with out-of-range mass folded into the edge buckets
-// exactly as stats.Histogram attributes it.
+// exactly as the stats histograms attribute it.
 func (r *Registry) WriteText(w io.Writer) error {
 	var b strings.Builder
 	for _, f := range r.fams {
 		if f.help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+			b.WriteString("# HELP ")
+			b.WriteString(f.name)
+			b.WriteByte(' ')
+			helpEscaper.WriteString(&b, f.help)
+			b.WriteByte('\n')
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
 		for _, in := range f.inst {

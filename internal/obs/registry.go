@@ -12,7 +12,18 @@ import (
 // copied at registration; later mutation of the caller's map is ignored.
 type Labels map[string]string
 
-// labelKey renders labels canonically (sorted) for identity and output.
+// labelValueEscaper applies the Prometheus text-format escaping rules
+// for label values: backslash, double quote, and line feed. Other bytes
+// (including raw UTF-8) pass through unescaped, per the exposition
+// format spec — unlike Go's %q, which escapes far more.
+var labelValueEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// helpEscaper applies the HELP-line escaping rules: backslash and line
+// feed only (double quotes are legal verbatim in HELP text).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// labelKey renders labels canonically (sorted, Prometheus-escaped) for
+// identity and output.
 func labelKey(l Labels) string {
 	if len(l) == 0 {
 		return ""
@@ -27,7 +38,10 @@ func labelKey(l Labels) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, l[k])
+		b.WriteString(k)
+		b.WriteString(`="`)
+		labelValueEscaper.WriteString(&b, l[k])
+		b.WriteByte('"')
 	}
 	return b.String()
 }
@@ -66,17 +80,31 @@ func (g *Gauge) Value() float64 {
 	return g.v
 }
 
-// Histogram is a fixed-bucket distribution metric backed by
-// stats.Histogram.
+// HistSource is the shared face of the histogram backends
+// (fixed-width stats.Histogram and log-bucketed stats.LogHistogram):
+// everything exposition and quantile evaluation need, nothing more.
+type HistSource interface {
+	Observe(v float64)
+	N() uint64
+	Sum() float64
+	Buckets() int
+	Bucket(i int) uint64
+	UpperBound(i int) float64
+	OutOfRange() (under, over uint64)
+	Quantile(q float64) float64
+}
+
+// Histogram is a distribution metric backed by either a fixed-width or
+// a log-bucketed stats histogram.
 type Histogram struct {
-	h *stats.Histogram
+	h HistSource
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) { h.h.Observe(v) }
 
 // Snapshot exposes the underlying histogram for rendering.
-func (h *Histogram) Snapshot() *stats.Histogram { return h.h }
+func (h *Histogram) Snapshot() HistSource { return h.h }
 
 // metricKind tags a family for the exposition TYPE line.
 type metricKind string
@@ -173,6 +201,18 @@ func (r *Registry) Histogram(name, help string, labels Labels, lo, hi float64, b
 	in := r.fam(name, help, kindHistogram).instance(labels)
 	if in.h == nil {
 		in.h = &Histogram{h: stats.NewHistogram(name, lo, hi, buckets)}
+	}
+	return in.h
+}
+
+// LogHistogram returns (creating on first use) a log-bucketed (HDR
+// style) histogram over [min, max) with the given number of geometric
+// buckets. Use it for durations, where relative rather than absolute
+// quantile error is the right bound.
+func (r *Registry) LogHistogram(name, help string, labels Labels, min, max float64, buckets int) *Histogram {
+	in := r.fam(name, help, kindHistogram).instance(labels)
+	if in.h == nil {
+		in.h = &Histogram{h: stats.NewLogHistogram(name, min, max, buckets)}
 	}
 	return in.h
 }

@@ -121,6 +121,13 @@ const (
 	// StageRelayRedial marks an uplink starting a re-dial attempt under
 	// the retry policy's backoff.
 	StageRelayRedial Stage = "relay_redial"
+
+	// StageSLOBreach marks a service-level objective entering breach:
+	// both burn-rate windows exceeded the configured threshold. It
+	// carries trace ID 0 and Node -1 (the objective belongs to the
+	// segment, not a station); Detail names the objective and the burn
+	// factors, and Class the guarded channel class when class-bound.
+	StageSLOBreach Stage = "slo_breach"
 )
 
 // Record is one timestamped stage of one event's life cycle.

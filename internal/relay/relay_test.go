@@ -3,7 +3,9 @@ package relay
 import (
 	"bytes"
 	"encoding/binary"
+	"io"
 	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -13,6 +15,8 @@ import (
 	"canec/internal/can"
 	"canec/internal/core"
 	"canec/internal/gateway"
+	"canec/internal/obs"
+	"canec/internal/obs/admin"
 	"canec/internal/sim"
 )
 
@@ -343,6 +347,89 @@ func BenchmarkRelayThroughput(b *testing.B) {
 	for (!up.Connected() || srv.Peers() == 0) && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
+
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	re := gateway.RemoteEvent{
+		Class: core.HRT, Subject: 0xF7, Payload: payload,
+		Origin: 3, OriginSeg: "bench-peer", TraceID: 1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		re.TraceID = uint64(i + 1)
+		if err := up.Send(re, time.Time{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for got.Load() < uint64(b.N) {
+		time.Sleep(50 * time.Microsecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkRelayThroughputObserved is the same loopback pipeline with
+// the live introspection plane attached (E14): relay trace events are
+// bridged into an Observer on a paced kernel via ObserveTrace, and an
+// admin server is scraped for /metrics concurrently with the frame
+// stream. The delta against BenchmarkRelayThroughput is the cost of
+// observing a federated link while it is under load.
+func BenchmarkRelayThroughputObserved(b *testing.B) {
+	k := sim.NewKernel(99)
+	sys, err := core.NewSystem(core.SystemConfig{
+		Nodes: 2, Kernel: k,
+		Observe: &obs.Config{Metrics: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	paced := sim.NewPaced(k, 1.0)
+	go paced.Run(sim.Time(time.Hour))
+	defer paced.Stop()
+
+	cfg := Config{Segment: "bench", HeartbeatEvery: time.Second,
+		Trace: ObserveTrace(paced, sys.Obs, 0, nil)}
+	srv, err := Serve("127.0.0.1:0", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	var got atomic.Uint64
+	srv.OnFrame(func(gateway.RemoteEvent) { got.Add(1) })
+	srv.Subscribe(0xF7, nil, nil)
+	up := Dial(srv.Addr().String(), cfg)
+	defer up.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for (!up.Connected() || srv.Peers() == 0) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	adm, err := admin.Serve("127.0.0.1:0", admin.Options{
+		Segment: "bench", Registry: sys.Obs.Registry(), Observer: sys.Obs,
+		Now: k.Now, InKernel: paced.Call,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer adm.Close()
+	stopScrape := make(chan struct{})
+	defer close(stopScrape)
+	go func() { // a live Prometheus scraper, as a deployment would have
+		client := &http.Client{Timeout: time.Second}
+		url := "http://" + adm.Addr() + "/metrics"
+		for {
+			select {
+			case <-stopScrape:
+				return
+			default:
+			}
+			if resp, err := client.Get(url); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
 
 	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
 	re := gateway.RemoteEvent{

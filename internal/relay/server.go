@@ -26,6 +26,10 @@ type Link interface {
 	OnFrame(fn func(gateway.RemoteEvent))
 	// Counters exposes the endpoint's statistics.
 	Counters() *Counters
+	// Depths reports the endpoint's current egress backlog per class
+	// (summed over peers on the listening side). Safe from any
+	// goroutine; the admin plane polls it live.
+	Depths() (hrt, srt, nrt int)
 	// Close tears the endpoint down.
 	Close() error
 }
@@ -188,6 +192,21 @@ func (s *Server) Peers() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.conns)
+}
+
+// Depths sums the egress backlog of every live peer connection, per
+// class.
+func (s *Server) Depths() (hrt, srt, nrt int) {
+	s.mu.Lock()
+	conns := s.snapshot()
+	s.mu.Unlock()
+	for _, pc := range conns {
+		h, sq, n := pc.q.depths()
+		hrt += h
+		srt += sq
+		nrt += n
+	}
+	return hrt, srt, nrt
 }
 
 // Close stops accepting and drops every peer.

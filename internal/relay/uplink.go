@@ -56,6 +56,9 @@ func Dial(addr string, cfg Config) *Uplink {
 // Counters exposes the uplink's statistics.
 func (u *Uplink) Counters() *Counters { return &u.cnt }
 
+// Depths reports the uplink's current egress backlog per class.
+func (u *Uplink) Depths() (hrt, srt, nrt int) { return u.q.depths() }
+
 // Connected reports whether a peer connection is currently live.
 func (u *Uplink) Connected() bool {
 	u.mu.Lock()

@@ -77,6 +77,13 @@ type Scenario struct {
 	// replay it into Report.Chaos.
 	Chaos *chaos.Script `json:"chaos,omitempty"`
 
+	// FlightRecords, when positive, attaches a flight recorder retaining
+	// that many trace records per node; a chaos campaign that ends with
+	// invariant violations then dumps a post-mortem (JSONL + Chrome
+	// trace) into FlightDir, reported in Report.Chaos.PostMortem.
+	FlightRecords int    `json:"flightRecords,omitempty"`
+	FlightDir     string `json:"flightDir,omitempty"`
+
 	// Observe enables the observability layer for the run. It is set
 	// programmatically (canectrace, tests), not from the JSON file.
 	Observe *obs.Config `json:"-"`
@@ -206,6 +213,9 @@ func (r *Report) String() string {
 		for _, v := range ch.Violations {
 			out += fmt.Sprintf("chaos: INVARIANT VIOLATED: %v\n", v)
 		}
+		for _, p := range ch.PostMortem {
+			out += fmt.Sprintf("chaos: post-mortem written: %s\n", p)
+		}
 		for _, e := range ch.Errors {
 			out += fmt.Sprintf("chaos: event failed: %s\n", e)
 		}
@@ -228,6 +238,15 @@ func (s *Scenario) Run() (*Report, error) {
 			cp.Trace = true
 			s.Observe = &cp
 		}
+	}
+	if s.FlightRecords > 0 {
+		if s.Observe == nil {
+			s.Observe = &obs.Config{}
+		}
+		cp := *s.Observe
+		cp.FlightRecords = s.FlightRecords
+		cp.FlightDir = s.FlightDir
+		s.Observe = &cp
 	}
 	// Calendar from the HRT streams via the planner.
 	var cal *calendar.Calendar

@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// logSamples draws n samples log-uniformly across [min, max) so every
+// bucket of a log histogram sees comparable mass.
+func logSamples(r *rand.Rand, n int, min, max float64) []float64 {
+	out := make([]float64, n)
+	span := math.Log(max / min)
+	for i := range out {
+		out[i] = min * math.Exp(r.Float64()*span)
+		if out[i] >= max {
+			out[i] = max * (1 - 1e-12)
+		}
+	}
+	return out
+}
+
+// TestLogHistogramBucketInvariant checks that every observed in-range
+// sample lands in the bucket whose [lower, upper) span contains it,
+// including values exactly on bucket boundaries.
+func TestLogHistogramBucketInvariant(t *testing.T) {
+	h := NewLogHistogram("inv", 1, 1e6, 30)
+	for i := 0; i < h.Buckets(); i++ {
+		lo := h.lowerBound(i)
+		hi := h.UpperBound(i)
+		before := h.Bucket(i)
+		h.Observe(lo) // boundary value belongs to bucket i, not i-1
+		mid := math.Sqrt(lo * hi)
+		h.Observe(mid)
+		if got := h.Bucket(i) - before; got != 2 {
+			t.Fatalf("bucket %d [%g,%g): got %d new samples, want 2", i, lo, hi, got)
+		}
+	}
+	under0, over0 := h.OutOfRange()
+	h.Observe(0.5)
+	h.Observe(1e6) // max itself is out of range (exclusive)
+	under, over := h.OutOfRange()
+	if under != under0+1 || over != over0+1 {
+		t.Fatalf("out of range = (%d,%d), want (%d,%d)", under, over, under0+1, over0+1)
+	}
+}
+
+// TestLogHistogramMergeExact is the merge property test: sharding a
+// sample stream over k per-node histograms and merging must reproduce
+// the single-histogram state exactly — identical counts and identical
+// quantiles at every probe point — so fleet-wide merged quantiles keep
+// the same rank-error bound as a single node's.
+func TestLogHistogramMergeExact(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	const n, shards = 20000, 7
+	samples := logSamples(r, n, 10, 1e7)
+	// A sprinkle of out-of-range mass must merge exactly too.
+	samples = append(samples, 0.01, 0.5, 2e7, 5e8)
+
+	single := NewLogHistogram("single", 10, 1e7, 48)
+	parts := make([]*LogHistogram, shards)
+	for i := range parts {
+		parts[i] = NewLogHistogram("part", 10, 1e7, 48)
+	}
+	for i, v := range samples {
+		single.Observe(v)
+		parts[i%shards].Observe(v)
+	}
+	merged := NewLogHistogram("merged", 10, 1e7, 48)
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+	}
+	if merged.N() != single.N() {
+		t.Fatalf("merged n=%d, single n=%d", merged.N(), single.N())
+	}
+	for i := 0; i < single.Buckets(); i++ {
+		if merged.Bucket(i) != single.Bucket(i) {
+			t.Fatalf("bucket %d: merged %d != single %d", i, merged.Bucket(i), single.Bucket(i))
+		}
+	}
+	mu, mo := merged.OutOfRange()
+	su, so := single.OutOfRange()
+	if mu != su || mo != so {
+		t.Fatalf("out of range: merged (%d,%d) != single (%d,%d)", mu, mo, su, so)
+	}
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		if mq, sq := merged.Quantile(q), single.Quantile(q); mq != sq {
+			t.Fatalf("q=%.3f: merged %g != single %g", q, mq, sq)
+		}
+	}
+}
+
+// TestLogHistogramQuantileRankError checks the advertised accuracy
+// bound: for in-range mass, the quantile estimate is within two growth
+// factors of the exact sample quantile (the estimate and the true value
+// can straddle adjacent buckets at rank boundaries, each bucket
+// spanning one growth factor).
+func TestLogHistogramQuantileRankError(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const n = 50000
+	samples := logSamples(r, n, 1, 1e6)
+	h := NewLogHistogram("err", 1, 1e6, 60)
+	for _, v := range samples {
+		h.Observe(v)
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	bound := h.Growth() * h.Growth() * (1 + 1e-9)
+	for _, q := range []float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999} {
+		rank := int(math.Ceil(q*float64(n))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		exact := sorted[rank]
+		est := h.Quantile(q)
+		ratio := est / exact
+		if ratio < 1/bound || ratio > bound {
+			t.Errorf("q=%.3f: estimate %g vs exact %g (ratio %.4f, bound %.4f)",
+				q, est, exact, ratio, bound)
+		}
+	}
+}
+
+// TestLogHistogramQuantileMonotone checks quantiles are non-decreasing
+// in q, including across under/overflow mass.
+func TestLogHistogramQuantileMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	h := NewLogHistogram("mono", 1, 1e4, 24)
+	for _, v := range logSamples(r, 5000, 1, 1e4) {
+		h.Observe(v)
+	}
+	for i := 0; i < 100; i++ { // out-of-range mass at both edges
+		h.Observe(0.1)
+		h.Observe(1e5)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.0005 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone: q=%.4f gives %g after %g", q, v, prev)
+		}
+		prev = v
+	}
+	if got := h.Quantile(0.0); got != h.Min() {
+		t.Fatalf("q=0 with underflow mass: got %g, want min %g", got, h.Min())
+	}
+	if got := h.Quantile(1.0); got != h.Max() {
+		t.Fatalf("q=1 with overflow mass: got %g, want max %g", got, h.Max())
+	}
+}
+
+func TestLogHistogramMergeMismatch(t *testing.T) {
+	a := NewLogHistogram("a", 1, 1e6, 30)
+	for _, b := range []*LogHistogram{
+		NewLogHistogram("b", 2, 1e6, 30),
+		NewLogHistogram("b", 1, 1e5, 30),
+		NewLogHistogram("b", 1, 1e6, 31),
+	} {
+		if err := a.Merge(b); err == nil {
+			t.Fatalf("merge with layout [%g,%g)x%d should fail", b.Min(), b.Max(), b.Buckets())
+		}
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merge nil: %v", err)
+	}
+	if !a.Compatible(a.Clone()) {
+		t.Fatal("clone should be merge-compatible")
+	}
+}
+
+func TestLogHistogramEmptyAndClone(t *testing.T) {
+	h := NewLogHistogram("e", 1, 100, 10)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	h.Observe(10)
+	c := h.Clone()
+	c.Observe(20)
+	if h.N() != 1 || c.N() != 2 {
+		t.Fatalf("clone not independent: h.N=%d c.N=%d", h.N(), c.N())
+	}
+	if h.Mean() != 10 {
+		t.Fatalf("mean = %g, want 10", h.Mean())
+	}
+}
