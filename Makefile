@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos-smoke fuzz-smoke relay-smoke obs-smoke bench tidy
+.PHONY: all build vet test race check chaos-smoke fuzz-smoke relay-smoke obs-smoke bench bench-record bench-check bench-smoke tidy
 
 all: check
 
@@ -48,13 +48,35 @@ relay-smoke:
 obs-smoke:
 	./scripts/obs_smoke.sh
 
+# bench-smoke is the performance-trajectory gate: the committed
+# BENCH_seed.json self-compares clean, an injected regression trips the
+# canecbench -compare gate, a short live recording round-trips the JSON
+# schema, and the kernel profiler reports every pipeline stage.
+bench-smoke:
+	./scripts/bench_smoke.sh
+
 # check is the PR gate: compile everything, vet, run the full suite under
 # the race detector, replay the chaos smoke sweep, smoke the fuzz
-# targets, and run the two-daemon relay and introspection smokes.
-check: build vet race chaos-smoke fuzz-smoke relay-smoke obs-smoke
+# targets, run the two-daemon relay and introspection smokes, and gate
+# the performance trajectory.
+check: build vet race chaos-smoke fuzz-smoke relay-smoke obs-smoke bench-smoke
 
 bench:
 	$(GO) test -bench . -benchmem ./internal/can ./internal/sim
+
+# bench-record re-records the committed baseline (full calibrated suite;
+# takes a few minutes). Commit the refreshed BENCH_seed.json alongside
+# any intentional performance change.
+bench-record:
+	$(GO) run ./cmd/canecbench -json seed -bench-dir .
+
+# bench-check records a fresh trajectory point and gates it against the
+# committed baseline with the default thresholds.
+bench-check:
+	@tmp=$$(mktemp -d); st=0; \
+	$(GO) run ./cmd/canecbench -json head -bench-dir $$tmp -bench-time 500ms && \
+	$(GO) run ./cmd/canecbench -compare BENCH_seed.json $$tmp/BENCH_head.json || st=$$?; \
+	rm -rf $$tmp; exit $$st
 
 tidy:
 	gofmt -l -w .

@@ -8,6 +8,14 @@
 //	canecbench -run E3,E4      # run a subset (by ID or name)
 //	canecbench -seed 7 -csv    # different seed, CSV output
 //	canecbench -list           # list experiments
+//
+// Performance trajectory (see DESIGN.md §11):
+//
+//	canecbench -json seed                      # record BENCH_seed.json
+//	canecbench -json pr42 -bench EndToEndSRT   # record a subset
+//	canecbench -compare BENCH_seed.json BENCH_pr42.json
+//	                                           # regression gate: exit 1 on regression
+//	canecbench -profile 5000                   # per-class kernel stage breakdown (E15)
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"canec/internal/experiments"
 )
@@ -30,7 +39,32 @@ func main() {
 		outDir  = flag.String("out", "", "also write each table as <dir>/<id>.csv")
 		promDir = flag.String("prom", "", "collect metrics registries (E3, E9) and write <dir>/<id>_<label>.prom; single-seed runs only")
 	)
+	var bf benchFlags
+	flag.StringVar(&bf.jsonLabel, "json", "", "record benchmark suite and write BENCH_<label>.json")
+	flag.StringVar(&bf.benchDir, "bench-dir", ".", "directory for BENCH_*.json files")
+	flag.StringVar(&bf.bench, "bench", "", "comma-separated benchmark case names (default: all; with -json)")
+	flag.DurationVar(&bf.benchTime, "bench-time", time.Second, "target wall time per benchmark case (with -json)")
+	flag.IntVar(&bf.iters, "bench-iters", 0, "fixed iteration count, skipping calibration (with -json)")
+	flag.StringVar(&bf.compare, "compare", "", "baseline BENCH_*.json; gate the positional new file against it")
+	flag.IntVar(&bf.profile, "profile", 0, "run N events/class under the kernel profiler and print the stage breakdown")
+	flag.Float64Var(&bf.nsFrac, "max-ns-frac", 0, "ns/op growth fraction that fails the gate (default 0.35)")
+	flag.Float64Var(&bf.allocsAbs, "max-allocs", 0, "allocs/op absolute growth that fails the gate (default 0.5)")
+	flag.Float64Var(&bf.framesFrac, "max-frames-frac", 0, "frames/s drop fraction that fails the gate (default 0.30)")
 	flag.Parse()
+
+	if bf.compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "canecbench: -compare <baseline.json> needs exactly one positional <new.json>")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(bf, flag.Arg(0)))
+	}
+	if bf.jsonLabel != "" {
+		os.Exit(runRecord(bf))
+	}
+	if bf.profile > 0 {
+		os.Exit(runProfile(bf.profile))
+	}
 
 	if *promDir != "" {
 		if *seeds > 1 {

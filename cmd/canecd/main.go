@@ -29,6 +29,7 @@ import (
 	"canec/internal/gateway"
 	"canec/internal/obs"
 	"canec/internal/obs/admin"
+	"canec/internal/obs/perf"
 	"canec/internal/relay"
 	"canec/internal/sim"
 )
@@ -120,6 +121,7 @@ func run() int {
 		flightN   = flag.Int("flight", 2048, "flight-recorder retention, trace records per node (0 disables)")
 		flightDir = flag.String("flight-dir", ".", "directory for flight-recorder post-mortem dumps")
 		slo       = flag.Bool("slo", true, "run the SLO engine (default objective set)")
+		profile   = flag.Bool("profile", true, "attach the kernel profiler (publish→deliver stage timing, /profile on the admin plane)")
 		sloSRT    = flag.Float64("slo-srt-budget", 0.05, "SRT deadline-miss budget (fraction of published events)")
 	)
 	flag.Parse()
@@ -162,6 +164,18 @@ func run() int {
 		return die("system: %v", err)
 	}
 	paced := sim.NewPaced(k, *pace)
+
+	// Kernel profiler: stage-level wall-clock attribution for the whole
+	// publish→deliver chain, served at /profile and folded into /metrics.
+	var prof *perf.Profiler
+	if *profile {
+		prof = &perf.Profiler{}
+		prof.AttachKernel(k)
+		prof.SetBusySource(func() sim.Duration { return sys.Bus.Stats().BusyTime })
+		if reg := sys.Obs.Registry(); reg != nil {
+			prof.Register(reg)
+		}
+	}
 
 	cfg := relay.Config{
 		Segment:        *segment,
@@ -260,6 +274,7 @@ func run() int {
 			SLO:      sys.SLO,
 			Now:      k.Now,
 			Channels: admin.SystemChannels(sys),
+			Profiler: prof,
 			InKernel: paced.Call,
 			Relay: func() []admin.RelayRow {
 				rows := make([]admin.RelayRow, 0, len(relayRows))

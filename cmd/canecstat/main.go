@@ -1,6 +1,8 @@
 // canecstat polls the admin endpoints of every canecd in a federation
 // and renders one fleet table: per-segment health, SLO burn state,
-// relay queue depths, uplink liveness and trace-continuity status.
+// relay queue depths, uplink liveness, trace-continuity status and —
+// for daemons running the kernel profiler — live performance counters
+// (events/s, event-heap high-water, allocations per delivered frame).
 //
 //	canecstat -once 127.0.0.1:9441 127.0.0.1:9442
 //	canecstat -interval 2s host-a:9441 host-b:9441
@@ -42,6 +44,7 @@ type target struct {
 	health    admin.Health
 	slo       admin.SLOView
 	relay     []admin.RelayRow
+	profile   admin.ProfileView
 	validated bool
 	promErr   error
 }
@@ -105,6 +108,12 @@ func poll(client *http.Client, addrs []string, validate bool) []*target {
 			tg.err = err
 			continue
 		}
+		// /profile is newer than the rest of the plane: a daemon without
+		// it (404) or without a profiler (enabled:false) still renders a
+		// full row, just with dashed perf columns.
+		if err := getJSON(client, base+"/profile", &tg.profile); err != nil {
+			tg.profile = admin.ProfileView{}
+		}
 		if validate {
 			tg.validated = true
 			tg.promErr = validateMetrics(client, base+"/metrics")
@@ -150,11 +159,11 @@ func traceStatus(targets []*target) map[*target]string {
 
 func render(w io.Writer, targets []*target) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "SEGMENT\tADDR\tHEALTH\tSRT MISS (s/l)\tBREACHED\tLINKS\tQ(H/S/N)\tDROPS\tTRACE\tMETRICS")
+	fmt.Fprintln(tw, "SEGMENT\tADDR\tHEALTH\tSRT MISS (s/l)\tBREACHED\tLINKS\tQ(H/S/N)\tDROPS\tEV/S\tHEAP HW\tALLOC/FR\tTRACE\tMETRICS")
 	traces := traceStatus(targets)
 	for _, tg := range targets {
 		if tg.err != nil {
-			fmt.Fprintf(tw, "?\t%s\tUNREACHABLE\t-\t-\t-\t-\t-\t-\t%v\n", tg.addr, tg.err)
+			fmt.Fprintf(tw, "?\t%s\tUNREACHABLE\t-\t-\t-\t-\t-\t-\t-\t-\t-\t%v\n", tg.addr, tg.err)
 			continue
 		}
 		var breached []string
@@ -183,6 +192,12 @@ func render(w io.Writer, targets []*target) {
 				up++
 			}
 		}
+		evCol, heapCol, allocCol := "-", "-", "-"
+		if tg.profile.Enabled {
+			evCol = fmt.Sprintf("%.0f", tg.profile.Profile.EventsPerSec)
+			heapCol = strconv.Itoa(tg.profile.Profile.HeapHighWater)
+			allocCol = fmt.Sprintf("%.1f", tg.profile.Profile.AllocsPerDelivered)
+		}
 		metricsCol := "-"
 		if tg.validated {
 			metricsCol = "ok"
@@ -190,10 +205,10 @@ func render(w io.Writer, targets []*target) {
 				metricsCol = "INVALID: " + tg.promErr.Error()
 			}
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d/%d\t%d/%d/%d\t%d\t%s\t%s\n",
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d/%d\t%d/%d/%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
 			tg.health.Segment, tg.addr, strings.ToUpper(tg.health.Status),
 			missCol, breachCol, up, len(tg.relay), h, sq, n, drops,
-			traces[tg], metricsCol)
+			evCol, heapCol, allocCol, traces[tg], metricsCol)
 	}
 	tw.Flush()
 }

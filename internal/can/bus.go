@@ -167,6 +167,11 @@ func (b *Bus) arbitrate() {
 	if b.busy {
 		return
 	}
+	prof := b.K.Probe()
+	var pt0 int64
+	if prof != nil {
+		pt0 = sim.ProbeNow()
+	}
 	var win *txReq
 	winIdx := -1
 	var tied []*txReq // duplicate-ID collision partners
@@ -191,6 +196,9 @@ func (b *Bus) arbitrate() {
 				tiedIdx = append(tiedIdx, i)
 			}
 		}
+	}
+	if prof != nil {
+		prof.StageNs(sim.ProbeArbitration, sim.ProbeClassNone, sim.ProbeNow()-pt0)
 	}
 	if win == nil {
 		return
@@ -224,7 +232,15 @@ func (b *Bus) arbitrate() {
 		}
 		b.Trace(TraceEvent{Kind: TraceTxStart, At: b.K.Now(), Frame: win.frame, Sender: winIdx, Attempt: win.attempt})
 	}
-	dur := b.BitDuration(WireBits(win.frame))
+	var bits int
+	if prof != nil {
+		pt0 = sim.ProbeNow()
+		bits = WireBits(win.frame)
+		prof.StageNs(sim.ProbeCodec, sim.ProbeClassNone, sim.ProbeNow()-pt0)
+	} else {
+		bits = WireBits(win.frame)
+	}
+	dur := b.BitDuration(bits)
 	b.K.After(dur, func() { b.complete(dur) })
 }
 

@@ -103,6 +103,17 @@ func ownedSlots(cal *calendar.Calendar, subj binding.Subject, n can.TxNode) []ca
 // slot. Events must be published before the slot's latest-ready instant
 // to ride that slot; later publications ride the following round.
 func (c *HRTEC) Publish(ev Event) error {
+	prof := c.ch.mw.K.Probe()
+	if prof == nil {
+		return c.publish(ev)
+	}
+	pt0 := sim.ProbeNow()
+	err := c.publish(ev)
+	prof.StageNs(sim.ProbeEnqueue, sim.ProbeClassHRT, sim.ProbeNow()-pt0)
+	return err
+}
+
+func (c *HRTEC) publish(ev Event) error {
 	ch := c.ch
 	mw := ch.mw
 	if !ch.announced {
@@ -400,9 +411,7 @@ func (ch *channelState) hrtDeliver(pub can.TxNode, st *hrtArrival, late bool) {
 	}
 	mw.Obs.Delivered(st.ev.traceID, HRT.String(), mw.node.Index,
 		uint64(ch.subject), mw.K.Now(), detail)
-	if ch.notify != nil {
-		ch.notify(st.ev, di)
-	}
+	ch.deliverNotify(st.ev, di)
 }
 
 // GetEvent retrieves the most recently delivered event from the

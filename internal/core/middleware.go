@@ -162,9 +162,40 @@ func (mw *Middleware) LocalTime() sim.Time { return mw.node.Clock.Read(mw.K.Now(
 // re-arming). Used by experiments to end a run cleanly.
 func (mw *Middleware) Stop() { mw.stopped = true }
 
-// dispatch routes received frames: sync and configuration channels first,
-// then per-etag channel state.
+// probeClass maps a channel class onto the kernel probe's class axis.
+func probeClass(c Class) sim.ProbeClass {
+	switch c {
+	case HRT:
+		return sim.ProbeClassHRT
+	case SRT:
+		return sim.ProbeClassSRT
+	case NRT:
+		return sim.ProbeClassNRT
+	}
+	return sim.ProbeClassNone
+}
+
+// dispatch routes received frames, attributing the receive-side cost to
+// the profiler's dispatch stage when a probe is attached to the kernel
+// (one nil check otherwise).
 func (mw *Middleware) dispatch(f can.Frame, at sim.Time) {
+	prof := mw.K.Probe()
+	if prof == nil {
+		mw.dispatchFrame(f, at)
+		return
+	}
+	pt0 := sim.ProbeNow()
+	mw.dispatchFrame(f, at)
+	class := sim.ProbeClassNone
+	if ch, ok := mw.channels[f.ID.Etag()]; ok {
+		class = probeClass(ch.class)
+	}
+	prof.StageNs(sim.ProbeDispatch, class, sim.ProbeNow()-pt0)
+}
+
+// dispatchFrame routes received frames: sync and configuration channels
+// first, then per-etag channel state.
+func (mw *Middleware) dispatchFrame(f can.Frame, at sim.Time) {
 	etag := f.ID.Etag()
 	switch etag {
 	case binding.SyncEtag:
@@ -255,6 +286,23 @@ func (ch *channelState) getEvent() (Event, DeliveryInfo, bool) {
 func (ch *channelState) store(ev Event, di DeliveryInfo) {
 	ch.lastEvent = &ev
 	ch.lastInfo = di
+}
+
+// deliverNotify runs the subscriber's notification handler, attributing
+// its cost (and counting one delivered frame) to the profiler's delivery
+// stage when a probe is attached.
+func (ch *channelState) deliverNotify(ev Event, di DeliveryInfo) {
+	if ch.notify == nil {
+		return
+	}
+	prof := ch.mw.K.Probe()
+	if prof == nil {
+		ch.notify(ev, di)
+		return
+	}
+	pt0 := sim.ProbeNow()
+	ch.notify(ev, di)
+	prof.StageNs(sim.ProbeDelivery, probeClass(ch.class), sim.ProbeNow()-pt0)
 }
 
 var (

@@ -76,6 +76,17 @@ func (c *NRTEC) CancelPublication() {
 // back-to-back at the channel's fixed priority, so bulk transfers consume
 // exactly the bandwidth that HRT/SRT traffic leaves over.
 func (c *NRTEC) Publish(ev Event) error {
+	prof := c.ch.mw.K.Probe()
+	if prof == nil {
+		return c.publish(ev)
+	}
+	pt0 := sim.ProbeNow()
+	err := c.publish(ev)
+	prof.StageNs(sim.ProbeEnqueue, sim.ProbeClassNRT, sim.ProbeNow()-pt0)
+	return err
+}
+
+func (c *NRTEC) publish(ev Event) error {
 	ch := c.ch
 	mw := ch.mw
 	if !ch.announced {
@@ -237,9 +248,7 @@ func (ch *channelState) nrtReceive(f can.Frame, at sim.Time) {
 	ch.store(ev, di)
 	mw.Obs.Delivered(ev.traceID, NRT.String(), mw.node.Index,
 		uint64(ch.subject), at, "")
-	if ch.notify != nil {
-		ch.notify(ev, di)
-	}
+	ch.deliverNotify(ev, di)
 }
 
 // GetEvent retrieves the most recently delivered event from the

@@ -90,6 +90,17 @@ func (c *SRTEC) CancelPublication() {
 // Deadline attribute (publisher-local clock) drives its priority; the
 // Expiration attribute bounds how long it may stay queued (§2.2.2).
 func (c *SRTEC) Publish(ev Event) error {
+	prof := c.ch.mw.K.Probe()
+	if prof == nil {
+		return c.publish(ev)
+	}
+	pt0 := sim.ProbeNow()
+	err := c.publish(ev)
+	prof.StageNs(sim.ProbeEnqueue, sim.ProbeClassSRT, sim.ProbeNow()-pt0)
+	return err
+}
+
+func (c *SRTEC) publish(ev Event) error {
 	ch := c.ch
 	mw := ch.mw
 	if !ch.announced {
@@ -354,9 +365,7 @@ func (ch *channelState) srtReceive(f can.Frame, at sim.Time) {
 	ch.store(ev, di)
 	mw.Obs.Delivered(ev.traceID, SRT.String(), mw.node.Index,
 		uint64(ch.subject), at, "")
-	if ch.notify != nil {
-		ch.notify(ev, di)
-	}
+	ch.deliverNotify(ev, di)
 }
 
 // GetEvent retrieves the most recently delivered event from the

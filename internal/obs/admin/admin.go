@@ -23,6 +23,7 @@ import (
 
 	"canec/internal/core"
 	"canec/internal/obs"
+	"canec/internal/obs/perf"
 	"canec/internal/sim"
 )
 
@@ -86,6 +87,15 @@ type SLOView struct {
 	LastDump   []string        `json:"last_dump,omitempty"`
 }
 
+// ProfileView is the /profile payload: the kernel profiler's live
+// stage breakdown plus health counters, or enabled:false when no
+// profiler is attached.
+type ProfileView struct {
+	Segment string        `json:"segment"`
+	Enabled bool          `json:"enabled"`
+	Profile perf.Snapshot `json:"profile"`
+}
+
 // flightView is the /flight payload.
 type flightView struct {
 	Enabled bool     `json:"enabled"`
@@ -118,6 +128,9 @@ type Options struct {
 	// Relay produces the /relay rows. Called WITHOUT kernel context —
 	// relay counters and depths are goroutine-safe by contract.
 	Relay func() []RelayRow
+	// Profiler backs /profile. Snapshot reads kernel-owned state, so
+	// the handler routes it through InKernel.
+	Profiler *perf.Profiler
 	// InKernel runs fn in kernel context (e.g. sim.Paced.Call). Nil
 	// means call fn directly.
 	InKernel func(func())
@@ -150,6 +163,7 @@ func Serve(addr string, opts Options) (*Server, error) {
 	mux.HandleFunc("/slo", s.handleSLO)
 	mux.HandleFunc("/relay", s.handleRelay)
 	mux.HandleFunc("/flight", s.handleFlight)
+	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -214,7 +228,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "canec admin plane (segment %q)\n\n", s.opts.Segment)
 	for _, ep := range []string{
-		"/metrics", "/healthz", "/channels", "/slo", "/relay", "/flight", "/debug/pprof/",
+		"/metrics", "/healthz", "/channels", "/slo", "/relay", "/flight", "/profile", "/debug/pprof/",
 	} {
 		fmt.Fprintln(w, ep)
 	}
@@ -347,6 +361,18 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	s.inKernel(func() { view.Records = f.Len() })
 	if view.Dumps == nil {
 		view.Dumps = []string{}
+	}
+	writeJSON(w, view)
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {
+	view := ProfileView{Segment: s.opts.Segment}
+	if s.opts.Profiler != nil {
+		view.Enabled = true
+		s.inKernel(func() { view.Profile = s.opts.Profiler.Snapshot() })
+	}
+	if view.Profile.Stages == nil {
+		view.Profile.Stages = []perf.StageSnap{}
 	}
 	writeJSON(w, view)
 }

@@ -100,6 +100,16 @@ type Kernel struct {
 	nextSeq uint64
 	rng     *RNG
 	steps   uint64
+
+	// Always-on self-accounting (see Profile): a compare and an add per
+	// event, so profilers can attach mid-run and still see lifetime
+	// high-water marks.
+	heapHigh    int
+	idleVirtual Duration
+
+	// probe, when non-nil, receives wall-clock timings of the kernel's
+	// event-heap operations (SetProbe). Off: one nil check per operation.
+	probe Probe
 }
 
 // NewKernel returns a kernel with the clock at zero and the given RNG seed.
@@ -133,7 +143,16 @@ func (k *Kernel) At(t Time, fn func()) Timer {
 	}
 	k.nextSeq++
 	e := &event{at: t, seq: k.nextSeq, fn: fn}
-	heap.Push(&k.queue, e)
+	if k.probe != nil {
+		t0 := ProbeNow()
+		heap.Push(&k.queue, e)
+		k.probe.StageNs(ProbeHeap, ProbeClassNone, ProbeNow()-t0)
+	} else {
+		heap.Push(&k.queue, e)
+	}
+	if len(k.queue) > k.heapHigh {
+		k.heapHigh = len(k.queue)
+	}
 	k.byseq[e.seq] = e
 	return Timer{seq: e.seq}
 }
@@ -150,7 +169,13 @@ func (k *Kernel) Cancel(t Timer) bool {
 	if !ok || e.index < 0 {
 		return false
 	}
-	heap.Remove(&k.queue, e.index)
+	if k.probe != nil {
+		t0 := ProbeNow()
+		heap.Remove(&k.queue, e.index)
+		k.probe.StageNs(ProbeHeap, ProbeClassNone, ProbeNow()-t0)
+	} else {
+		heap.Remove(&k.queue, e.index)
+	}
 	delete(k.byseq, t.seq)
 	return true
 }
@@ -179,6 +204,7 @@ func (k *Kernel) AdvanceTo(t Time) {
 	if len(k.queue) > 0 && k.queue[0].at <= t {
 		panic(fmt.Sprintf("sim: AdvanceTo(%v) over pending event at %v", t, k.queue[0].at))
 	}
+	k.idleVirtual += t - k.now
 	k.now = t
 }
 
@@ -188,8 +214,18 @@ func (k *Kernel) Step() bool {
 	if len(k.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.queue).(*event)
+	var e *event
+	if k.probe != nil {
+		t0 := ProbeNow()
+		e = heap.Pop(&k.queue).(*event)
+		k.probe.StageNs(ProbeHeap, ProbeClassNone, ProbeNow()-t0)
+	} else {
+		e = heap.Pop(&k.queue).(*event)
+	}
 	delete(k.byseq, e.seq)
+	if e.at > k.now {
+		k.idleVirtual += e.at - k.now
+	}
 	k.now = e.at
 	k.steps++
 	e.fn()
@@ -206,6 +242,7 @@ func (k *Kernel) Run(horizon Time) {
 		k.Step()
 	}
 	if horizon != MaxTime && k.now < horizon {
+		k.idleVirtual += horizon - k.now
 		k.now = horizon
 	}
 }

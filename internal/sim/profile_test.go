@@ -1,0 +1,133 @@
+package sim
+
+import "testing"
+
+// countProbe records probe calls per (stage, class) bucket.
+type countProbe struct {
+	ops    [NumProbeStages][NumProbeClasses]uint64
+	wallNs [NumProbeStages][NumProbeClasses]int64
+}
+
+func (p *countProbe) StageNs(s ProbeStage, c ProbeClass, wallNs int64) {
+	p.ops[s][c]++
+	p.wallNs[s][c] += wallNs
+}
+
+func TestProbeStageStrings(t *testing.T) {
+	want := map[ProbeStage]string{
+		ProbeEnqueue:     "enqueue",
+		ProbeHeap:        "heap",
+		ProbeArbitration: "arbitration",
+		ProbeCodec:       "codec",
+		ProbeDispatch:    "dispatch",
+		ProbeDelivery:    "delivery",
+	}
+	for s, name := range want {
+		if got := s.String(); got != name {
+			t.Errorf("stage %d: got %q want %q", s, got, name)
+		}
+	}
+	classes := map[ProbeClass]string{
+		ProbeClassNone: "all", ProbeClassHRT: "hrt",
+		ProbeClassSRT: "srt", ProbeClassNRT: "nrt",
+	}
+	for c, name := range classes {
+		if got := c.String(); got != name {
+			t.Errorf("class %d: got %q want %q", c, got, name)
+		}
+	}
+}
+
+func TestKernelProbeHeapOps(t *testing.T) {
+	k := NewKernel(1)
+	p := &countProbe{}
+	k.SetProbe(p)
+	if k.Probe() == nil {
+		t.Fatal("probe not installed")
+	}
+
+	tm := k.At(100, func() {})
+	k.At(200, func() {})
+	if got := p.ops[ProbeHeap][ProbeClassNone]; got != 2 {
+		t.Fatalf("heap ops after 2 schedules: %d", got)
+	}
+	k.Cancel(tm)
+	if got := p.ops[ProbeHeap][ProbeClassNone]; got != 3 {
+		t.Fatalf("heap ops after cancel: %d", got)
+	}
+	k.Run(MaxTime)
+	// One pop for the surviving event.
+	if got := p.ops[ProbeHeap][ProbeClassNone]; got != 4 {
+		t.Fatalf("heap ops after run: %d", got)
+	}
+
+	k.SetProbe(nil)
+	if k.Probe() != nil {
+		t.Fatal("probe not cleared")
+	}
+}
+
+func TestKernelProfileCounters(t *testing.T) {
+	k := NewKernel(1)
+	// Three pending events push the high-water mark to 3; gaps between
+	// them are pure idle virtual time (nothing else runs).
+	k.At(1000, func() {})
+	k.At(2000, func() {})
+	k.At(5000, func() {})
+	kp := k.Profile()
+	if kp.HeapHighWater != 3 || kp.Pending != 3 {
+		t.Fatalf("before run: high-water %d pending %d", kp.HeapHighWater, kp.Pending)
+	}
+	k.Run(5000)
+	kp = k.Profile()
+	if kp.Steps != 3 {
+		t.Fatalf("steps: %d", kp.Steps)
+	}
+	if kp.Pending != 0 {
+		t.Fatalf("pending after run: %d", kp.Pending)
+	}
+	// All 5000ns of virtual time were idle: the clock only moved by
+	// jumping to due events.
+	if kp.IdleVirtual != 5000 {
+		t.Fatalf("idle virtual: %d", kp.IdleVirtual)
+	}
+	if kp.Now != 5000 {
+		t.Fatalf("now: %d", kp.Now)
+	}
+	// High-water sticks after the queue drains.
+	if kp.HeapHighWater != 3 {
+		t.Fatalf("high-water after drain: %d", kp.HeapHighWater)
+	}
+}
+
+func TestKernelProfileIdleRunPastLastEvent(t *testing.T) {
+	k := NewKernel(1)
+	k.At(100, func() {})
+	k.Run(1000)
+	if kp := k.Profile(); kp.IdleVirtual != 1000 {
+		t.Fatalf("idle virtual with horizon tail: %d", kp.IdleVirtual)
+	}
+}
+
+func TestProbeNowMonotonic(t *testing.T) {
+	a := ProbeNow()
+	b := ProbeNow()
+	if b < a {
+		t.Fatalf("ProbeNow went backwards: %d then %d", a, b)
+	}
+}
+
+// TestNilProbeZeroAllocs pins the zero-cost-when-nil discipline for the
+// kernel's probe hooks: with no probe attached, scheduling and stepping
+// must not allocate beyond the event record itself (1 alloc per At).
+func TestNilProbeZeroAllocs(t *testing.T) {
+	k := NewKernel(1)
+	fn := func() {}
+	per := testing.AllocsPerRun(200, func() {
+		k.At(k.Now()+1, fn)
+		k.Step()
+	})
+	if per > 1 {
+		t.Fatalf("schedule+step with nil probe: %.2f allocs, want <= 1 (the event record)", per)
+	}
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# bench_smoke: the performance-trajectory gate. Checks the whole
+# record→compare loop without paying for a full calibrated run:
+#
+#  1. the committed BENCH_seed.json self-compares clean (exit 0),
+#  2. an injected ns/op regression in a doctored copy trips the gate
+#     (exit non-zero),
+#  3. a short fixed-iteration recording of the fast cases round-trips
+#     through the JSON schema and self-compares clean,
+#  4. the kernel profiler runs the mixed workload and reports every
+#     pipeline stage.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+GO="${GO:-go}"
+"$GO" build -o "$workdir/canecbench" ./cmd/canecbench
+
+seed=BENCH_seed.json
+[ -f "$seed" ] || { echo "bench-smoke: $seed not committed" >&2; exit 1; }
+
+# 1. Committed baseline must self-compare clean.
+"$workdir/canecbench" -compare "$seed" "$seed" > "$workdir/self.txt" || {
+    echo "bench-smoke: committed $seed fails self-compare" >&2
+    cat "$workdir/self.txt" >&2
+    exit 1
+}
+
+# 2. A 10x ns/op regression on one benchmark must trip the gate.
+python3 - "$seed" "$workdir/BENCH_doctored.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+doc["results"][0]["ns_per_op"] *= 10
+with open(sys.argv[2], "w") as f:
+    json.dump(doc, f)
+EOF
+if "$workdir/canecbench" -compare "$seed" "$workdir/BENCH_doctored.json" \
+    > "$workdir/doctored.txt" 2>&1; then
+    echo "bench-smoke: injected regression NOT caught" >&2
+    cat "$workdir/doctored.txt" >&2
+    exit 1
+fi
+grep -q REGRESSION "$workdir/doctored.txt" || {
+    echo "bench-smoke: gate failed without naming the regression" >&2
+    cat "$workdir/doctored.txt" >&2
+    exit 1
+}
+
+# 3. Short live recording of the fast cases, then self-compare.
+"$workdir/canecbench" -json smoke -bench-dir "$workdir" -bench-iters 300 \
+    -bench SimKernel,FrameWireBits,BusSaturated,EndToEndHRT,EndToEndSRT,RelayThroughput \
+    > /dev/null
+"$workdir/canecbench" -compare "$workdir/BENCH_smoke.json" "$workdir/BENCH_smoke.json" \
+    > /dev/null
+
+# 4. Profiler stage breakdown over the mixed workload.
+"$workdir/canecbench" -profile 500 > "$workdir/profile.txt"
+for stage in enqueue heap arbitration codec dispatch delivery; do
+    grep -q "^$stage" "$workdir/profile.txt" || {
+        echo "bench-smoke: stage $stage missing from profile" >&2
+        cat "$workdir/profile.txt" >&2
+        exit 1
+    }
+done
+
+echo "bench-smoke: OK (baseline clean, injected regression caught, live record + profile working)"

@@ -1,0 +1,68 @@
+package canec_test
+
+// Trajectory recorder hook for the go-test harness: setting
+// CANEC_BENCH_JSON=<label> turns this test into a BENCH_<label>.json
+// recording run over the full perf suite — the same cases canecbench
+// -json runs, reachable from `go test` so CI recipes need only one
+// entry point. Without the variable the test is a cheap sanity pass
+// over one case, so the recorder path never rots.
+//
+//	CANEC_BENCH_JSON=seed go test -run TestRecordTrajectory -timeout 30m .
+//	CANEC_BENCH_TIME=200ms CANEC_BENCH_JSON=pr42 go test -run TestRecordTrajectory .
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"canec/internal/obs/perf"
+	"canec/internal/obs/perf/suite"
+)
+
+func TestRecordTrajectory(t *testing.T) {
+	label := os.Getenv("CANEC_BENCH_JSON")
+	if label == "" {
+		// Sanity-only pass: the recorder must still produce a coherent
+		// result for a fast case.
+		res := perf.Run(perf.Case{Name: "SimKernel", Fn: mustFind(t, "SimKernel").Fn},
+			perf.RunConfig{Iters: 200})
+		if res.NsPerOp <= 0 || res.Iters != 200 {
+			t.Fatalf("recorder sanity: %+v", res)
+		}
+		t.Skip("set CANEC_BENCH_JSON=<label> to record a full trajectory point")
+	}
+
+	cfg := perf.RunConfig{Time: time.Second}
+	if d := os.Getenv("CANEC_BENCH_TIME"); d != "" {
+		dur, err := time.ParseDuration(d)
+		if err != nil {
+			t.Fatalf("CANEC_BENCH_TIME: %v", err)
+		}
+		cfg.Time = dur
+	}
+	var results []perf.Result
+	for _, c := range suite.Cases() {
+		res := perf.Run(c, cfg)
+		t.Logf("%-18s %10d iters %12.1f ns/op %8.1f allocs/op",
+			res.Name, res.Iters, res.NsPerOp, res.AllocsPerOp)
+		results = append(results, res)
+	}
+	dir := os.Getenv("CANEC_BENCH_DIR")
+	if dir == "" {
+		dir = "."
+	}
+	path, err := perf.WriteFile(dir, perf.Record(label, results))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}
+
+func mustFind(t *testing.T, name string) perf.Case {
+	t.Helper()
+	c, ok := suite.Find(name)
+	if !ok {
+		t.Fatalf("case %q missing from suite", name)
+	}
+	return c
+}
