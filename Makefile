@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos-smoke fuzz-smoke relay-smoke obs-smoke bench bench-record bench-check bench-smoke tidy
+.PHONY: all build vet test race check chaos-smoke busoff-smoke fuzz-smoke relay-smoke obs-smoke bench bench-record bench-check bench-smoke tidy
 
 all: check
 
@@ -17,12 +17,20 @@ race:
 	$(GO) test -race ./...
 
 # chaos-smoke replays the seeded fault campaigns (crash/restart, error
-# burst, omission window, babbling idiot + bus guardian, and the
-# control-plane failovers: binding-agent standby takeover and time-master
-# failover) on fixed seeds under the race detector and asserts per-seed
-# determinism — the fast dependability gate.
+# burst, omission window, babbling idiot + bus guardian, the bus-off
+# adversary with supervised recovery, and the control-plane failovers:
+# binding-agent standby takeover and time-master failover) on fixed seeds
+# under the race detector and asserts per-seed determinism — the fast
+# dependability gate.
 chaos-smoke:
-	$(GO) test -race -short -run 'TestChaosSmokeSeeds|TestCampaignDeterministicPerSeed|TestCampaignControlPlaneFailover|TestCampaignControlPlaneDeterministic' ./internal/chaos/
+	$(GO) test -race -short -run 'TestChaosSmokeSeeds|TestCampaignDeterministicPerSeed|TestCampaignControlPlaneFailover|TestCampaignControlPlaneDeterministic|TestBusOffAttackRecoveryAndHRTSurvival' ./internal/chaos/
+
+# busoff-smoke replays the bus-off adversary campaign end to end through
+# canecsim: the scripted attack must drive the victim bus-off, the
+# supervisor must bring it back, the guardian must isolate the attacker,
+# and every trace invariant must hold — deterministically.
+busoff-smoke:
+	./scripts/busoff_smoke.sh
 
 # fuzz-smoke runs each native fuzz target briefly (~5 s): the wire-facing
 # frame handlers (agent, client, syncer) and the codec round-trips must
@@ -56,10 +64,10 @@ bench-smoke:
 	./scripts/bench_smoke.sh
 
 # check is the PR gate: compile everything, vet, run the full suite under
-# the race detector, replay the chaos smoke sweep, smoke the fuzz
-# targets, run the two-daemon relay and introspection smokes, and gate
-# the performance trajectory.
-check: build vet race chaos-smoke fuzz-smoke relay-smoke obs-smoke bench-smoke
+# the race detector, replay the chaos smoke sweep and the bus-off
+# adversary campaign, smoke the fuzz targets, run the two-daemon relay
+# and introspection smokes, and gate the performance trajectory.
+check: build vet race chaos-smoke busoff-smoke fuzz-smoke relay-smoke obs-smoke bench-smoke
 
 bench:
 	$(GO) test -bench . -benchmem ./internal/can ./internal/sim

@@ -268,14 +268,15 @@ func run() int {
 	// paced.Call so HTTP handlers never race the simulation.
 	if *adminAddr != "" {
 		adm, err := admin.Serve(*adminAddr, admin.Options{
-			Segment:  *segment,
-			Registry: sys.Obs.Registry(),
-			Observer: sys.Obs,
-			SLO:      sys.SLO,
-			Now:      k.Now,
-			Channels: admin.SystemChannels(sys),
-			Profiler: prof,
-			InKernel: paced.Call,
+			Segment:    *segment,
+			Registry:   sys.Obs.Registry(),
+			Observer:   sys.Obs,
+			SLO:        sys.SLO,
+			Now:        k.Now,
+			Channels:   admin.SystemChannels(sys),
+			ErrorState: admin.SystemErrorState(sys),
+			Profiler:   prof,
+			InKernel:   paced.Call,
 			Relay: func() []admin.RelayRow {
 				rows := make([]admin.RelayRow, 0, len(relayRows))
 				for _, fn := range relayRows {

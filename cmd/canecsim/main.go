@@ -38,7 +38,7 @@ func main() {
 		drift    = flag.Float64("drift", 100, "max clock drift (ppm)")
 		traceN   = flag.Int("trace", 0, "dump the last N bus events candump-style")
 		config   = flag.String("config", "", "run a JSON scenario file instead of the flag-driven mix")
-		chaosCfg = flag.String("chaos", "", "JSON chaos script (crash/restart/burst/omission/babble campaign) applied to the -config scenario")
+		chaosCfg = flag.String("chaos", "", "JSON chaos script (crash/restart/burst/omission/babble/bit_error/busoff_attack campaign) applied to the -config scenario")
 		hist     = flag.Bool("hist", false, "print latency distribution histograms")
 		prom     = flag.String("prom", "", "write the run's metrics registry to this file (Prometheus text format)")
 		adminOpt = flag.String("admin", "", "serve the admin introspection plane on this address during a -pace run (flag mode only)")
@@ -96,13 +96,14 @@ func (p obsPlane) serve(sys *canec.System, paced *sim.Paced) (stop func(), err e
 		return func() {}, nil
 	}
 	adm, err := admin.Serve(p.adminAddr, admin.Options{
-		Segment:  "canecsim",
-		Registry: sys.Obs.Registry(),
-		Observer: sys.Obs,
-		SLO:      sys.SLO,
-		Now:      sys.K.Now,
-		Channels: admin.SystemChannels(sys),
-		InKernel: paced.Call,
+		Segment:    "canecsim",
+		Registry:   sys.Obs.Registry(),
+		Observer:   sys.Obs,
+		SLO:        sys.SLO,
+		Now:        sys.K.Now,
+		Channels:   admin.SystemChannels(sys),
+		ErrorState: admin.SystemErrorState(sys),
+		InKernel:   paced.Call,
 	})
 	if err != nil {
 		return nil, err

@@ -159,11 +159,11 @@ func traceStatus(targets []*target) map[*target]string {
 
 func render(w io.Writer, targets []*target) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "SEGMENT\tADDR\tHEALTH\tSRT MISS (s/l)\tBREACHED\tLINKS\tQ(H/S/N)\tDROPS\tEV/S\tHEAP HW\tALLOC/FR\tTRACE\tMETRICS")
+	fmt.Fprintln(tw, "SEGMENT\tADDR\tHEALTH\tERRST\tSRT MISS (s/l)\tBREACHED\tLINKS\tQ(H/S/N)\tDROPS\tEV/S\tHEAP HW\tALLOC/FR\tTRACE\tMETRICS")
 	traces := traceStatus(targets)
 	for _, tg := range targets {
 		if tg.err != nil {
-			fmt.Fprintf(tw, "?\t%s\tUNREACHABLE\t-\t-\t-\t-\t-\t-\t-\t-\t-\t%v\n", tg.addr, tg.err)
+			fmt.Fprintf(tw, "?\t%s\tUNREACHABLE\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t%v\n", tg.addr, tg.err)
 			continue
 		}
 		var breached []string
@@ -205,8 +205,14 @@ func render(w io.Writer, targets []*target) {
 				metricsCol = "INVALID: " + tg.promErr.Error()
 			}
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d/%d\t%d/%d/%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
-			tg.health.Segment, tg.addr, strings.ToUpper(tg.health.Status),
+		// Fault-confinement summary: controllers currently error-passive /
+		// bus-off, plus the segment's cumulative bus-off entries.
+		errstCol := "ok"
+		if tg.health.ErrorPassive > 0 || tg.health.BusOff > 0 || tg.health.BusOffTotal > 0 {
+			errstCol = fmt.Sprintf("%dp/%db/%dt", tg.health.ErrorPassive, tg.health.BusOff, tg.health.BusOffTotal)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%d/%d\t%d/%d/%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
+			tg.health.Segment, tg.addr, strings.ToUpper(tg.health.Status), errstCol,
 			missCol, breachCol, up, len(tg.relay), h, sq, n, drops,
 			evCol, heapCol, allocCol, traces[tg], metricsCol)
 	}

@@ -48,8 +48,17 @@ type Guardian struct {
 	// Limit is the per-node violation count that escalates frame muting to
 	// node isolation. 0 disables escalation.
 	Limit int
+	// SlotTargetedLimit escalates faster for slot-timed violations: a
+	// guarded frame whose instant falls inside a calendar window owned by a
+	// *different* station is not a node babbling on its own drifting clock —
+	// it is the timing signature of a bus-off attack, where the adversary
+	// fires precisely into the victim's slots to corrupt its transmissions.
+	// After this many slot-targeted violations the sender is isolated, even
+	// if the generic Limit has not been reached. 0 disables the fast path.
+	SlotTargetedLimit int
 
-	violations map[int]int
+	violations   map[int]int
+	slotTargeted map[int]int
 }
 
 // NewGuardian returns a guardian for the calendar with the paper-default
@@ -70,6 +79,10 @@ func (g *Guardian) slack() sim.Duration {
 // controller index.
 func (g *Guardian) Violations(sender int) int { return g.violations[sender] }
 
+// TargetedViolations returns how many of a controller's violations were
+// slot-timed (inside another station's calendar window).
+func (g *Guardian) TargetedViolations(sender int) int { return g.slotTargeted[sender] }
+
 // Judge implements can.Guardian.
 func (g *Guardian) Judge(f can.Frame, sender int, at sim.Time) can.GuardianVerdict {
 	if int(f.ID.Prio()) > g.MaxGuardedPrio {
@@ -80,8 +93,15 @@ func (g *Guardian) Judge(f can.Frame, sender int, at sim.Time) can.GuardianVerdi
 	}
 	if g.violations == nil {
 		g.violations = make(map[int]int)
+		g.slotTargeted = make(map[int]int)
 	}
 	g.violations[sender]++
+	if g.inForeignSlot(f.ID.TxNode(), at) {
+		g.slotTargeted[sender]++
+		if g.SlotTargetedLimit > 0 && g.slotTargeted[sender] >= g.SlotTargetedLimit {
+			return can.GuardMuteNode
+		}
+	}
 	if g.Limit > 0 && g.violations[sender] >= g.Limit {
 		return can.GuardMuteNode
 	}
@@ -109,6 +129,41 @@ func (g *Guardian) permitted(f can.Frame, at sim.Time) bool {
 	}
 	for _, s := range g.Cal.Slots {
 		if s.Publisher != node {
+			continue
+		}
+		for r := nominal - 1; r <= nominal+1; r++ {
+			if r < 0 || !s.ActiveIn(r) {
+				continue
+			}
+			start := g.Epoch + sim.Time(r)*sim.Time(g.Cal.Round) + sim.Time(s.Ready)
+			end := g.Epoch + sim.Time(r)*sim.Time(g.Cal.Round) + sim.Time(s.End(g.Cal.Cfg))
+			if at >= start-sim.Time(slack) && at <= end+sim.Time(slack) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inForeignSlot reports whether the instant falls inside a calendar window
+// owned by a station other than the sender — the slot-timed corruption
+// signature the guardian escalates on. Same window arithmetic as permitted,
+// with the ownership test inverted.
+func (g *Guardian) inForeignSlot(sender can.TxNode, at sim.Time) bool {
+	if g.Cal == nil || g.Cal.Round <= 0 {
+		return false
+	}
+	if g.LocalAt != nil {
+		at = g.LocalAt(at)
+	}
+	slack := g.slack()
+	rel := at - g.Epoch
+	nominal := int64(rel / sim.Duration(g.Cal.Round))
+	if rel < 0 {
+		nominal--
+	}
+	for _, s := range g.Cal.Slots {
+		if s.Publisher == sender {
 			continue
 		}
 		for r := nominal - 1; r <= nominal+1; r++ {

@@ -84,6 +84,55 @@ func TestGuardianEscalatesToIsolation(t *testing.T) {
 	}
 }
 
+func TestGuardianSlotTargetedFastPath(t *testing.T) {
+	g, s := guardianFixture(t, 100) // generic limit far away
+	g.SlotTargetedLimit = 2
+	cal := g.Cal
+	inWindow := g.Epoch + sim.Time(s.LST(cal.Cfg))
+	outside := g.Epoch + sim.Time(cal.Round) - sim.Time(50*sim.Microsecond)
+	attack := can.Frame{ID: can.MakeID(0, 8, 99)}
+
+	// A violation inside the victim's window carries the bus-off-attack
+	// timing signature: counted separately, escalated after 2 hits even
+	// though the generic limit (100) is nowhere near.
+	if v := g.Judge(attack, 8, inWindow); v != can.GuardMuteFrame {
+		t.Fatalf("targeted violation 1: verdict %v, want frame mute", v)
+	}
+	if g.TargetedViolations(8) != 1 || g.Violations(8) != 1 {
+		t.Fatalf("counts = %d targeted / %d total, want 1/1",
+			g.TargetedViolations(8), g.Violations(8))
+	}
+	at2 := inWindow + sim.Time(cal.Round)
+	if v := g.Judge(attack, 8, at2); v != can.GuardMuteNode {
+		t.Fatalf("targeted violation 2: verdict %v, want node isolation", v)
+	}
+
+	// A plain babbler outside every window never trips the fast path.
+	babble := can.Frame{ID: can.MakeID(0, 3, 77)}
+	for i := 0; i < 5; i++ {
+		if v := g.Judge(babble, 3, outside); v != can.GuardMuteFrame {
+			t.Fatalf("untargeted violation %d: verdict %v, want frame mute", i+1, v)
+		}
+	}
+	if g.TargetedViolations(3) != 0 || g.Violations(3) != 5 {
+		t.Fatalf("babbler counts = %d targeted / %d total, want 0/5",
+			g.TargetedViolations(3), g.Violations(3))
+	}
+
+	// SlotTargetedLimit 0 disables the fast path: slot-timed hits still
+	// count but only the generic limit isolates.
+	g2, s2 := guardianFixture(t, 0)
+	in2 := g2.Epoch + sim.Time(s2.LST(g2.Cal.Cfg))
+	for i := 0; i < 4; i++ {
+		if v := g2.Judge(attack, 8, in2+sim.Time(int64(i)*int64(g2.Cal.Round))); v != can.GuardMuteFrame {
+			t.Fatalf("fast path disabled, hit %d: verdict %v, want frame mute", i+1, v)
+		}
+	}
+	if g2.TargetedViolations(8) != 4 {
+		t.Fatalf("targeted count with fast path off = %d, want 4", g2.TargetedViolations(8))
+	}
+}
+
 func TestGuardianRespectsMultiRatePhases(t *testing.T) {
 	cfg := DefaultConfig()
 	cal, err := PackSequential(cfg, sim.Millisecond,

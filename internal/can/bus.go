@@ -11,14 +11,24 @@ const DefaultBitRate = 1_000_000
 type TraceKind int
 
 const (
-	TraceTxStart   TraceKind = iota // a frame won arbitration and started
-	TraceTxOK                       // transmitted without detected error
-	TraceTxError                    // error frame signalled; will retransmit
-	TraceTxAbort                    // abandoned (single-shot after error)
-	TraceRx                         // delivered to one receiver
-	TraceArbWin                     // this frame won the arbitration round
-	TraceArbLoss                    // this frame competed and lost the round
-	TraceGuardMute                  // the bus guardian muted a calendar-violating frame
+	TraceTxStart      TraceKind = iota // a frame won arbitration and started
+	TraceTxOK                          // transmitted without detected error
+	TraceTxError                       // error frame signalled; will retransmit
+	TraceTxAbort                       // abandoned (single-shot after error)
+	TraceRx                            // delivered to one receiver
+	TraceArbWin                        // this frame won the arbitration round
+	TraceArbLoss                       // this frame competed and lost the round
+	TraceGuardMute                     // the bus guardian muted a calendar-violating frame
+	TraceGuardIsolate                  // the bus guardian isolated (muted) a whole controller
+
+	// Fault-confinement transitions (emitted only with Bus.ConfineFaults).
+	// They carry a zero Frame — the transition belongs to a controller, not
+	// a transmission — with Sender set to the controller index and TEC/REC
+	// snapshotting the counters after the transition.
+	TraceErrorPassive  // controller crossed into error-passive
+	TraceErrorActive   // controller returned to error-active
+	TraceBusOff        // controller entered bus-off and detached
+	TraceBusOffRecover // bus-off controller recovered and re-joined
 )
 
 // TraceEvent is emitted through Bus.Trace for observability and metrics.
@@ -31,6 +41,9 @@ type TraceEvent struct {
 	Sender  int // controller index
 	Recv    int // controller index, TraceRx only
 	Attempt int
+	// TEC / REC snapshot the sender's error counters for the
+	// fault-confinement trace kinds; zero otherwise.
+	TEC, REC int
 }
 
 // Stats aggregates bus-level counters.
@@ -98,6 +111,10 @@ type Bus struct {
 	// arbitration (babbling-idiot defense). Off by default — the paper
 	// assumes well-behaved middleware on every node.
 	Guardian Guardian
+	// OnErrorState, if non-nil, is invoked (in kernel context) whenever a
+	// controller's fault-confinement state changes. The lifecycle's bus-off
+	// recovery supervisor hooks it to schedule supervised re-joins.
+	OnErrorState func(ctrl int, old, new ErrorState, at sim.Time)
 
 	ctrls      []*Controller
 	busy       bool
@@ -269,6 +286,9 @@ func (b *Bus) guardedBest(c *Controller, idx int) *txReq {
 		if verdict == GuardMuteNode {
 			c.muted = true
 			b.stats.GuardianIsolated++
+			if b.Trace != nil {
+				b.Trace(TraceEvent{Kind: TraceGuardIsolate, At: b.K.Now(), Frame: r.frame, Sender: idx, Attempt: r.attempt})
+			}
 			return nil
 		}
 	}

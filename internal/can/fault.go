@@ -150,6 +150,42 @@ func (a AdversarialK) Judge(f Frame, _ int, attempt int, _ sim.Time, _ *sim.RNG)
 	return Fault{}
 }
 
+// TargetedBitErrors models the adversary ECU of a bus-off attack: a
+// station that monitors the bus for the victim's transmissions and drives
+// dominant bits into them, so the victim observes a bit error on every
+// corrupted attempt. Under fault confinement each such error adds 8 to the
+// victim's TEC while the attacker's own counters stay clean — 32
+// consecutive hits walk the victim ErrorActive → ErrorPassive → BusOff,
+// exactly the progression the published bus-off attacks exploit. Rate is
+// the per-attempt corruption probability (1.0 corrupts every attempt, the
+// deterministic worst case).
+type TargetedBitErrors struct {
+	Victim int     // controller index whose transmissions are corrupted
+	Rate   float64 // per-attempt corruption probability
+	Prio   int     // -1 matches any priority
+	// Active, if non-nil, gates the corruption: the chaos harness uses it
+	// to stop the attack once the guardian isolates the attacking station
+	// (an isolated attacker can no longer drive bits onto the wire).
+	Active func() bool
+}
+
+// Judge implements Injector.
+func (t TargetedBitErrors) Judge(f Frame, sender int, _ int, _ sim.Time, rng *sim.RNG) Fault {
+	if sender != t.Victim {
+		return Fault{}
+	}
+	if t.Prio >= 0 && int(f.ID.Prio()) != t.Prio {
+		return Fault{}
+	}
+	if t.Active != nil && !t.Active() {
+		return Fault{}
+	}
+	if rng.Bool(t.Rate) {
+		return Fault{Kind: FaultError}
+	}
+	return Fault{}
+}
+
 // Chain applies multiple injectors and returns the first non-none verdict.
 type Chain []Injector
 

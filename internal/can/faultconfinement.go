@@ -89,8 +89,18 @@ func (c *Controller) onTxError() bool {
 	return false
 }
 
-// onRxSuccess / onRxError apply receiver-side bookkeeping.
+// onRxSuccess / onRxError apply receiver-side bookkeeping. Bosch §8 rule 8:
+// a successful reception decrements REC by 1, except that a REC above 127
+// is set to a value between 119 and 127 — the error-passive receiver
+// re-enters the 119–127 band on its first good frame instead of counting
+// down one by one. The model picks 127, the most conservative value: the
+// controller leaves error-passive yet a single further receive error puts
+// it straight back.
 func (c *Controller) onRxSuccess() {
+	if c.rec > 127 {
+		c.rec = 127
+		return
+	}
 	if c.rec > 0 {
 		c.rec--
 	}
@@ -128,28 +138,66 @@ func (c *Controller) Recover() {
 	if !c.busOff {
 		return
 	}
+	old := c.State()
 	c.busOff = false
 	c.muted = false
 	c.tec, c.rec = 0, 0
+	c.bus.noteState(c, old)
 	c.bus.kick()
+}
+
+// noteState emits the trace event and the OnErrorState hook for one
+// controller's fault-confinement transition. old is the state captured
+// before the counter bookkeeping ran; a no-op when the state is unchanged.
+func (b *Bus) noteState(c *Controller, old ErrorState) {
+	now := c.State()
+	if now == old {
+		return
+	}
+	if b.Trace != nil {
+		var kind TraceKind
+		switch {
+		case now == BusOff:
+			kind = TraceBusOff
+		case now == ErrorPassive:
+			kind = TraceErrorPassive
+		case old == BusOff:
+			kind = TraceBusOffRecover
+		default:
+			kind = TraceErrorActive
+		}
+		b.Trace(TraceEvent{Kind: kind, At: b.K.Now(), Sender: c.index, TEC: c.tec, REC: c.rec})
+	}
+	if b.OnErrorState != nil {
+		b.OnErrorState(c.index, old, now, b.K.Now())
+	}
 }
 
 // confinement hooks called from Bus.complete when enabled.
 func (b *Bus) confineTxError(sender int) {
 	c := b.ctrls[sender]
+	old := c.State()
 	c.onTxError()
+	b.noteState(c, old)
 	for i, r := range b.ctrls {
 		if i != sender && !r.muted {
+			rold := r.State()
 			r.onRxError()
+			b.noteState(r, rold)
 		}
 	}
 }
 
 func (b *Bus) confineTxSuccess(sender int, victims map[int]bool) {
-	b.ctrls[sender].onTxSuccess()
+	c := b.ctrls[sender]
+	old := c.State()
+	c.onTxSuccess()
+	b.noteState(c, old)
 	for i, r := range b.ctrls {
 		if i != sender && !r.muted && !victims[i] {
+			rold := r.State()
 			r.onRxSuccess()
+			b.noteState(r, rold)
 		}
 	}
 }

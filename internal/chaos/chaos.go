@@ -22,24 +22,29 @@ import (
 // Event is one scripted fault. Times are virtual milliseconds from the
 // start of the run, so scripts read naturally in JSON.
 type Event struct {
-	// Kind is one of crash, restart, burst, omission, babble, or one of
-	// the role-targeted kinds agent_crash, agent_restart, master_crash,
-	// master_restart. Role kinds ignore Node: the target is resolved when
-	// the event fires (the station *then* hosting the binding agent or
-	// acting as time master), so a script composes correctly with earlier
-	// takeovers.
+	// Kind is one of crash, restart, burst, omission, babble, bit_error,
+	// busoff_attack, or one of the role-targeted kinds agent_crash,
+	// agent_restart, master_crash, master_restart. Role kinds ignore Node:
+	// the target is resolved when the event fires (the station *then*
+	// hosting the binding agent or acting as time master), so a script
+	// composes correctly with earlier takeovers.
 	Kind string `json:"kind"`
 	// AtMS is when the event fires (crash/restart) or the window opens
-	// (burst/omission/babble).
+	// (burst/omission/babble/bit_error/busoff_attack).
 	AtMS float64 `json:"at_ms"`
-	// UntilMS closes the window for burst/omission/babble events.
+	// UntilMS closes the window for burst/omission/babble/bit_error/
+	// busoff_attack events.
 	UntilMS float64 `json:"until_ms,omitempty"`
-	// Node is the target station for crash/restart/babble.
+	// Node is the target station for crash/restart/babble, the victim for
+	// bit_error, and the *attacking* station for busoff_attack.
 	Node int `json:"node,omitempty"`
-	// Rate is the per-attempt fault probability for omission windows.
+	// Rate is the per-attempt fault probability for omission windows and
+	// the per-attempt corruption probability for bit_error/busoff_attack.
 	Rate float64 `json:"rate,omitempty"`
 	// VictimProb is the per-receiver miss probability for omission windows.
 	VictimProb float64 `json:"victim_prob,omitempty"`
+	// Victim is the station whose transmissions a busoff_attack corrupts.
+	Victim int `json:"victim,omitempty"`
 }
 
 // Script is a reproducible fault campaign.
@@ -49,6 +54,10 @@ type Script struct {
 	// GuardianLimit escalates frame muting to node isolation after this
 	// many violations by one station (0 = never isolate).
 	GuardianLimit int `json:"guardian_limit,omitempty"`
+	// GuardianSlotLimit escalates faster for slot-timed violations — a
+	// station repeatedly firing into windows owned by *other* stations is
+	// an attacker, not a drifting clock (0 = no fast path).
+	GuardianSlotLimit int `json:"guardian_slot_limit,omitempty"`
 	// AgentStandby, if set, arms a hot-standby binding agent on this
 	// station before the run (required by the agent_crash kind).
 	AgentStandby *int `json:"agent_standby,omitempty"`
@@ -88,12 +97,25 @@ func (s Script) Validate(nodes int) error {
 			masterDowns++
 		case "master_restart":
 			masterDowns--
-		case "burst", "omission", "babble":
+		case "burst", "omission", "babble", "bit_error", "busoff_attack":
 			if e.UntilMS <= e.AtMS {
 				return fmt.Errorf("chaos: event %d (%s) has empty window [%v, %v)", i, e.Kind, e.AtMS, e.UntilMS)
 			}
 			if e.Kind == "omission" && (e.Rate <= 0 || e.Rate > 1 || e.VictimProb <= 0 || e.VictimProb > 1) {
 				return fmt.Errorf("chaos: event %d omission probabilities out of range", i)
+			}
+			if e.Kind == "bit_error" || e.Kind == "busoff_attack" {
+				if e.Rate <= 0 || e.Rate > 1 {
+					return fmt.Errorf("chaos: event %d (%s) corruption rate %v out of (0, 1]", i, e.Kind, e.Rate)
+				}
+			}
+			if e.Kind == "busoff_attack" {
+				if e.Victim < 0 || e.Victim >= nodes {
+					return fmt.Errorf("chaos: event %d attacks victim station %d of %d", i, e.Victim, nodes)
+				}
+				if e.Victim == e.Node {
+					return fmt.Errorf("chaos: event %d has station %d attacking itself", i, e.Node)
+				}
 			}
 		default:
 			return fmt.Errorf("chaos: event %d has unknown kind %q", i, e.Kind)
@@ -144,6 +166,9 @@ type Campaign struct {
 	Guardian *calendar.Guardian
 	// Babblers by station index, populated by Install.
 	Babblers map[int]*Babbler
+	// Attackers by attacking station index, populated by Install for
+	// busoff_attack events.
+	Attackers map[int]*Attacker
 	// Errors collects failures of scheduled events (e.g. a restart of a
 	// station that was never crashed); deterministic scripts should leave
 	// it empty.
@@ -156,6 +181,9 @@ type Campaign struct {
 	masterDownAt   []sim.Time
 	lastAgentDown  int
 	lastMasterDown int
+
+	// attacks records the scripted busoff_attack windows for the checkers.
+	attacks []AttackWindow
 }
 
 // NewCampaign prepares a campaign. The system must be observed with
@@ -170,7 +198,7 @@ func NewCampaign(sys *core.System, lc *core.Lifecycle, script Script) (*Campaign
 		return nil, err
 	}
 	c := &Campaign{Sys: sys, LC: lc, Script: script, Babblers: make(map[int]*Babbler),
-		lastAgentDown: -1, lastMasterDown: -1}
+		Attackers: make(map[int]*Attacker), lastAgentDown: -1, lastMasterDown: -1}
 	if script.AgentStandby != nil {
 		err := lc.EnableStandby(*script.AgentStandby, binding.HeartbeatConfig{
 			Period:    sim.Duration(ms(script.AgentHeartbeatMS)),
@@ -201,6 +229,7 @@ func NewCampaign(sys *core.System, lc *core.Lifecycle, script Script) (*Campaign
 			return nil, fmt.Errorf("chaos: guardian needs a calendar")
 		}
 		c.Guardian = calendar.NewGuardian(sys.Cfg.Calendar, sys.Cfg.Epoch, script.GuardianLimit)
+		c.Guardian.SlotTargetedLimit = script.GuardianSlotLimit
 		// On a drifting-clock system the calendar grid lives in the
 		// synchronized timebase, which is anchored to the sync master's
 		// drifting clock, not to kernel time. Give the guardian the master's
@@ -296,6 +325,32 @@ func (c *Campaign) Install() {
 		case "babble":
 			b := c.babbler(e.Node)
 			k.At(ms(e.AtMS), func() { b.Start(ms(e.UntilMS)) })
+		case "bit_error":
+			chain = append(chain, window{
+				start: ms(e.AtMS), end: ms(e.UntilMS),
+				inner: can.TargetedBitErrors{Victim: e.Node, Rate: e.Rate, Prio: -1},
+			})
+		case "busoff_attack":
+			// Two coupled halves: the attacking station fires prio-0 frames
+			// timed into the victim's calendar slots (the guardian-visible
+			// signature), and a targeted bit-error injector corrupts the
+			// victim's transmission attempts (the physical damage). Both stop
+			// when the guardian isolates the attacker — a muted station can
+			// no longer drive dominant bits onto the wire.
+			a := c.attacker(e.Node, e.Victim)
+			k.At(ms(e.AtMS), func() { a.Start(ms(e.UntilMS)) })
+			attackerCtrl := c.Sys.Bus.Controller(e.Node)
+			chain = append(chain, window{
+				start: ms(e.AtMS), end: ms(e.UntilMS),
+				inner: can.TargetedBitErrors{
+					Victim: e.Victim, Rate: e.Rate, Prio: -1,
+					Active: func() bool { return !attackerCtrl.Muted() },
+				},
+			})
+			c.attacks = append(c.attacks, AttackWindow{
+				Start: ms(e.AtMS), End: ms(e.UntilMS),
+				Attacker: e.Node, Victim: e.Victim, Rate: e.Rate,
+			})
 		}
 	}
 	if len(chain) > 1 {
@@ -310,6 +365,19 @@ func (c *Campaign) babbler(node int) *Babbler {
 		c.Babblers[node] = b
 	}
 	return b
+}
+
+func (c *Campaign) attacker(node, victim int) *Attacker {
+	a, ok := c.Attackers[node]
+	if !ok {
+		a = &Attacker{
+			K: c.Sys.K, Ctrl: c.Sys.Bus.Controller(node),
+			Cal: c.Sys.Cfg.Calendar, Epoch: c.Sys.Cfg.Epoch,
+			Victim: can.TxNode(victim), Etag: 0x3211,
+		}
+		c.Attackers[node] = a
+	}
+	return a
 }
 
 // window gates an injector to a kernel-time interval.
@@ -382,6 +450,120 @@ func (b *Babbler) next() {
 	}})
 }
 
+// Attacker models the adversary ECU of a bus-off attack campaign: a
+// station that fires priority-0 single-shot frames timed precisely into
+// the victim's calendar slot windows. The frames themselves rarely reach
+// the wire (a guardian mutes them, arbitration may reject them), but
+// their *timing* is the attack's observable signature: the guardian's
+// slot-targeted escalation recognises a station that keeps firing into
+// windows it does not own. The physical corruption of the victim's
+// transmissions is injected separately (can.TargetedBitErrors), mirroring
+// how a real attacker's dominant bits damage frames without the attacker
+// ever winning arbitration.
+type Attacker struct {
+	K    *sim.Kernel
+	Ctrl *can.Controller
+	// Cal / Epoch locate the victim's slot windows; without a calendar (or
+	// a victim owning no slots) the attacker degrades to periodic pulses.
+	Cal    *calendar.Calendar
+	Epoch  sim.Time
+	Victim can.TxNode
+	// Etag carried by the attack frames (content is irrelevant).
+	Etag can.Etag
+
+	active bool
+	until  sim.Time
+	// Sent counts attack frames that made it onto the wire; Muted counts
+	// submissions rejected before it (bus guardian or single-shot loss).
+	Sent, Muted int
+}
+
+// Start begins the attack until the given kernel time. Restarting an
+// active attacker extends the window.
+func (a *Attacker) Start(until sim.Time) {
+	a.until = until
+	if a.active {
+		return
+	}
+	a.active = true
+	a.schedule()
+}
+
+// Stop ends the attack immediately.
+func (a *Attacker) Stop() { a.active = false }
+
+// nextPulse picks the next instant inside a victim-owned slot window
+// strictly after now; with no calendar (or no victim slots) it falls back
+// to a periodic pulse.
+func (a *Attacker) nextPulse() sim.Time {
+	now := a.K.Now()
+	const fallback = 500 * sim.Microsecond
+	if a.Cal == nil || a.Cal.Round <= 0 {
+		return now + fallback
+	}
+	rel := now - a.Epoch
+	r := int64(0)
+	if rel > 0 {
+		r = int64(rel / sim.Duration(a.Cal.Round))
+	}
+	best := sim.Time(-1)
+	for _, s := range a.Cal.Slots {
+		if s.Publisher != a.Victim {
+			continue
+		}
+		for rr := r; rr <= r+2; rr++ {
+			if rr < 0 || !s.ActiveIn(rr) {
+				continue
+			}
+			// Fire just after the slot opens: the victim's frame is then on
+			// (or about to take) the wire, and the instant is unambiguously
+			// inside a window the attacker does not own.
+			t := a.Epoch + sim.Time(rr)*sim.Time(a.Cal.Round) + sim.Time(s.Ready) + sim.Time(10*sim.Microsecond)
+			if t > now && (best < 0 || t < best) {
+				best = t
+			}
+		}
+	}
+	if best < 0 {
+		return now + fallback
+	}
+	return best
+}
+
+func (a *Attacker) schedule() {
+	if !a.active || a.K.Now() >= a.until || a.Ctrl.Muted() {
+		a.active = false
+		return
+	}
+	t := a.nextPulse()
+	if t >= a.until {
+		a.active = false
+		return
+	}
+	a.K.At(t, a.fire)
+}
+
+func (a *Attacker) fire() {
+	if !a.active || a.K.Now() >= a.until || a.Ctrl.Muted() {
+		a.active = false
+		return
+	}
+	f := can.Frame{
+		ID:   can.MakeID(0, a.Ctrl.Node(), a.Etag),
+		Data: []byte{0xA7, 0x7A, 0xC4, 0, 0, 0, 0, 0},
+	}
+	// Single shot: a muted or corrupted attack frame must not sit in the
+	// controller retrying — the attacker's value is timing, not delivery.
+	a.Ctrl.Submit(f, can.SubmitOpts{SingleShot: true, Done: func(ok bool, _ sim.Time) {
+		if ok {
+			a.Sent++
+		} else {
+			a.Muted++
+		}
+		a.schedule()
+	}})
+}
+
 // Report summarises a finished campaign for logs and experiment output.
 type Report struct {
 	Crashes, Restarts int
@@ -393,7 +575,15 @@ type Report struct {
 	GuardianIsolated uint64
 	BabbleSent       int
 	BabbleMuted      int
-	Violations       []Violation
+	// BusOffEvents counts controller bus-off entries on the bus;
+	// BusOffRecovered counts supervised rejoins (lifecycle supervisor).
+	// AttackSent / AttackMuted tally the adversary stations' slot-timed
+	// frames that reached / were kept off the wire.
+	BusOffEvents    uint64
+	BusOffRecovered int
+	AttackSent      int
+	AttackMuted     int
+	Violations      []Violation
 	// Errors are scripted events that failed to execute (e.g. a restart of
 	// a station that was never crashed).
 	Errors []string
@@ -450,6 +640,20 @@ func (c *Campaign) Finish(recoveryRounds int) Report {
 		}
 		ctx.RestartWindow = win + 100*sim.Millisecond
 	}
+	if c.Sys.Cfg.ConfineFaults {
+		// Bus-off recovery bound: the 128×11-recessive-bit observation plus
+		// the supervisor's declared worst-case backoff (or nothing, when the
+		// controllers' built-in auto-recovery is in charge), plus one
+		// millisecond of queue-drain grace.
+		win := c.Sys.Bus.BitDuration(can.BusOffRecoveryBits)
+		if c.LC.BusOffRecoveryArmed() {
+			win = c.LC.BusOffRecoveryBound()
+		}
+		ctx.BusOffWindow = win + sim.Millisecond
+	}
+	ctx.Attacks = c.attacks
+	ctx.GuardianArmed = c.Guardian != nil &&
+		(c.Script.GuardianLimit > 0 || c.Script.GuardianSlotLimit > 0)
 	rep := Report{
 		Crashes:        c.LC.CrashCount,
 		Restarts:       c.LC.RestartCount,
@@ -462,9 +666,15 @@ func (c *Campaign) Finish(recoveryRounds int) Report {
 	st := c.Sys.Bus.Stats()
 	rep.GuardianMuted = st.GuardianMuted
 	rep.GuardianIsolated = st.GuardianIsolated
+	rep.BusOffEvents = st.BusOffEvents
+	rep.BusOffRecovered = c.LC.BusOffRecovered
 	for _, b := range c.Babblers {
 		rep.BabbleSent += b.Sent
 		rep.BabbleMuted += b.Muted
+	}
+	for _, a := range c.Attackers {
+		rep.AttackSent += a.Sent
+		rep.AttackMuted += a.Muted
 	}
 	for _, e := range c.Errors {
 		rep.Errors = append(rep.Errors, e.Error())

@@ -48,6 +48,17 @@ type CheckContext struct {
 	// long before the end of the trace to have reached node_up (0 disables
 	// the check).
 	RestartWindow sim.Duration
+	// BusOffWindow bounds bus-off recovery: every bus_off record must be
+	// answered by a bus_off_recovered for the same node within it (0
+	// disables the check). Campaigns on confined buses derive it from the
+	// 128×11-recessive-bit rule plus the supervisor's declared backoff.
+	BusOffWindow sim.Duration
+	// Attacks lists the scripted bus-off attack windows; they arm the
+	// HRT-survival, victim-bus-off and attacker-isolation checks.
+	Attacks []AttackWindow
+	// GuardianArmed tells the attack checkers an isolating guardian was
+	// installed, so the attacker must end up isolated.
+	GuardianArmed bool
 }
 
 func (c CheckContext) recoveryRounds() int {
@@ -120,6 +131,10 @@ func CheckAll(ctx CheckContext) []Violation {
 	out = append(out, CheckMasterFailover(ctx)...)
 	out = append(out, CheckHoldoverClosed(ctx)...)
 	out = append(out, CheckRestartCompletes(ctx)...)
+	out = append(out, CheckBusOffRecovery(ctx)...)
+	out = append(out, CheckVictimBusOff(ctx)...)
+	out = append(out, CheckHRTSurvival(ctx)...)
+	out = append(out, CheckAttackerIsolated(ctx)...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
 }
@@ -249,11 +264,21 @@ func crashedWithin(ws map[int][]outage, node int, from, to sim.Time) bool {
 // CheckHRTOnTime asserts that no HRT delivery was flagged late: the
 // middleware marks a delivery "late" when it happens past the slot
 // deadline by more than twice the clock precision, which breaks the
-// paper's delivery-at-deadline guarantee.
+// paper's delivery-at-deadline guarantee. Late deliveries on subjects
+// published by a scripted bus-off attack's victim inside the attack
+// window are excused — retransmission storms delaying the victim's own
+// traffic are the attack working, not a de-jittering bug.
 func CheckHRTOnTime(ctx CheckContext) []Violation {
+	var publishers map[uint64]map[int]bool
+	if len(ctx.Attacks) > 0 {
+		publishers = hrtPublishers(ctx.Records)
+	}
 	var out []Violation
 	for _, r := range ctx.Records {
 		if r.Stage == obs.StageDelivered && r.Class == "HRT" && r.Detail == "late" {
+			if ctx.attackExcused(publishers, r.Subject, r.At) {
+				continue
+			}
 			out = append(out, Violation{
 				Check: "hrt-on-time", ID: r.ID, At: r.At,
 				Detail: fmt.Sprintf("HRT delivery on subject %#x at %v flagged late", r.Subject, r.At),

@@ -53,6 +53,15 @@ type Lifecycle struct {
 	// CrashCount / RestartCount tally completed transitions;
 	// AgentTakeovers counts standby promotions to the agent role.
 	CrashCount, RestartCount, AgentTakeovers int
+
+	// Bus-off recovery supervisor state (EnableBusOffRecovery):
+	// BusOffCount / BusOffRecovered tally bus-off entries and completed
+	// supervised rejoins across all stations.
+	busOffPol                    BusOffPolicy
+	busOffArmed                  bool
+	busOffStreak                 map[int]int      // consecutive bus-offs per station
+	busOffUpAt                   map[int]sim.Time // last completed recovery per station
+	BusOffCount, BusOffRecovered int
 }
 
 // crashRecord is what survives a crash outside the node: the subjects the
@@ -246,7 +255,11 @@ func (lc *Lifecycle) Restart(i int) error {
 	// Power-on: the controller re-attaches, a fresh middleware replaces
 	// the crashed one (NewMiddleware re-installs the receive path and the
 	// two system filters), and the cold-booted clock reads an arbitrary
-	// value until synchronization pulls it back.
+	// value until synchronization pulls it back. A power cycle clears
+	// bus-off — the error counters live in the controller's volatile state.
+	if node.Ctrl.State() == can.BusOff {
+		node.Ctrl.Recover()
+	}
 	node.Ctrl.Reattach()
 	mw := NewMiddleware(sys.K, node, sys.Cfg.Bands)
 	mw.Cal = sys.Cfg.Calendar

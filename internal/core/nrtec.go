@@ -152,6 +152,26 @@ func (c *NRTEC) sendNext() {
 		ch.nrtBusy = false
 		return
 	}
+	// Error-passive degradation: a sender whose error counters crossed the
+	// passive threshold is one error burst away from bus-off, so it stops
+	// burning bus time on bulk transfers — queued NRT chains are shed until
+	// the controller is error-active again, leaving the remaining error
+	// budget to the HRT calendar and SRT band. With fault confinement off
+	// the state is always error-active and this is a single comparison.
+	if mw.node.Ctrl.State() == can.ErrorPassive {
+		for _, chain := range ch.nrtQueue {
+			mw.counters.Shed++
+			ch.raisePub(Exception{
+				Kind: ExcLoadShed, Subject: ch.subject,
+				At: mw.K.Now(), Detail: "error-passive: NRT shed to protect RT bands",
+			})
+			mw.Obs.Emit(chain[0].Tag, obs.StageShed, NRT.String(), mw.node.Index,
+				uint64(ch.subject), mw.K.Now(), "error_passive")
+		}
+		ch.nrtQueue = nil
+		ch.nrtBusy = false
+		return
+	}
 	ch.nrtBusy = true
 	chain := ch.nrtQueue[0]
 	frame := chain[0]

@@ -51,6 +51,11 @@ type SystemConfig struct {
 	// redundant HRT copies (then OmissionDegree+1 copies are always sent,
 	// TTP-style).
 	NoSuppressRedundancy bool
+	// ConfineFaults enables CAN 2.0 fault confinement on the bus: TEC/REC
+	// error counters, error-passive degradation and bus-off with the
+	// 128×11-recessive-bit recovery rule. Off by default — the paper's
+	// experiments assume error-active controllers throughout.
+	ConfineFaults bool
 	// Injector is the fault model (nil = fault-free).
 	Injector can.Injector
 	// Observe opts the system into the observability layer (life-cycle
@@ -125,6 +130,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		k = sim.NewKernel(cfg.Seed)
 	}
 	bus := can.NewBus(k, cfg.BitRate)
+	bus.ConfineFaults = cfg.ConfineFaults
 	if cfg.Injector != nil {
 		bus.Injector = cfg.Injector
 	}
@@ -172,6 +178,10 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 			sys.Obs.RegisterQueueDepth(i, "hrt", func() int { return node.MW.hrtQueuedTotal() })
 			sys.Obs.RegisterQueueDepth(i, "srt", func() int { return node.MW.srtQueuedTotal() })
 			sys.Obs.RegisterQueueDepth(i, "nrt", func() int { return node.MW.nrtQueuedTotal() })
+			sys.Obs.RegisterErrorState(i,
+				func() int { return ctrl.TEC() },
+				func() int { return ctrl.REC() },
+				func() int { return int(ctrl.State()) })
 		}
 		sys.Nodes = append(sys.Nodes, node)
 		sys.Clocks = append(sys.Clocks, clk)

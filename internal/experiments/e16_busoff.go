@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+
+	"canec/internal/binding"
+	"canec/internal/calendar"
+	"canec/internal/chaos"
+	"canec/internal/clock"
+	"canec/internal/core"
+	"canec/internal/obs"
+	"canec/internal/sim"
+	"canec/internal/stats"
+)
+
+// E16BusOffAttack sweeps the corruption rate of a scripted bus-off
+// adversary (a station firing bit errors into the victim's calendar
+// slots) against the fault-confinement machine, undefended and defended.
+// Undefended rows show the raw weapon: how fast the TEC ramp drives the
+// victim bus-off, how long it stays down under re-attack, and how many
+// bytes of its reserved HRT bandwidth background NRT traffic reclaims
+// through arbitration while it is silent (§3.2, §5 — the reclamation
+// E11 measures for crashes applies to bus-off outages too). Defended
+// rows arm the slot-timed guardian escalation: the attacker is isolated
+// within a few victim-slot occurrences, the victim's supervisor brings
+// it back under capped-exponential backoff, and healthy nodes' HRT
+// slots never miss either way.
+func E16BusOffAttack(seed uint64) Result {
+	tbl := stats.Table{
+		Title: "bus-off adversary sweep: attack rate vs confinement, recovery and guardian isolation",
+		Headers: []string{"rate", "guardian", "busoff ms", "busoffs", "isolate ms",
+			"victim down ms", "reclaimed B", "healthy misses", "violations"},
+	}
+	base := e16Exec(seed, 0, false)
+	for _, rate := range []float64{0.05, 0.25, 0.5, 1.0} {
+		for _, guarded := range []bool{false, true} {
+			run := e16Exec(seed, rate, guarded)
+			reclaimed := 0
+			for _, w := range run.downWins {
+				reclaimed += e16BytesIn(run.deliv, w[0], w[1]) - e16BytesIn(base.deliv, w[0], w[1])
+			}
+			guardian := "off"
+			if guarded {
+				guardian = "on"
+			}
+			tbl.Rows = append(tbl.Rows, []string{
+				fmt.Sprintf("%.2f", rate),
+				guardian,
+				e16MS(run.busoffAt),
+				fmt.Sprintf("%d", run.busoffs),
+				e16MS(run.isolatedAt),
+				fmt.Sprintf("%.1f", float64(run.downTotal)/float64(sim.Millisecond)),
+				fmt.Sprintf("%d", reclaimed),
+				fmt.Sprintf("%d", run.healthyMisses),
+				fmt.Sprintf("%d", run.violations),
+			})
+		}
+	}
+	return Result{
+		ID:    "E16",
+		Title: "bus-off adversary campaigns: attack-rate sweep (Bosch §8 fault confinement)",
+		Table: tbl,
+		Notes: []string{
+			"attacker fires into victim slots over [300,700) ms; rates below ~0.11 lose the +8/-1 TEC race and never reach bus-off",
+			"busoff ms = attack start to the victim's first bus-off entry; isolate ms = attack start to guardian isolation of the attacker",
+			"victim down = total bus-off time (recovery = 128*11 recessive bits + supervised backoff against flapping re-attack)",
+			"reclaimed B = extra NRT frame-data bytes on the wire inside the victim's outage windows vs the attack-free run;",
+			"  unlike a crash outage (E11), a bus-off under sustained re-attack frees nothing - attacker pulses and error bursts eat the reservation (negative = net loss)",
+			"healthy misses = HRT slot misses on subjects not published by the victim; the victim's error bursts bleed into healthy slots only undefended",
+			"violations = chaos trace invariant failures (hrt-survival and late healthy deliveries, expected undefended at decisive rates; must be 0 defended)",
+		},
+	}
+}
+
+const (
+	e16Horizon  = 1200 * sim.Millisecond
+	e16AttackAt = 300 * sim.Millisecond
+	e16AttackTo = 700 * sim.Millisecond
+	e16Victim   = 1
+	e16Attacker = 8
+	e16Chunk    = 128
+)
+
+type e16Delivery struct {
+	at sim.Time
+	n  int
+}
+
+type e16Result struct {
+	busoffAt, isolatedAt sim.Time // relative to attack start; -1 = never
+	busoffs              int
+	downWins             [][2]sim.Time
+	downTotal            sim.Duration
+	healthyMisses        int
+	violations           int
+	deliv                []e16Delivery
+}
+
+func e16MS(rel sim.Time) string {
+	if rel < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", float64(rel)/float64(sim.Millisecond))
+}
+
+// e16BytesIn sums best-effort wire bytes in [from, to).
+func e16BytesIn(deliv []e16Delivery, from, to sim.Time) int {
+	total := 0
+	for _, d := range deliv {
+		if d.at >= from && d.at < to {
+			total += d.n
+		}
+	}
+	return total
+}
+
+// e16Calendar reserves two victim slots (node 1, so a successful attack
+// frees a sizable reservation) and three healthy ones (nodes 2-4), all on
+// one 10 ms rate.
+func e16Calendar() (*calendar.Calendar, error) {
+	cfg := calendar.DefaultConfig()
+	reqs := []calendar.Request{
+		{Subject: 0x730, Publisher: 1, Payload: 8, Period: 10 * sim.Millisecond, Periodic: true},
+		{Subject: 0x734, Publisher: 1, Payload: 8, Period: 10 * sim.Millisecond, Periodic: true},
+		{Subject: 0x731, Publisher: 2, Payload: 8, Period: 10 * sim.Millisecond, Periodic: true},
+		{Subject: 0x732, Publisher: 3, Payload: 8, Period: 10 * sim.Millisecond, Periodic: true},
+		{Subject: 0x733, Publisher: 4, Payload: 8, Period: 10 * sim.Millisecond, Periodic: true},
+	}
+	return calendar.Plan(cfg, reqs)
+}
+
+// e16Exec runs one attack campaign (rate 0 = attack-free baseline) with
+// the confinement machine on and the lifecycle supervisor owning bus-off
+// recovery, and reduces the trace to the sweep's measurements.
+func e16Exec(seed uint64, rate float64, guarded bool) e16Result {
+	cal, err := e16Calendar()
+	if err != nil {
+		panic(err)
+	}
+	sys, err := core.NewSystem(core.SystemConfig{
+		Nodes: 9, Seed: seed, Calendar: cal,
+		Sync:             clock.DefaultSyncConfig(),
+		MaxDriftPPM:      100,
+		MaxInitialOffset: 200 * sim.Microsecond,
+		ConfineFaults:    true,
+		Observe:          obs.Default(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	script := chaos.Script{}
+	if rate > 0 {
+		script.Events = []chaos.Event{{
+			Kind:    "busoff_attack",
+			AtMS:    float64(e16AttackAt) / float64(sim.Millisecond),
+			UntilMS: float64(e16AttackTo) / float64(sim.Millisecond),
+			Node:    e16Attacker, Victim: e16Victim, Rate: rate,
+		}}
+	}
+	if guarded {
+		script.Guardian = true
+		script.GuardianSlotLimit = e16SlotLimit
+	}
+	lc := core.NewLifecycle(sys)
+	camp, err := chaos.NewCampaign(sys, lc, script)
+	if err != nil {
+		panic(err)
+	}
+	lc.EnableBusOffRecovery(core.DefaultBusOffPolicy())
+	end := sys.Cfg.Epoch + e16Horizon
+
+	// HRT publishers, one per slot; node 5 subscribes to all of them.
+	for _, s := range cal.Slots {
+		s := s
+		subj := binding.Subject(s.Subject)
+		node := int(s.Publisher)
+		ch, err := sys.Node(node).MW.HRTEC(subj)
+		if err != nil {
+			panic(err)
+		}
+		if err := ch.Announce(core.ChannelAttrs{Payload: 7, Periodic: true}, nil); err != nil {
+			panic(err)
+		}
+		var loop func(r int64)
+		loop = func(r int64) {
+			local := sys.Cfg.Epoch + sim.Time(r)*cal.Round + s.Ready - 300*sim.Microsecond
+			at := sys.Clocks[node].WhenLocal(sys.K.Now(), local)
+			if at >= end {
+				return
+			}
+			sys.K.At(at, func() {
+				ch.Publish(core.Event{Subject: subj, Payload: []byte{byte(r)}})
+				loop(s.NextActive(r + 1))
+			})
+		}
+		loop(s.NextActive(0))
+		sub, err := sys.Node(5).MW.HRTEC(subj)
+		if err != nil {
+			panic(err)
+		}
+		if err := sub.Subscribe(core.ChannelAttrs{Payload: 7, Periodic: true}, core.SubscribeAttrs{},
+			func(core.Event, core.DeliveryInfo) {}, nil); err != nil {
+			panic(err)
+		}
+	}
+	camp.Install()
+
+	// Saturating background bulk, node 6 -> node 7, resolving reclaimed
+	// bytes at frame granularity inside the victim's outage windows. The
+	// top-up is bounded per tick, not queue-depth-gated: the attack ramps
+	// every receiver's REC, so node 6 dips error-passive and sheds its NRT
+	// queue — an unbounded "fill to depth 4" loop would spin forever
+	// against a queue the shed keeps empty.
+	bulk, err := sys.Node(6).MW.NRTEC(0x7fe)
+	if err != nil {
+		panic(err)
+	}
+	if err := bulk.Announce(core.ChannelAttrs{Prio: 254, Fragmentation: true}, nil); err != nil {
+		panic(err)
+	}
+	sub, _ := sys.Node(7).MW.NRTEC(0x7fe)
+	sub.Subscribe(core.ChannelAttrs{Fragmentation: true}, core.SubscribeAttrs{},
+		func(core.Event, core.DeliveryInfo) {}, nil)
+	var feed func()
+	feed = func() {
+		if sys.K.Now() >= end {
+			return
+		}
+		for i := 0; i < 4 && bulk.QueuedChains() < 4; i++ {
+			bulk.Publish(core.Event{Subject: 0x7fe, Payload: make([]byte, e16Chunk)})
+		}
+		sys.K.After(sim.Millisecond, feed)
+	}
+	sys.K.At(0, feed)
+
+	sys.Run(end)
+
+	res := e16Result{busoffAt: -1, isolatedAt: -1}
+	victimSubjects := map[uint64]bool{0x730: true, 0x734: true}
+	var downAt sim.Time = -1
+	grace := 2 * sim.Duration(cal.Round)
+	for _, r := range sys.Obs.Records() {
+		switch r.Stage {
+		case obs.StageBusOff:
+			if r.Node != e16Victim {
+				break
+			}
+			res.busoffs++
+			if res.busoffAt < 0 {
+				res.busoffAt = r.At - e16AttackAt
+			}
+			downAt = r.At
+		case obs.StageBusOffRecovered:
+			if r.Node != e16Victim || downAt < 0 {
+				break
+			}
+			res.downWins = append(res.downWins, [2]sim.Time{downAt, r.At})
+			res.downTotal += sim.Duration(r.At - downAt)
+			downAt = -1
+		case obs.StageGuardIsolated:
+			if r.Node == e16Attacker && res.isolatedAt < 0 {
+				res.isolatedAt = r.At - e16AttackAt
+			}
+		case obs.StageMissed:
+			if victimSubjects[r.Subject] {
+				break
+			}
+			if r.At >= e16AttackAt && r.At <= e16AttackTo+sim.Time(grace) {
+				res.healthyMisses++
+			}
+		}
+	}
+	if downAt >= 0 { // still bus-off at trace end
+		res.downWins = append(res.downWins, [2]sim.Time{downAt, end})
+		res.downTotal += sim.Duration(end - downAt)
+	}
+	res.violations = len(camp.Finish(0).Violations)
+	for _, r := range sys.Obs.Records() {
+		if r.Stage == obs.StageTxOK && r.Node == 6 {
+			res.deliv = append(res.deliv, e16Delivery{at: r.At, n: 8})
+		}
+	}
+	return res
+}
+
+// e16SlotLimit is the guardian's slot-targeted isolation threshold for
+// the defended rows: high enough that the victim demonstrably reaches
+// bus-off before the attacker is isolated (the attacker accrues ~2
+// slot-targeted violations per round), low enough that isolation lands
+// well inside the attack window.
+var e16SlotLimit = 20

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"canec/internal/can"
 	"canec/internal/core"
 	"canec/internal/obs"
 	"canec/internal/obs/perf"
@@ -74,6 +75,12 @@ type Health struct {
 	Breached   bool    `json:"slo_breached"`
 	FlightLen  int     `json:"flight_records"`
 	Dumps      int     `json:"postmortems"`
+	// Fault-confinement summary (zero when the error machine is off):
+	// controllers currently error-passive / bus-off, plus the total
+	// bus-off entries since boot.
+	ErrorPassive int    `json:"error_passive"`
+	BusOff       int    `json:"bus_off"`
+	BusOffTotal  uint64 `json:"busoff_total"`
 }
 
 // SLOView is the /slo payload: the objective list plus engine-level
@@ -131,6 +138,12 @@ type Options struct {
 	// Profiler backs /profile. Snapshot reads kernel-owned state, so
 	// the handler routes it through InKernel.
 	Profiler *perf.Profiler
+	// ErrorState summarizes the fault-confinement plane for /healthz:
+	// controllers currently error-passive, currently bus-off, and total
+	// bus-off entries. Reads kernel-owned controller state, so the
+	// handler routes it through InKernel. See SystemErrorState for the
+	// stock core.System adapter.
+	ErrorState func() (passive, busoff int, total uint64)
 	// InKernel runs fn in kernel context (e.g. sim.Paced.Call). Nil
 	// means call fn directly.
 	InKernel func(func())
@@ -269,6 +282,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		if s.opts.Channels != nil {
 			h.Channels = len(s.opts.Channels())
 		}
+		if s.opts.ErrorState != nil {
+			h.ErrorPassive, h.BusOff, h.BusOffTotal = s.opts.ErrorState()
+		}
 		h.Breached = s.opts.SLO.Breached()
 	})
 	h.TraceBase = s.opts.Observer.TraceBase()
@@ -403,6 +419,24 @@ func SystemChannels(sys *core.System) func() []ChannelRow {
 			}
 		}
 		return rows
+	}
+}
+
+// SystemErrorState adapts a core.System into the /healthz
+// fault-confinement summary. The returned closure must run in kernel
+// context (the Server routes it through Options.InKernel).
+func SystemErrorState(sys *core.System) func() (passive, busoff int, total uint64) {
+	return func() (int, int, uint64) {
+		var passive, busoff int
+		for _, n := range sys.Nodes {
+			switch n.Ctrl.State() {
+			case can.ErrorPassive:
+				passive++
+			case can.BusOff:
+				busoff++
+			}
+		}
+		return passive, busoff, sys.Bus.Stats().BusOffEvents
 	}
 }
 

@@ -117,6 +117,7 @@ type Observer struct {
 	exceptions  map[string]*Counter // by exception kind
 	watchdog    map[string]*Counter // by new state
 	guardian    map[string]*Counter // by band
+	busoff      map[string]*Counter // bus-off entries, by node
 	lifecycle   map[string]*Counter // by lifecycle stage
 	ctrlplane   map[string]*Counter // by control-plane stage
 	relayFwd    map[string]*Counter // relay forwarded, by class
@@ -155,6 +156,7 @@ func New(cfg Config, now func() sim.Time, bm BandMap) *Observer {
 		o.exceptions = make(map[string]*Counter)
 		o.watchdog = make(map[string]*Counter)
 		o.guardian = make(map[string]*Counter)
+		o.busoff = make(map[string]*Counter)
 		o.lifecycle = make(map[string]*Counter)
 		o.ctrlplane = make(map[string]*Counter)
 		o.relayFwd = make(map[string]*Counter)
@@ -611,6 +613,26 @@ func (o *Observer) RegisterQueueDepth(node int, queue string, fn func() int) {
 		func() float64 { return float64(fn()) })
 }
 
+// RegisterErrorState installs the fault-confinement gauges for one node's
+// controller: TEC, REC and the numeric error state (0 error-active,
+// 1 error-passive, 2 bus-off). With confinement off the gauges stay flat
+// at zero, so they are registered unconditionally like the queue depths.
+func (o *Observer) RegisterErrorState(node int, tec, rec, state func() int) {
+	if o == nil || o.reg == nil {
+		return
+	}
+	labels := Labels{"node": fmt.Sprintf("%d", node)}
+	o.reg.GaugeFunc("canec_can_tec",
+		"Transmit error counter of each node's CAN controller.",
+		labels, func() float64 { return float64(tec()) })
+	o.reg.GaugeFunc("canec_can_rec",
+		"Receive error counter of each node's CAN controller.",
+		labels, func() float64 { return float64(rec()) })
+	o.reg.GaugeFunc("canec_can_error_state",
+		"Fault-confinement state of each node's CAN controller: 0 error-active, 1 error-passive, 2 bus-off.",
+		labels, func() float64 { return float64(state()) })
+}
+
 // classCounter memoises a per-class counter family.
 func (o *Observer) classCounter(m map[string]*Counter, name, help, class string) *Counter {
 	c, ok := m[class]
@@ -700,6 +722,38 @@ func (o *Observer) busEvent(e can.TraceEvent) {
 			}
 			c.Inc()
 		}
+	case can.TraceGuardIsolate:
+		stage = StageGuardIsolated
+	case can.TraceErrorPassive, can.TraceErrorActive, can.TraceBusOff, can.TraceBusOffRecover:
+		// Fault-confinement transitions carry a zero frame (they belong to
+		// the controller, not an event), so they bypass the frame-derived
+		// record below: Node is the controller, Detail snapshots TEC/REC.
+		switch e.Kind {
+		case can.TraceErrorPassive:
+			stage = StageErrorPassive
+		case can.TraceErrorActive:
+			stage = StageErrorActive
+		case can.TraceBusOff:
+			stage = StageBusOff
+			if o.reg != nil {
+				key := fmt.Sprintf("%d", e.Sender)
+				c, ok := o.busoff[key]
+				if !ok {
+					c = o.reg.Counter("canec_can_busoff_total",
+						"Bus-off entries per node's CAN controller.",
+						Labels{"node": key})
+					o.busoff[key] = c
+				}
+				c.Inc()
+			}
+		case can.TraceBusOffRecover:
+			stage = StageBusOffRecovered
+		}
+		if o.recording() {
+			o.emitRecord(Record{Stage: stage, At: e.At, Node: e.Sender, Prio: -1,
+				Detail: fmt.Sprintf("tec=%d rec=%d", e.TEC, e.REC)})
+		}
+		return
 	default:
 		return
 	}

@@ -191,6 +191,32 @@ func TestCompareAllocsRegression(t *testing.T) {
 	}
 }
 
+// TestCompareAllocsMacroScale: experiment-level benchmarks run millions
+// of allocs per op and drift by parts per million between runs (map
+// growth, timer scheduling), so the alloc gate is max(abs, frac×old) —
+// ppm drift passes, a real 1% leak still fails, and micro-bench
+// sensitivity is untouched (0.1% of tens of allocs ≪ 0.5).
+func TestCompareAllocsMacroScale(t *testing.T) {
+	oldF := benchFile(Result{Name: "E9", NsPerOp: 1e9, AllocsPerOp: 2_457_362})
+	newF := benchFile(Result{Name: "E9", NsPerOp: 1e9, AllocsPerOp: 2_457_366})
+	if n := regressionCount(Compare(oldF, newF, Thresholds{})); n != 0 {
+		t.Fatalf("ppm-scale macro drift flagged: %d", n)
+	}
+	// +1% of 2.4M is a genuine leak — over the 0.1% relative limit.
+	newF.Results[0].AllocsPerOp = 2_457_362 * 1.01
+	bad := Regressions(Compare(oldF, newF, Thresholds{}))
+	if len(bad) != 1 || bad[0].Metric != "allocs_per_op" {
+		t.Fatalf("macro leak missed: %+v", bad)
+	}
+	// Micro-bench: one new steady-state alloc per frame still trips.
+	oldF = benchFile(Result{Name: "Relay", NsPerOp: 100, AllocsPerOp: 17})
+	newF = benchFile(Result{Name: "Relay", NsPerOp: 100, AllocsPerOp: 18})
+	bad = Regressions(Compare(oldF, newF, Thresholds{}))
+	if len(bad) != 1 || bad[0].Metric != "allocs_per_op" {
+		t.Fatalf("micro +1 alloc missed: %+v", bad)
+	}
+}
+
 func TestCompareFramesRegression(t *testing.T) {
 	oldF := benchFile(Result{Name: "B1", NsPerOp: 100, FramesPerSec: 1e6})
 	newF := benchFile(Result{Name: "B1", NsPerOp: 100, FramesPerSec: 0.5e6})

@@ -40,6 +40,10 @@ type SLOConfig struct {
 	// HoldoverBudget is the tolerated number of clock holdover entries
 	// per LongWindow. 0 disables.
 	HoldoverBudget float64
+	// BusOffBudget is the tolerated number of controller bus-off entries
+	// per LongWindow — a bus-off under an attack campaign is an incident
+	// worth a flight-recorder post-mortem. 0 disables.
+	BusOffBudget float64
 }
 
 // DefaultSLOConfig returns the objective set a production daemon runs
@@ -52,6 +56,7 @@ func DefaultSLOConfig() SLOConfig {
 		SRTMissBudget:      0.05,
 		GuardianMuteBudget: 1,
 		HoldoverBudget:     1,
+		BusOffBudget:       1,
 	}
 }
 
@@ -77,7 +82,8 @@ func (c *SLOConfig) fillDefaults() {
 // served at /slo.
 type Objective struct {
 	// Name identifies the objective ("srt-miss-rate", "hrt-jitter-p99",
-	// "nrt-throughput-floor", "guardian-mutes", "clock-holdover").
+	// "nrt-throughput-floor", "guardian-mutes", "clock-holdover",
+	// "busoff-events").
 	Name string `json:"name"`
 	// Class is the channel class the objective guards, when class-bound.
 	Class string `json:"class,omitempty"`
@@ -117,6 +123,7 @@ type sloSample struct {
 	nrtDeliv  float64
 	mutes     float64
 	holdovers float64
+	busoffs   float64
 	jit       jitSnap
 }
 
@@ -175,6 +182,11 @@ func (o *Observer) StartSLO(k *sim.Kernel, cfg SLOConfig) *SLO {
 		s.objectives = append(s.objectives, &Objective{
 			Name:   "clock-holdover",
 			Budget: cfg.HoldoverBudget, Unit: fmt.Sprintf("entries/%v", cfg.LongWindow)})
+	}
+	if cfg.BusOffBudget > 0 {
+		s.objectives = append(s.objectives, &Objective{
+			Name:   "busoff-events",
+			Budget: cfg.BusOffBudget, Unit: fmt.Sprintf("entries/%v", cfg.LongWindow)})
 	}
 	s.samples = append(s.samples, s.snapshot(k.Now()))
 	k.After(cfg.Interval, s.tick)
@@ -253,6 +265,7 @@ func (s *SLO) snapshot(at sim.Time) sloSample {
 		nrtDeliv:  counterVal(o.delivered, "NRT"),
 		mutes:     counterSum(o.guardian, ""),
 		holdovers: counterVal(o.ctrlplane, string(StageHoldoverEnter)),
+		busoffs:   counterSum(o.busoff, ""),
 	}
 	if h := o.JitterHist("HRT"); h != nil {
 		sm.jit.ok = true
@@ -357,6 +370,10 @@ func (s *SLO) windowValue(ob *Objective, cur, base sloSample, w sim.Duration) (v
 		return n, n / budget
 	case "clock-holdover":
 		n := cur.holdovers - base.holdovers
+		budget := ob.Budget * float64(w) / float64(s.cfg.LongWindow)
+		return n, n / budget
+	case "busoff-events":
+		n := cur.busoffs - base.busoffs
 		budget := ob.Budget * float64(w) / float64(s.cfg.LongWindow)
 		return n, n / budget
 	default: // hrt-jitter-p*

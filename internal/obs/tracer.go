@@ -57,6 +57,29 @@ const (
 	// StageGuardMuted marks the bus guardian muting a calendar-violating
 	// transmission before it reached the wire (babbling-idiot containment).
 	StageGuardMuted Stage = "guard_muted"
+	// StageGuardIsolated marks the guardian escalating to whole-station
+	// isolation: every further transmission of the station is muted. Emitted
+	// once per suppressed attempt; the first occurrence timestamps the
+	// isolation for the chaos checkers.
+	StageGuardIsolated Stage = "guard_isolated"
+
+	// Fault-confinement stages carry trace ID 0 with Node set to the
+	// controller whose error state changed (they belong to a station, not an
+	// event); Detail snapshots the TEC/REC after the transition. Chaos
+	// checkers pair bus_off with bus_off_recovered to bound recovery times.
+
+	// StageErrorPassive marks a controller crossing into error-passive
+	// (TEC or REC reached 128).
+	StageErrorPassive Stage = "error_passive"
+	// StageErrorActive marks a controller returning to error-active.
+	StageErrorActive Stage = "error_active"
+	// StageBusOff marks a controller entering bus-off and detaching
+	// (TEC reached 256).
+	StageBusOff Stage = "bus_off"
+	// StageBusOffRecovered marks a bus-off controller completing the
+	// 128×11-recessive-bit observation (plus any supervisor backoff) and
+	// re-joining error-active with cleared counters.
+	StageBusOffRecovered Stage = "bus_off_recovered"
 
 	// Node lifecycle stages carry trace ID 0 (they belong to a station, not
 	// an event) with Node set to the affected station. Chaos invariant

@@ -62,6 +62,18 @@ type Scenario struct {
 	MaxDriftPPM    float64 `json:"maxDriftPPM"`
 	FaultRate      float64 `json:"faultRate"`
 	OmissionDegree int     `json:"omissionDegree"`
+	// ConfineFaults enables CAN 2.0 fault confinement on the bus: TEC/REC
+	// error counters, error-passive degradation (which sheds NRT traffic)
+	// and bus-off with the 128×11-recessive-bit recovery rule. Off by
+	// default, matching the paper's error-active assumption.
+	ConfineFaults bool `json:"confineFaults,omitempty"`
+	// BusOffAutoRecover selects who recovers bus-off controllers. Unset
+	// or true with no chaos campaign: the controllers' built-in
+	// auto-recovery (rejoin exactly after the observation time). With a
+	// chaos campaign, the lifecycle's supervisor takes over (capped
+	// exponential re-join backoff, anti-flap). Explicit false disables
+	// recovery entirely — a bus-off station stays detached.
+	BusOffAutoRecover *bool `json:"busOffAutoRecover,omitempty"`
 	// SyncMaster selects the initial time master (default station 0);
 	// SyncBackups ranks the backup masters for failover.
 	SyncMaster  int         `json:"syncMaster,omitempty"`
@@ -162,6 +174,14 @@ func (s *Scenario) Validate() error {
 		if err := s.Chaos.Validate(s.Nodes); err != nil {
 			return err
 		}
+		for i, e := range s.Chaos.Events {
+			if e.Kind == "busoff_attack" && !s.ConfineFaults {
+				return fmt.Errorf("scenario: chaos event %d is a busoff_attack but confineFaults is off (no error counters to attack)", i)
+			}
+		}
+	}
+	if s.BusOffAutoRecover != nil && !s.ConfineFaults {
+		return fmt.Errorf("scenario: busOffAutoRecover set but confineFaults is off")
 	}
 	return nil
 }
@@ -206,6 +226,10 @@ func (r *Report) String() string {
 		if ch.AgentTakeovers > 0 || ch.MasterTakeovers > 0 {
 			out += fmt.Sprintf("chaos: control plane: %d agent takeover(s), %d master takeover(s)\n",
 				ch.AgentTakeovers, ch.MasterTakeovers)
+		}
+		if ch.BusOffEvents > 0 || ch.AttackSent > 0 || ch.AttackMuted > 0 {
+			out += fmt.Sprintf("chaos: bus-off: %d event(s), %d supervised recovery(ies), attacker sent %d / muted %d\n",
+				ch.BusOffEvents, ch.BusOffRecovered, ch.AttackSent, ch.AttackMuted)
 		}
 		if len(ch.Violations) == 0 {
 			out += "chaos: all trace invariants hold\n"
@@ -278,6 +302,7 @@ func (s *Scenario) Run() (*Report, error) {
 		SyncBackups:      s.SyncBackups,
 		MaxDriftPPM:      s.MaxDriftPPM,
 		MaxInitialOffset: 200 * sim.Microsecond,
+		ConfineFaults:    s.ConfineFaults,
 		Observe:          s.Observe,
 	})
 	if err != nil {
@@ -286,6 +311,12 @@ func (s *Scenario) Run() (*Report, error) {
 	if s.FaultRate > 0 {
 		sys.Bus.Injector = can.RandomErrors{Rate: s.FaultRate}
 	}
+	recoverOff := s.BusOffAutoRecover != nil && !*s.BusOffAutoRecover
+	if s.ConfineFaults && recoverOff {
+		for _, n := range sys.Nodes {
+			n.Ctrl.SetAutoRecover(false)
+		}
+	}
 	var lc *core.Lifecycle
 	var camp *chaos.Campaign
 	if s.Chaos != nil {
@@ -293,6 +324,12 @@ func (s *Scenario) Run() (*Report, error) {
 		camp, err = chaos.NewCampaign(sys, lc, *s.Chaos)
 		if err != nil {
 			return nil, err
+		}
+		if s.ConfineFaults && !recoverOff {
+			// Under a chaos campaign the lifecycle supervisor owns bus-off
+			// recovery: the spec observation time plus anti-flap backoff,
+			// whose declared bound the invariant checkers assert against.
+			lc.EnableBusOffRecovery(core.DefaultBusOffPolicy())
 		}
 	}
 	// down gates application publishing: the application on a crashed

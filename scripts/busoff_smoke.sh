@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# busoff_smoke: the bus-off adversary gate. Replays the scripted
+# error-confinement attack campaign (testdata/chaos-busoff-attack.json
+# over testdata/scenario-busoff.json): a rate-1.0 slot-timed corruption
+# attack on station 1 with the guardian's slot-targeted escalation armed
+# and the lifecycle supervisor owning bus-off recovery. The run must
+# show the weapon working (a bus-off entry), the defense working (a
+# supervised recovery and the attacker isolated), and every chaos trace
+# invariant holding — twice, bit-identically, for determinism.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+GO="${GO:-go}"
+"$GO" build -o "$workdir/canecsim" ./cmd/canecsim
+
+run() {
+    "$workdir/canecsim" -config testdata/scenario-busoff.json \
+        -chaos testdata/chaos-busoff-attack.json
+}
+
+run > "$workdir/run1.out" || {
+    echo "busoff-smoke: campaign failed" >&2; cat "$workdir/run1.out" >&2; exit 1; }
+
+grep -q 'chaos: bus-off: [1-9][0-9]* event(s), [1-9][0-9]* supervised recovery(ies)' "$workdir/run1.out" || {
+    echo "busoff-smoke: victim never went bus-off or never recovered" >&2
+    cat "$workdir/run1.out" >&2; exit 1; }
+grep -q 'isolated 1 nodes' "$workdir/run1.out" || {
+    echo "busoff-smoke: guardian never isolated the attacker" >&2
+    cat "$workdir/run1.out" >&2; exit 1; }
+grep -q 'attacker sent 0' "$workdir/run1.out" || {
+    echo "busoff-smoke: attacker pulses reached the wire despite the guardian" >&2
+    cat "$workdir/run1.out" >&2; exit 1; }
+grep -q 'chaos: all trace invariants hold' "$workdir/run1.out" || {
+    echo "busoff-smoke: invariant violations" >&2
+    cat "$workdir/run1.out" >&2; exit 1; }
+
+# Same seed, same script: the second run must be bit-identical.
+run > "$workdir/run2.out" || {
+    echo "busoff-smoke: second campaign failed" >&2; cat "$workdir/run2.out" >&2; exit 1; }
+diff "$workdir/run1.out" "$workdir/run2.out" > /dev/null || {
+    echo "busoff-smoke: campaign is not deterministic" >&2
+    diff "$workdir/run1.out" "$workdir/run2.out" >&2 || true
+    exit 1; }
+
+echo "busoff-smoke: OK"
+cat "$workdir/run1.out"
