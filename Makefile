@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos-smoke busoff-smoke fuzz-smoke relay-smoke obs-smoke bench bench-record bench-check bench-smoke tidy
+.PHONY: all build vet test race check chaos-smoke busoff-smoke admission-smoke fuzz-smoke relay-smoke obs-smoke bench bench-record bench-check bench-smoke tidy
 
 all: check
 
@@ -32,6 +32,14 @@ chaos-smoke:
 busoff-smoke:
 	./scripts/busoff_smoke.sh
 
+# admission-smoke replays the probabilistic-admission gate through
+# canecsim: on the over-admission scenario the overcommitted channel must
+# be rejected with a typed reason, the bit-error ramp must shed the
+# marginal channel while the surviving admitted SRT channels keep the
+# target miss probability and HRT stays unaffected — deterministically.
+admission-smoke:
+	./scripts/admission_smoke.sh
+
 # fuzz-smoke runs each native fuzz target briefly (~5 s): the wire-facing
 # frame handlers (agent, client, syncer) and the codec round-trips must
 # never panic on arbitrary frames.
@@ -42,6 +50,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSyncerHandleFrame -fuzztime 5s ./internal/clock/
 	$(GO) test -run '^$$' -fuzz FuzzTSRoundTrip -fuzztime 5s ./internal/clock/
 	$(GO) test -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime 5s ./internal/can/
+	$(GO) test -run '^$$' -fuzz FuzzScript -fuzztime 5s ./internal/chaos/
 
 # relay-smoke is the multi-process federation gate: two canecd daemons on
 # localhost, three SRT events published on segment a, delivery and trace
@@ -64,10 +73,11 @@ bench-smoke:
 	./scripts/bench_smoke.sh
 
 # check is the PR gate: compile everything, vet, run the full suite under
-# the race detector, replay the chaos smoke sweep and the bus-off
-# adversary campaign, smoke the fuzz targets, run the two-daemon relay
-# and introspection smokes, and gate the performance trajectory.
-check: build vet race chaos-smoke busoff-smoke fuzz-smoke relay-smoke obs-smoke bench-smoke
+# the race detector, replay the chaos smoke sweep, the bus-off adversary
+# campaign and the probabilistic-admission gate, smoke the fuzz targets,
+# run the two-daemon relay and introspection smokes, and gate the
+# performance trajectory.
+check: build vet race chaos-smoke busoff-smoke admission-smoke fuzz-smoke relay-smoke obs-smoke bench-smoke
 
 bench:
 	$(GO) test -bench . -benchmem ./internal/can ./internal/sim

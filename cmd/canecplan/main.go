@@ -25,11 +25,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"canec/internal/baseline"
 	"canec/internal/calendar"
 	"canec/internal/can"
+	"canec/internal/core"
+	"canec/internal/prob"
 	"canec/internal/sim"
 	"canec/internal/workload"
 )
@@ -48,6 +51,18 @@ type inputSRT struct {
 	Payload      int   `json:"payload"`
 }
 
+// inputProb parameterises the probabilistic SRT analysis: the
+// stationary per-link error model and the tolerated deadline-miss
+// probability. Matching prob.ErrorModel so the planner provably
+// analyzes the same distribution chaos campaigns inject.
+type inputProb struct {
+	ErrorRate    float64 `json:"errorRate"`
+	OmissionRate float64 `json:"omissionRate"`
+	VictimProb   float64 `json:"victimProb"`
+	Receivers    int     `json:"receivers"`
+	SRTTarget    float64 `json:"srtTarget"`
+}
+
 type input struct {
 	OmissionDegree int           `json:"omissionDegree"`
 	GapUs          int64         `json:"gapUs"`
@@ -55,10 +70,16 @@ type input struct {
 	// SRT streams are not reserved, but the tool checks that they fit the
 	// residual bandwidth the calendar leaves (non-preemptive EDF bound).
 	SRT []inputSRT `json:"srt"`
+	// Prob, if present, additionally runs the convolution-based
+	// probabilistic analysis on the SRT streams (same as -prob).
+	Prob *inputProb `json:"prob"`
 }
 
 func main() {
 	example := flag.Bool("example", false, "plan a built-in example set instead of reading stdin")
+	probMode := flag.Bool("prob", false, "run the convolution-based probabilistic analysis on the SRT streams")
+	errorRate := flag.Float64("error-rate", 0.01, "per-attempt frame error probability for -prob")
+	missTarget := flag.Float64("miss-target", 1e-3, "tolerated deadline-miss probability for -prob")
 	flag.Parse()
 
 	var in input
@@ -128,6 +149,20 @@ func main() {
 			100*f.HRTShare, 100*f.SRTDemand, f.MinDeadline, verdict)
 		fmt.Println()
 	}
+	if *probMode || in.Prob != nil {
+		pm := inputProb{ErrorRate: *errorRate, SRTTarget: *missTarget}
+		if in.Prob != nil {
+			pm = *in.Prob
+			if pm.SRTTarget == 0 {
+				pm.SRTTarget = *missTarget
+			}
+		}
+		if err := printProbAnalysis(os.Stdout, cal, in.SRT, pm); err != nil {
+			fmt.Fprintln(os.Stderr, "canecplan: probabilistic analysis:", err)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
 	for _, r := range reqs {
 		achieved := cal.AchievedPeriod(r.Subject)
 		note := ""
@@ -136,4 +171,65 @@ func main() {
 		}
 		fmt.Printf("subject %#x: served every %v%s\n", r.Subject, achieved, note)
 	}
+}
+
+// printProbAnalysis runs the convolution-based probabilistic
+// response-time analysis for each SRT stream against the planned
+// calendar's reserved traffic, using the same all-ahead worst case the
+// runtime admission controller assumes: calendar slots at priority 0,
+// every other SRT stream ahead of the target. Each line reports the
+// zero-error response, the P50/P99/P99.9 quantiles of the response
+// distribution, the predicted deadline-miss probability and an
+// ADMIT/REJECT verdict against the configured target.
+func printProbAnalysis(w io.Writer, cal *calendar.Calendar, srt []inputSRT, pm inputProb) error {
+	model := prob.ErrorModel{
+		ErrorRate:    pm.ErrorRate,
+		OmissionRate: pm.OmissionRate,
+		VictimProb:   pm.VictimProb,
+		Receivers:    pm.Receivers,
+	}
+	if err := model.Validate(); err != nil {
+		return err
+	}
+	a := prob.Analyzer{Model: model}
+	reserved := core.ReservedFromCalendar(cal)
+	fmt.Fprintf(w, "probabilistic SRT analysis: error rate %.3g, omission rate %.3g, miss target %.3g\n",
+		model.ErrorRate, model.OmissionRate, pm.SRTTarget)
+	for i, r := range srt {
+		set := make([]prob.Msg, 0, len(reserved)+len(srt))
+		set = append(set, reserved...)
+		target := -1
+		for j, o := range srt {
+			m := prob.Msg{
+				Name:    fmt.Sprintf("srt-%d", j),
+				Prio:    1,
+				Period:  sim.Duration(o.MeanPeriodUs) * sim.Microsecond,
+				Payload: o.Payload,
+			}
+			if j == i {
+				m.Prio = 2
+				m.Deadline = sim.Duration(o.DeadlineUs) * sim.Microsecond
+				target = len(set)
+			}
+			set = append(set, m)
+		}
+		label := fmt.Sprintf("srt[%d] period %v deadline %v payload %d",
+			i, sim.Duration(r.MeanPeriodUs)*sim.Microsecond,
+			sim.Duration(r.DeadlineUs)*sim.Microsecond, r.Payload)
+		res, err := a.Response(set, target)
+		if err != nil {
+			fmt.Fprintf(w, "  %s: REJECT (unschedulable: %v)\n", label, err)
+			continue
+		}
+		verdict := "ADMIT"
+		if res.MissProb > pm.SRTTarget {
+			verdict = "REJECT"
+		}
+		p50, _ := res.Dist.Quantile(0.50)
+		p99, _ := res.Dist.Quantile(0.99)
+		p999, _ := res.Dist.Quantile(0.999)
+		fmt.Fprintf(w, "  %s: %s miss %.3g  (zero-error %v, p50 %v, p99 %v, p99.9 %v)\n",
+			label, verdict, res.MissProb, res.ZeroError, p50, p99, p999)
+	}
+	return nil
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"canec/internal/calendar"
+	"canec/internal/can"
+	"canec/internal/sim"
+)
+
+// planCal builds a small calendar matching the -example HRT set.
+func planCal(t *testing.T) *calendar.Calendar {
+	t.Helper()
+	cal, err := calendar.Plan(calendar.DefaultConfig(), []calendar.Request{
+		{Subject: 0x101, Publisher: 0, Payload: 8, Period: 5 * sim.Millisecond, Periodic: true},
+		{Subject: 0x102, Publisher: can.TxNode(1), Payload: 8, Period: 10 * sim.Millisecond, Periodic: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cal
+}
+
+// TestProbAnalysisVerdicts: a stream with a generous deadline is
+// admitted, one whose deadline tolerates no retransmission is rejected,
+// and both carry quantile lines from the response distribution.
+func TestProbAnalysisVerdicts(t *testing.T) {
+	cal := planCal(t)
+	srt := []inputSRT{
+		{MeanPeriodUs: 2000, DeadlineUs: 10000, Payload: 8},
+		{MeanPeriodUs: 5000, DeadlineUs: 700, Payload: 8},
+	}
+	var b strings.Builder
+	err := printProbAnalysis(&b, cal, srt, inputProb{ErrorRate: 0.05, SRTTarget: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected header + 2 stream lines, got:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "ADMIT") {
+		t.Fatalf("generous stream not admitted:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "REJECT") {
+		t.Fatalf("tight stream not rejected:\n%s", out)
+	}
+	for _, want := range []string{"zero-error", "p50", "p99", "p99.9", "miss target 0.0001"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("analysis output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestProbAnalysisRejectsBadModel: an out-of-range error rate is a
+// usage error, not a silent pass.
+func TestProbAnalysisRejectsBadModel(t *testing.T) {
+	cal := planCal(t)
+	var b strings.Builder
+	if err := printProbAnalysis(&b, cal, nil, inputProb{ErrorRate: 1.5}); err == nil {
+		t.Fatal("invalid error rate accepted")
+	}
+}

@@ -103,6 +103,7 @@ func (p obsPlane) serve(sys *canec.System, paced *sim.Paced) (stop func(), err e
 		Now:        sys.K.Now,
 		Channels:   admin.SystemChannels(sys),
 		ErrorState: admin.SystemErrorState(sys),
+		Admission:  admin.SystemAdmission(sys),
 		InKernel:   paced.Call,
 	})
 	if err != nil {

@@ -45,6 +45,7 @@ type target struct {
 	slo       admin.SLOView
 	relay     []admin.RelayRow
 	profile   admin.ProfileView
+	admission admin.AdmissionView
 	validated bool
 	promErr   error
 }
@@ -114,6 +115,11 @@ func poll(client *http.Client, addrs []string, validate bool) []*target {
 		if err := getJSON(client, base+"/profile", &tg.profile); err != nil {
 			tg.profile = admin.ProfileView{}
 		}
+		// /admission is newer still: a 404 or a daemon without an
+		// admission controller (enabled:false) dashes the ADMIT column.
+		if err := getJSON(client, base+"/admission", &tg.admission); err != nil {
+			tg.admission = admin.AdmissionView{}
+		}
 		if validate {
 			tg.validated = true
 			tg.promErr = validateMetrics(client, base+"/metrics")
@@ -159,11 +165,11 @@ func traceStatus(targets []*target) map[*target]string {
 
 func render(w io.Writer, targets []*target) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "SEGMENT\tADDR\tHEALTH\tERRST\tSRT MISS (s/l)\tBREACHED\tLINKS\tQ(H/S/N)\tDROPS\tEV/S\tHEAP HW\tALLOC/FR\tTRACE\tMETRICS")
+	fmt.Fprintln(tw, "SEGMENT\tADDR\tHEALTH\tERRST\tSRT MISS (s/l)\tADMIT\tBREACHED\tLINKS\tQ(H/S/N)\tDROPS\tEV/S\tHEAP HW\tALLOC/FR\tTRACE\tMETRICS")
 	traces := traceStatus(targets)
 	for _, tg := range targets {
 		if tg.err != nil {
-			fmt.Fprintf(tw, "?\t%s\tUNREACHABLE\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t%v\n", tg.addr, tg.err)
+			fmt.Fprintf(tw, "?\t%s\tUNREACHABLE\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t%v\n", tg.addr, tg.err)
 			continue
 		}
 		var breached []string
@@ -192,6 +198,13 @@ func render(w io.Writer, targets []*target) {
 				up++
 			}
 		}
+		// Admission summary: admitted/rejected/shed decision totals for
+		// segments running the probabilistic admission controller.
+		admitCol := "-"
+		if tg.admission.Enabled {
+			admitCol = fmt.Sprintf("%d/%d/%d", tg.admission.AdmittedTotal,
+				tg.admission.RejectedTotal, tg.admission.ShedTotal)
+		}
 		evCol, heapCol, allocCol := "-", "-", "-"
 		if tg.profile.Enabled {
 			evCol = fmt.Sprintf("%.0f", tg.profile.Profile.EventsPerSec)
@@ -211,9 +224,9 @@ func render(w io.Writer, targets []*target) {
 		if tg.health.ErrorPassive > 0 || tg.health.BusOff > 0 || tg.health.BusOffTotal > 0 {
 			errstCol = fmt.Sprintf("%dp/%db/%dt", tg.health.ErrorPassive, tg.health.BusOff, tg.health.BusOffTotal)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%d/%d\t%d/%d/%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d/%d\t%d/%d/%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
 			tg.health.Segment, tg.addr, strings.ToUpper(tg.health.Status), errstCol,
-			missCol, breachCol, up, len(tg.relay), h, sq, n, drops,
+			missCol, admitCol, breachCol, up, len(tg.relay), h, sq, n, drops,
 			evCol, heapCol, allocCol, traces[tg], metricsCol)
 	}
 	tw.Flush()

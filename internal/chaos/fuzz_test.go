@@ -1,0 +1,45 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzScript hardens the chaos-campaign JSON surface: canecsim feeds
+// user-supplied script files straight into json.Decode + Validate, so
+// arbitrary bytes must never panic, and a script that validates must
+// survive a marshal/unmarshal round trip with its verdict intact
+// (otherwise a saved campaign could change meaning when re-run).
+func FuzzScript(f *testing.F) {
+	f.Add([]byte(`{}`), 4)
+	f.Add([]byte(`{"events":[{"kind":"crash","at_ms":10,"node":1},{"kind":"restart","at_ms":50,"node":1}]}`), 4)
+	f.Add([]byte(`{"events":[{"kind":"bit_error","at_ms":0,"until_ms":100,"node":1,"rate":0.2}]}`), 3)
+	f.Add([]byte(`{"events":[{"kind":"omission","at_ms":5,"until_ms":20,"rate":0.1,"victim_prob":1}]}`), 3)
+	f.Add([]byte(`{"guardian":true,"guardian_slot_limit":20,"events":[{"kind":"busoff_attack","at_ms":300,"until_ms":700,"node":8,"victim":1,"rate":0.5}]}`), 9)
+	f.Add([]byte(`{"agent_standby":2,"events":[{"kind":"agent_crash","at_ms":10}]}`), 4)
+	f.Add([]byte(`{"sync_backups":[1,2],"events":[{"kind":"master_crash","at_ms":10},{"kind":"master_restart","at_ms":90}]}`), 4)
+	f.Add([]byte(`{"events":[{"kind":"babble","at_ms":-1,"until_ms":2,"node":99}]}`), 4)
+	f.Add([]byte(`{"events":[{"kind":"burst","at_ms":10,"until_ms":5}]}`), 4)
+	f.Fuzz(func(t *testing.T, data []byte, nodes int) {
+		if nodes < 0 || nodes > 1<<16 {
+			nodes = 8
+		}
+		var s Script
+		if err := json.Unmarshal(data, &s); err != nil {
+			return
+		}
+		valid := s.Validate(nodes) == nil
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("valid-parsed script failed to marshal: %v", err)
+		}
+		var back Script
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("marshalled script failed to re-parse: %v\n%s", err, out)
+		}
+		if backValid := back.Validate(nodes) == nil; backValid != valid {
+			t.Fatalf("validity changed across round trip (%v -> %v):\nin:  %s\nout: %s",
+				valid, backValid, data, out)
+		}
+	})
+}

@@ -117,6 +117,17 @@ type ChannelAttrs struct {
 	// Middleware.MaxQueuedSRT, the queued event with the least residual
 	// value is removed first. See internal/value for standard shapes.
 	Value ValueFunc
+	// Period declares the channel's minimum inter-publication interval
+	// for probabilistic admission control. SRT/NRT channels on a system
+	// with an admission controller must declare it (zero is rejected
+	// with the undeclared-rate reason); without a controller it is
+	// purely informational.
+	Period sim.Duration
+	// RelDeadline declares the relative transmission deadline the
+	// admission analysis guarantees against. Publish still takes
+	// per-event absolute deadlines; RelDeadline is the dimensioning
+	// value (typically the tightest deadline the publisher will use).
+	RelDeadline sim.Duration
 }
 
 // ValueFunc maps lateness (now − deadline; negative while early) to the
@@ -223,6 +234,14 @@ const (
 	// the node's send queue was full and this event had the least
 	// residual value (Jensen-style overload management, ref [11]).
 	ExcLoadShed
+	// ExcAdmissionShed: the channel's announcement was withdrawn by the
+	// probabilistic admission controller — an error-state transition
+	// raised the measured error rate past what the channel's declared
+	// deadline tolerates, and this channel was among the most recently
+	// admitted violators. Publishes fail with ErrNotAnnounced until the
+	// channel is re-announced (which re-runs admission under its
+	// re-admission backoff).
+	ExcAdmissionShed
 )
 
 // String implements fmt.Stringer.
@@ -242,6 +261,8 @@ func (k ExceptionKind) String() string {
 		return "FragError"
 	case ExcLoadShed:
 		return "LoadShed"
+	case ExcAdmissionShed:
+		return "AdmissionShed"
 	}
 	return "?"
 }
@@ -277,4 +298,7 @@ type Counters struct {
 	// widened beyond 2π because the clock-sync uncertainty had grown past
 	// it (master failover in progress).
 	HoldoverWidened uint64
+	// Admission counters track the probabilistic admission controller's
+	// decisions for channels announced on this node.
+	AdmissionAdmitted, AdmissionRejected, AdmissionShed uint64
 }

@@ -11,6 +11,7 @@ import (
 	"canec/internal/clock"
 	"canec/internal/edf"
 	"canec/internal/obs"
+	"canec/internal/prob"
 	"canec/internal/sim"
 )
 
@@ -116,6 +117,14 @@ type Middleware struct {
 	// this node's channel activity. All emission helpers are nil-safe, so
 	// the middleware calls them unconditionally.
 	Obs *obs.Observer
+
+	// Admission, if non-nil, is the segment-wide probabilistic admission
+	// controller consulted when SRT/NRT channels are announced (HRT
+	// channels are dimensioned deterministically by the calendar and
+	// bypass it). Nil keeps announcement unconditional — the admission
+	// path costs nothing on Publish either way, because a shed channel
+	// is simply de-announced.
+	Admission *prob.Controller
 
 	channels map[can.Etag]*channelState
 	counters Counters
@@ -371,6 +380,8 @@ func (ch *channelState) raisePub(e Exception) {
 		ch.mw.counters.Overflows++
 	case ExcLoadShed:
 		ch.mw.counters.Shed++
+	case ExcAdmissionShed:
+		ch.mw.counters.AdmissionShed++
 	case ExcTxFailure:
 		ch.mw.counters.TxFailures++
 	}

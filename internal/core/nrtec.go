@@ -58,6 +58,9 @@ func (c *NRTEC) Announce(attrs ChannelAttrs, exc ExceptionHandler) error {
 	if !attrs.Fragmentation && attrs.Payload == 0 {
 		attrs.Payload = can.MaxPayload
 	}
+	if err := mw.admissionRequest(ch, attrs); err != nil {
+		return err
+	}
 	ch.attrs = attrs
 	ch.pubExc = exc
 	ch.announced = true
@@ -69,6 +72,7 @@ func (c *NRTEC) Announce(attrs ChannelAttrs, exc ExceptionHandler) error {
 func (c *NRTEC) CancelPublication() {
 	c.ch.nrtQueue = nil
 	c.ch.announced = false
+	c.ch.mw.admissionRelease(c.ch)
 }
 
 // Publish sends an event. On a fragmenting channel the payload may be

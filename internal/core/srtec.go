@@ -66,6 +66,9 @@ func (c *SRTEC) Announce(attrs ChannelAttrs, exc ExceptionHandler) error {
 	if attrs.Payload == 0 {
 		attrs.Payload = can.MaxPayload
 	}
+	if err := ch.mw.admissionRequest(ch, attrs); err != nil {
+		return err
+	}
 	ch.attrs = attrs
 	ch.pubExc = exc
 	ch.announced = true
@@ -84,6 +87,7 @@ func (c *SRTEC) CancelPublication() {
 	}
 	ch.srtActive = make(map[*srtEntry]bool)
 	ch.announced = false
+	ch.mw.admissionRelease(ch)
 }
 
 // Publish hands an event to the EDF transmission scheduler. The event's

@@ -8,6 +8,7 @@ import (
 	"canec/internal/can"
 	"canec/internal/clock"
 	"canec/internal/obs"
+	"canec/internal/prob"
 	"canec/internal/sim"
 )
 
@@ -58,6 +59,15 @@ type SystemConfig struct {
 	ConfineFaults bool
 	// Injector is the fault model (nil = fault-free).
 	Injector can.Injector
+	// Admission, if non-nil, installs the probabilistic admission
+	// controller: SRT/NRT channels are analyzed at announce time against
+	// the configured per-class deadline-miss targets, and the admitted
+	// set is re-evaluated when error-state transitions (error-passive,
+	// bus-off, guardian isolation) raise the measured error rate. HRT
+	// channels stay deterministic (calendar-dimensioned) and bypass it.
+	// The analyzer's bit rate and reserved HRT interference default from
+	// BitRate and Calendar when left zero.
+	Admission *prob.AdmissionConfig
 	// Observe opts the system into the observability layer (life-cycle
 	// tracing and/or metrics); nil keeps every instrumentation point a
 	// single nil check.
@@ -84,6 +94,9 @@ type System struct {
 	Obs *obs.Observer
 	// SLO is the objective engine (nil unless Cfg.Observe.SLO was set).
 	SLO *obs.SLO
+	// Admission is the probabilistic admission controller (nil unless
+	// Cfg.Admission was set).
+	Admission *prob.Controller
 }
 
 // NewSystem builds and validates a system. The caller typically announces
@@ -135,6 +148,21 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		bus.Injector = cfg.Injector
 	}
 	sys := &System{K: k, Bus: bus, Cfg: cfg, Bindings: binding.NewTable()}
+	if cfg.Admission != nil {
+		ac := *cfg.Admission
+		if ac.Analyzer.BitRate == 0 {
+			ac.Analyzer.BitRate = cfg.BitRate
+		}
+		if err := ac.Analyzer.Model.Validate(); err != nil {
+			return nil, fmt.Errorf("core: admission error model: %w", err)
+		}
+		if len(ac.Reserved) == 0 && cfg.Calendar != nil {
+			// The calendar's HRT slots are deterministic interference every
+			// probabilistic channel must yield to (P_HRT < P_SRT < P_NRT).
+			ac.Reserved = ReservedFromCalendar(cfg.Calendar)
+		}
+		sys.Admission = prob.NewController(ac, k.Now)
+	}
 	if cfg.Observe != nil {
 		sys.Obs = obs.New(*cfg.Observe, k.Now, obs.BandMap{
 			HRT: cfg.Bands.HRTPrio, Sync: cfg.Bands.SyncPrio,
@@ -149,7 +177,16 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		if cfg.Observe.SLO != nil {
 			// Note: the engine keeps a tick pending, so SLO-enabled systems
 			// must be driven with Run(horizon), never RunUntilIdle.
-			sys.SLO = sys.Obs.StartSLO(k, *cfg.Observe.SLO)
+			sloCfg := *cfg.Observe.SLO
+			if sys.Admission != nil && sloCfg.SRTPredictedMiss == nil {
+				// Close the admission loop: the analyzer's predicted SRT
+				// miss probability becomes the dynamic burn-rate budget
+				// the measured miss rate is checked against.
+				sloCfg.SRTPredictedMiss = func() float64 {
+					return sys.Admission.PredictedMiss("SRT")
+				}
+			}
+			sys.SLO = sys.Obs.StartSLO(k, sloCfg)
 		}
 	}
 
@@ -171,6 +208,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		mw.Epoch = cfg.Epoch
 		mw.SuppressRedundancy = !cfg.NoSuppressRedundancy
 		mw.Obs = sys.Obs
+		mw.Admission = sys.Admission
 		if sys.Obs != nil {
 			// The gauges close over the node, not the middleware: a node
 			// restart installs a fresh middleware and the metrics must
@@ -185,6 +223,31 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		}
 		sys.Nodes = append(sys.Nodes, node)
 		sys.Clocks = append(sys.Clocks, clk)
+	}
+
+	if sys.Admission != nil {
+		// Re-evaluate the admitted set when the wire stops behaving like
+		// the planned error model: fault-confinement state transitions
+		// (error-passive, bus-off — degradations only) and guardian
+		// isolation. Both hooks chain whatever was installed before them.
+		prevES := bus.OnErrorState
+		bus.OnErrorState = func(ctrl int, old, new can.ErrorState, at sim.Time) {
+			if prevES != nil {
+				prevES(ctrl, old, new, at)
+			}
+			if new > old {
+				sys.reviseAdmission()
+			}
+		}
+		prevTrace := bus.Trace
+		bus.Trace = func(e can.TraceEvent) {
+			if prevTrace != nil {
+				prevTrace(e)
+			}
+			if e.Kind == can.TraceGuardIsolate {
+				sys.reviseAdmission()
+			}
+		}
 	}
 
 	if cfg.Sync.Period > 0 {
@@ -250,6 +313,9 @@ func (s *System) TotalCounters() Counters {
 		t.LateHRTDeliveries += c.LateHRTDeliveries
 		t.PromotionsApplied += c.PromotionsApplied
 		t.HoldoverWidened += c.HoldoverWidened
+		t.AdmissionAdmitted += c.AdmissionAdmitted
+		t.AdmissionRejected += c.AdmissionRejected
+		t.AdmissionShed += c.AdmissionShed
 	}
 	return t
 }

@@ -25,6 +25,7 @@ import (
 	"canec/internal/core"
 	"canec/internal/obs"
 	"canec/internal/obs/perf"
+	"canec/internal/prob"
 	"canec/internal/sim"
 )
 
@@ -103,6 +104,16 @@ type ProfileView struct {
 	Profile perf.Snapshot `json:"profile"`
 }
 
+// AdmissionView is the /admission payload: the probabilistic admission
+// controller's snapshot (admitted set with predicted miss probabilities,
+// rejection counts by typed reason, planned vs measured error rates), or
+// enabled:false when no controller is configured.
+type AdmissionView struct {
+	Segment    string `json:"segment"`
+	VirtualNow int64  `json:"virtual_now_ns"`
+	prob.Snapshot
+}
+
 // flightView is the /flight payload.
 type flightView struct {
 	Enabled bool     `json:"enabled"`
@@ -138,6 +149,10 @@ type Options struct {
 	// Profiler backs /profile. Snapshot reads kernel-owned state, so
 	// the handler routes it through InKernel.
 	Profiler *perf.Profiler
+	// Admission produces the /admission snapshot (kernel context). See
+	// SystemAdmission for the stock core.System adapter; nil serves
+	// enabled:false.
+	Admission func() prob.Snapshot
 	// ErrorState summarizes the fault-confinement plane for /healthz:
 	// controllers currently error-passive, currently bus-off, and total
 	// bus-off entries. Reads kernel-owned controller state, so the
@@ -177,6 +192,7 @@ func Serve(addr string, opts Options) (*Server, error) {
 	mux.HandleFunc("/relay", s.handleRelay)
 	mux.HandleFunc("/flight", s.handleFlight)
 	mux.HandleFunc("/profile", s.handleProfile)
+	mux.HandleFunc("/admission", s.handleAdmission)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -241,7 +257,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "canec admin plane (segment %q)\n\n", s.opts.Segment)
 	for _, ep := range []string{
-		"/metrics", "/healthz", "/channels", "/slo", "/relay", "/flight", "/profile", "/debug/pprof/",
+		"/metrics", "/healthz", "/channels", "/slo", "/relay", "/flight", "/profile", "/admission", "/debug/pprof/",
 	} {
 		fmt.Fprintln(w, ep)
 	}
@@ -391,6 +407,38 @@ func (s *Server) handleProfile(w http.ResponseWriter, _ *http.Request) {
 		view.Profile.Stages = []perf.StageSnap{}
 	}
 	writeJSON(w, view)
+}
+
+func (s *Server) handleAdmission(w http.ResponseWriter, _ *http.Request) {
+	view := AdmissionView{Segment: s.opts.Segment}
+	s.inKernel(func() {
+		if s.opts.Now != nil {
+			view.VirtualNow = int64(s.opts.Now())
+		}
+		if s.opts.Admission != nil {
+			view.Snapshot = s.opts.Admission()
+		}
+	})
+	if view.Admitted == nil {
+		view.Admitted = []prob.AdmittedChannel{}
+	}
+	if view.Rejected == nil {
+		view.Rejected = map[string]uint64{}
+	}
+	writeJSON(w, view)
+}
+
+// SystemAdmission adapts a core.System into the /admission snapshot
+// producer. The returned closure must run in kernel context (the Server
+// routes it through Options.InKernel) and degrades to enabled:false
+// when the system runs without an admission controller.
+func SystemAdmission(sys *core.System) func() prob.Snapshot {
+	return func() prob.Snapshot {
+		if sys.Admission == nil {
+			return prob.Snapshot{}
+		}
+		return sys.Admission.Snapshot()
+	}
 }
 
 // SystemChannels adapts a core.System into the /channels row producer.

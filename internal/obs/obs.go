@@ -118,6 +118,7 @@ type Observer struct {
 	watchdog    map[string]*Counter // by new state
 	guardian    map[string]*Counter // by band
 	busoff      map[string]*Counter // bus-off entries, by node
+	admission   map[string]*Counter // admission decisions, by class/decision/reason
 	lifecycle   map[string]*Counter // by lifecycle stage
 	ctrlplane   map[string]*Counter // by control-plane stage
 	relayFwd    map[string]*Counter // relay forwarded, by class
@@ -157,6 +158,7 @@ func New(cfg Config, now func() sim.Time, bm BandMap) *Observer {
 		o.watchdog = make(map[string]*Counter)
 		o.guardian = make(map[string]*Counter)
 		o.busoff = make(map[string]*Counter)
+		o.admission = make(map[string]*Counter)
 		o.lifecycle = make(map[string]*Counter)
 		o.ctrlplane = make(map[string]*Counter)
 		o.relayFwd = make(map[string]*Counter)
@@ -538,6 +540,24 @@ func (o *Observer) ExceptionRaised(kind string) {
 		c = o.reg.Counter("canec_exceptions_total",
 			"Middleware exceptions raised, by kind.", Labels{"kind": kind})
 		o.exceptions[kind] = c
+	}
+	c.Inc()
+}
+
+// AdmissionDecision counts one probabilistic admission-control decision:
+// decision is "admitted", "rejected" or "shed"; reason is the typed
+// rejection reason ("none" for admissions).
+func (o *Observer) AdmissionDecision(class, decision, reason string) {
+	if o == nil || o.reg == nil {
+		return
+	}
+	key := class + "|" + decision + "|" + reason
+	c, ok := o.admission[key]
+	if !ok {
+		c = o.reg.Counter("canec_admission_total",
+			"Probabilistic admission-control decisions, by channel class, decision and typed reason.",
+			Labels{"class": class, "decision": decision, "reason": reason})
+		o.admission[key] = c
 	}
 	c.Inc()
 }

@@ -44,6 +44,16 @@ type SLOConfig struct {
 	// per LongWindow — a bus-off under an attack campaign is an incident
 	// worth a flight-recorder post-mortem. 0 disables.
 	BusOffBudget float64
+	// SRTPredictedMiss, when set, closes the admission loop: it feeds
+	// the admission controller's current predicted SRT deadline-miss
+	// probability into the burn-rate engine as a dynamic budget. The
+	// objective ("srt-miss-vs-predicted") breaches when the measured SRT
+	// miss rate burns past the analyzer's prediction in both windows —
+	// the wire is behaving worse than the admission model assumes, so
+	// the probabilistic guarantees are void. core.NewSystem wires it to
+	// the controller automatically when both are configured. Nil
+	// disables.
+	SRTPredictedMiss func() float64
 }
 
 // DefaultSLOConfig returns the objective set a production daemon runs
@@ -162,6 +172,11 @@ func (o *Observer) StartSLO(k *sim.Kernel, cfg SLOConfig) *SLO {
 		s.objectives = append(s.objectives, &Objective{
 			Name: "srt-miss-rate", Class: "SRT",
 			Budget: cfg.SRTMissBudget, Unit: "miss fraction"})
+	}
+	if cfg.SRTPredictedMiss != nil {
+		s.objectives = append(s.objectives, &Objective{
+			Name: "srt-miss-vs-predicted", Class: "SRT",
+			Unit: "miss fraction"}) // Budget refreshed from the prediction each tick
 	}
 	if cfg.HRTJitterBound > 0 {
 		s.objectives = append(s.objectives, &Objective{
@@ -355,6 +370,25 @@ func (s *SLO) windowValue(ob *Objective, cur, base sloSample, w sim.Duration) (v
 				return 0, 0
 			}
 			pub = miss // all observed outcomes missed
+		}
+		rate := miss / pub
+		return rate, rate / ob.Budget
+	case "srt-miss-vs-predicted":
+		// Dynamic budget: the admission controller's current predicted
+		// miss probability, floored so a zero prediction (no admitted
+		// channels, or a fault-free model) never divides by zero.
+		pred := s.cfg.SRTPredictedMiss()
+		if pred < 1e-9 {
+			pred = 1e-9
+		}
+		ob.Budget = pred
+		pub := cur.srtPub - base.srtPub
+		miss := cur.srtMiss - base.srtMiss
+		if pub <= 0 {
+			if miss <= 0 {
+				return 0, 0
+			}
+			pub = miss
 		}
 		rate := miss / pub
 		return rate, rate / ob.Budget

@@ -145,6 +145,23 @@ const (
 	// the retry policy's backoff.
 	StageRelayRedial Stage = "relay_redial"
 
+	// Admission stages record the probabilistic admission controller's
+	// decisions. They carry trace ID 0 (the decision concerns a channel,
+	// not one event); Detail carries the predicted miss probability, the
+	// class target and — for rejections — the typed reason.
+
+	// StageAdmitted marks a channel passing admission analysis at
+	// announce time.
+	StageAdmitted Stage = "admitted"
+	// StageAdmitRejected marks a channel refused at announce time
+	// (predicted miss probability over target, unschedulable set,
+	// undeclared rate, or an armed re-admission backoff).
+	StageAdmitRejected Stage = "admit_rejected"
+	// StageAdmitShed marks a previously admitted channel withdrawn after
+	// an error-state transition raised the measured error rate past what
+	// its deadline tolerates.
+	StageAdmitShed Stage = "admit_shed"
+
 	// StageSLOBreach marks a service-level objective entering breach:
 	// both burn-rate windows exceeded the configured threshold. It
 	// carries trace ID 0 and Node -1 (the objective belongs to the

@@ -1,0 +1,45 @@
+package prob_test
+
+import (
+	"testing"
+
+	"canec/internal/baseline"
+	"canec/internal/prob"
+	"canec/internal/sim"
+)
+
+// TestZeroErrorRecoversBaselineWCRT pins the other deterministic
+// anchor: with a zero error model, the analyzer's response (a point
+// mass) equals the Tindell fixed point of baseline.WCRT for the same
+// message set.
+func TestZeroErrorRecoversBaselineWCRT(t *testing.T) {
+	specs := []baseline.MsgSpec{
+		{Prio: 1, Period: 2 * sim.Millisecond, Payload: 8},
+		{Prio: 2, Period: 5 * sim.Millisecond, Payload: 4},
+		{Prio: 3, Period: 10 * sim.Millisecond, Payload: 8},
+		{Prio: 4, Period: 20 * sim.Millisecond, Payload: 2},
+	}
+	set := make([]prob.Msg, len(specs))
+	for i, s := range specs {
+		set[i] = prob.Msg{Prio: s.Prio, Period: s.Period, Jitter: s.Jitter,
+			Payload: s.Payload, Deadline: s.Period}
+	}
+	a := prob.Analyzer{}
+	for i := range specs {
+		want, err := baseline.WCRT(specs, specs[i], 0)
+		if err != nil {
+			t.Fatalf("baseline WCRT msg %d: %v", i, err)
+		}
+		res, err := a.Response(set, i)
+		if err != nil {
+			t.Fatalf("prob response msg %d: %v", i, err)
+		}
+		if res.ZeroError != want {
+			t.Errorf("msg %d: zero-error response %v, baseline WCRT %v", i, res.ZeroError, want)
+		}
+		got, ok := res.Dist.Quantile(1)
+		if !ok || got != want {
+			t.Errorf("msg %d: distribution max %v (ok=%v), baseline WCRT %v", i, got, ok, want)
+		}
+	}
+}

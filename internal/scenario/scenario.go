@@ -8,8 +8,10 @@ package scenario
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"canec/internal/binding"
 	"canec/internal/calendar"
@@ -18,6 +20,7 @@ import (
 	"canec/internal/clock"
 	"canec/internal/core"
 	"canec/internal/obs"
+	"canec/internal/prob"
 	"canec/internal/sim"
 	"canec/internal/stats"
 )
@@ -53,6 +56,26 @@ type NRTBulk struct {
 	Prio       int    `json:"prio"`     // 0: lowest
 }
 
+// AdmissionSpec enables the probabilistic admission controller for the
+// run: SRT (and optionally NRT) channels are analyzed at announce time
+// against the per-class deadline-miss targets under the planned error
+// model, and the admitted set is re-evaluated when fault-confinement
+// transitions raise the measured error rate. HRT channels stay
+// calendar-dimensioned and bypass the controller.
+type AdmissionSpec struct {
+	// SRTTarget is the SRT-class deadline-miss probability ceiling
+	// (required, in (0, 1]); NRTTarget likewise for NRT, 0 leaving the
+	// NRT class uncontrolled (bulk traffic needs no deadline law).
+	SRTTarget float64 `json:"srtTarget"`
+	NRTTarget float64 `json:"nrtTarget,omitempty"`
+	// ErrorRate is the planned per-attempt corruption probability the
+	// channels are admitted against; OmissionRate/VictimProb
+	// parameterise the inconsistent-omission leg of the model.
+	ErrorRate    float64 `json:"errorRate"`
+	OmissionRate float64 `json:"omissionRate,omitempty"`
+	VictimProb   float64 `json:"victimProb,omitempty"`
+}
+
 // Scenario is the top-level description.
 type Scenario struct {
 	Name           string  `json:"name"`
@@ -81,6 +104,12 @@ type Scenario struct {
 	HRT         []HRTStream `json:"hrt"`
 	SRT         []SRTStream `json:"srt"`
 	NRT         []NRTBulk   `json:"nrt"`
+
+	// Admission, when present, installs the probabilistic admission
+	// controller with the given error model and per-class targets. SRT
+	// channels then declare their period and deadline at announce time;
+	// rejected channels are reported (typed reason), not fatal.
+	Admission *AdmissionSpec `json:"admission,omitempty"`
 
 	// Chaos, when present, runs the scenario under a seeded fault campaign:
 	// node crashes and restarts, error bursts, omission windows and
@@ -183,6 +212,18 @@ func (s *Scenario) Validate() error {
 	if s.BusOffAutoRecover != nil && !s.ConfineFaults {
 		return fmt.Errorf("scenario: busOffAutoRecover set but confineFaults is off")
 	}
+	if a := s.Admission; a != nil {
+		if a.SRTTarget <= 0 || a.SRTTarget > 1 {
+			return fmt.Errorf("scenario: admission.srtTarget %v out of (0, 1]", a.SRTTarget)
+		}
+		if a.NRTTarget < 0 || a.NRTTarget > 1 {
+			return fmt.Errorf("scenario: admission.nrtTarget %v out of [0, 1]", a.NRTTarget)
+		}
+		if err := (prob.ErrorModel{ErrorRate: a.ErrorRate, OmissionRate: a.OmissionRate,
+			VictimProb: a.VictimProb, Receivers: s.Nodes}).Validate(); err != nil {
+			return fmt.Errorf("scenario: admission: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -201,6 +242,11 @@ type Report struct {
 	Obs *obs.Observer
 	// Chaos is the fault-campaign report (nil unless Scenario.Chaos ran).
 	Chaos *chaos.Report
+	// Admission is the controller's final snapshot (nil unless
+	// Scenario.Admission was set); Rejected lists the channels refused
+	// at startup announce with their typed reasons, in scenario order.
+	Admission *prob.Snapshot
+	Rejected  []string
 }
 
 // String renders the report for terminals.
@@ -242,6 +288,23 @@ func (r *Report) String() string {
 		}
 		for _, e := range ch.Errors {
 			out += fmt.Sprintf("chaos: event failed: %s\n", e)
+		}
+	}
+	if a := r.Admission; a != nil {
+		out += fmt.Sprintf("admission: %d admitted, %d rejected, %d shed; SRT target %.3g, predicted miss %.3g\n",
+			a.AdmittedTotal, a.RejectedTotal, a.ShedTotal, a.Targets.SRT, a.PredictedMissSRT)
+		out += fmt.Sprintf("admission: error rate planned %.3g, measured %.3g, effective %.3g\n",
+			a.PlannedRate, a.MeasuredRate, a.EffectiveRate)
+		reasons := make([]string, 0, len(a.Rejected))
+		for reason := range a.Rejected {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		for _, reason := range reasons {
+			out += fmt.Sprintf("admission: rejections by reason: %s ×%d\n", reason, a.Rejected[reason])
+		}
+		for _, line := range r.Rejected {
+			out += fmt.Sprintf("admission: rejected %s\n", line)
 		}
 	}
 	return out
@@ -295,8 +358,19 @@ func (s *Scenario) Run() (*Report, error) {
 			return nil, err
 		}
 	}
+	var admCfg *prob.AdmissionConfig
+	if a := s.Admission; a != nil {
+		admCfg = &prob.AdmissionConfig{
+			Targets: prob.ClassTargets{SRT: a.SRTTarget, NRT: a.NRTTarget},
+			Analyzer: prob.Analyzer{Model: prob.ErrorModel{
+				ErrorRate: a.ErrorRate, OmissionRate: a.OmissionRate,
+				VictimProb: a.VictimProb, Receivers: s.Nodes,
+			}},
+		}
+	}
 	sys, err := core.NewSystem(core.SystemConfig{
 		Nodes: s.Nodes, Seed: s.Seed, Calendar: cal,
+		Admission:        admCfg,
 		Sync:             clock.DefaultSyncConfig(),
 		Master:           s.SyncMaster,
 		SyncBackups:      s.SyncBackups,
@@ -431,7 +505,15 @@ func (s *Scenario) Run() (*Report, error) {
 		if err != nil {
 			return err
 		}
-		if err := ch.Announce(core.ChannelAttrs{}, nil); err != nil {
+		attrs := core.ChannelAttrs{}
+		if s.Admission != nil {
+			// Under admission control the channel must declare its law:
+			// the analyzer admits it against this period and deadline.
+			attrs.Payload = r.Payload
+			attrs.Period = sim.Duration(r.MeanPeriodUs) * sim.Microsecond
+			attrs.RelDeadline = sim.Duration(r.DeadlineUs) * sim.Microsecond
+		}
+		if err := ch.Announce(attrs, nil); err != nil {
 			return err
 		}
 		srtPub[r.Subject] = ch
@@ -453,6 +535,16 @@ func (s *Scenario) Run() (*Report, error) {
 		r := r
 		subj := binding.Subject(r.Subject)
 		if err := announceSRT(r, sys.Node(r.Publisher).MW); err != nil {
+			// A typed admission rejection is an expected outcome of an
+			// over-admission scenario: report it and run the stream out of
+			// the mix instead of failing the whole scenario.
+			var admErr *core.AdmissionError
+			if errors.As(err, &admErr) {
+				rep.Rejected = append(rep.Rejected,
+					fmt.Sprintf("srt 0x%x: %s (predicted miss %.3g, target %.3g)",
+						r.Subject, admErr.Reason, admErr.MissProb, admErr.Target))
+				continue
+			}
 			return nil, err
 		}
 		if err := subscribeSRT(r, sys.Node(r.Subscriber).MW); err != nil {
@@ -567,6 +659,10 @@ func (s *Scenario) Run() (*Report, error) {
 	if camp != nil {
 		cr := camp.Finish(0)
 		rep.Chaos = &cr
+	}
+	if sys.Admission != nil {
+		snap := sys.Admission.Snapshot()
+		rep.Admission = &snap
 	}
 	if cal != nil && len(firstHRTTimes) > 1 {
 		period := cal.SlotsForSubject(s.HRT[0].Subject)[0].Period(cal.Round)

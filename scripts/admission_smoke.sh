@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# admission_smoke: the probabilistic-admission gate. Runs the
+# over-admission scenario (testdata/scenario-admission.json) twice:
+#
+#  - clean: the overcommitted channel must be rejected at announce with
+#    the typed miss-probability reason while the schedulable channels
+#    are admitted and nothing is shed;
+#  - under the bit-error ramp (testdata/chaos-admission-ramp.json): the
+#    error-passive transition must raise the measured error rate, the
+#    marginal channel must be shed, the surviving admitted SRT channels
+#    must keep the target miss probability, HRT must stay unaffected,
+#    and every chaos trace invariant must hold — deterministically.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+GO="${GO:-go}"
+"$GO" build -o "$workdir/canecsim" ./cmd/canecsim
+
+"$workdir/canecsim" -config testdata/scenario-admission.json > "$workdir/clean.out" || {
+    echo "admission-smoke: clean run failed" >&2; cat "$workdir/clean.out" >&2; exit 1; }
+
+grep -q 'admission: 3 admitted, 1 rejected, 0 shed' "$workdir/clean.out" || {
+    echo "admission-smoke: clean run admitted/rejected mix wrong" >&2
+    cat "$workdir/clean.out" >&2; exit 1; }
+grep -q 'admission: rejected srt 0x382: miss-probability' "$workdir/clean.out" || {
+    echo "admission-smoke: overcommitted channel not rejected with typed reason" >&2
+    cat "$workdir/clean.out" >&2; exit 1; }
+grep -q 'SRT: .* deadlineMissed 0,' "$workdir/clean.out" || {
+    echo "admission-smoke: admitted channels missed deadlines on a clean bus" >&2
+    cat "$workdir/clean.out" >&2; exit 1; }
+
+run_chaos() {
+    "$workdir/canecsim" -config testdata/scenario-admission.json \
+        -chaos testdata/chaos-admission-ramp.json
+}
+
+run_chaos > "$workdir/chaos1.out" || {
+    echo "admission-smoke: chaos run failed" >&2; cat "$workdir/chaos1.out" >&2; exit 1; }
+
+grep -q 'admission: 3 admitted, 1 rejected, 1 shed' "$workdir/chaos1.out" || {
+    echo "admission-smoke: marginal channel not shed under the error ramp" >&2
+    cat "$workdir/chaos1.out" >&2; exit 1; }
+grep -q 'admission: rejections by reason: miss-probability' "$workdir/chaos1.out" || {
+    echo "admission-smoke: typed rejection reason missing" >&2
+    cat "$workdir/chaos1.out" >&2; exit 1; }
+grep -q 'chaos: all trace invariants hold' "$workdir/chaos1.out" || {
+    echo "admission-smoke: invariant violations" >&2
+    cat "$workdir/chaos1.out" >&2; exit 1; }
+grep -q 'HRT: .* late 0,' "$workdir/chaos1.out" || {
+    echo "admission-smoke: HRT deliveries went late under the SRT error ramp" >&2
+    cat "$workdir/chaos1.out" >&2; exit 1; }
+
+# The surviving admitted channels must keep the 0.02 miss target even
+# under the ramp: measured misses / deliveries <= target.
+awk '/^SRT: / {
+    delivered = $2 + 0
+    for (i = 1; i <= NF; i++) if ($i == "deadlineMissed") missed = $(i+1) + 0
+    if (delivered == 0 || missed / delivered > 0.02) exit 1
+}' "$workdir/chaos1.out" || {
+    echo "admission-smoke: admitted SRT channels broke the miss target" >&2
+    cat "$workdir/chaos1.out" >&2; exit 1; }
+
+# Same seed, same script: the second run must be bit-identical.
+run_chaos > "$workdir/chaos2.out" || {
+    echo "admission-smoke: second chaos run failed" >&2; cat "$workdir/chaos2.out" >&2; exit 1; }
+diff "$workdir/chaos1.out" "$workdir/chaos2.out" > /dev/null || {
+    echo "admission-smoke: campaign is not deterministic" >&2
+    diff "$workdir/chaos1.out" "$workdir/chaos2.out" >&2 || true
+    exit 1; }
+
+echo "admission-smoke: OK"
+cat "$workdir/chaos1.out"
