@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos-smoke busoff-smoke admission-smoke fuzz-smoke relay-smoke obs-smoke bench bench-record bench-check bench-smoke tidy
+.PHONY: all build vet test race check chaos-smoke busoff-smoke admission-smoke control-smoke fuzz-smoke relay-smoke obs-smoke bench bench-record bench-check bench-smoke tidy
 
 all: check
 
@@ -32,6 +32,12 @@ chaos-smoke:
 busoff-smoke:
 	./scripts/busoff_smoke.sh
 
+# control-smoke replays the closed-loop control demo clean and under a
+# scripted bus-off attack on the controller station: the quality-of-
+# control measure must show the outage and the supervised recovery.
+control-smoke:
+	./scripts/control_smoke.sh
+
 # admission-smoke replays the probabilistic-admission gate through
 # canecsim: on the over-admission scenario the overcommitted channel must
 # be rejected with a typed reason, the bit-error ramp must shed the
@@ -51,6 +57,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzTSRoundTrip -fuzztime 5s ./internal/clock/
 	$(GO) test -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime 5s ./internal/can/
 	$(GO) test -run '^$$' -fuzz FuzzScript -fuzztime 5s ./internal/chaos/
+	$(GO) test -run '^$$' -fuzz FuzzControlLoops -fuzztime 5s ./internal/scenario/
 
 # relay-smoke is the multi-process federation gate: two canecd daemons on
 # localhost, three SRT events published on segment a, delivery and trace
@@ -77,7 +84,7 @@ bench-smoke:
 # campaign and the probabilistic-admission gate, smoke the fuzz targets,
 # run the two-daemon relay and introspection smokes, and gate the
 # performance trajectory.
-check: build vet race chaos-smoke busoff-smoke admission-smoke fuzz-smoke relay-smoke obs-smoke bench-smoke
+check: build vet race chaos-smoke busoff-smoke admission-smoke control-smoke fuzz-smoke relay-smoke obs-smoke bench-smoke
 
 bench:
 	$(GO) test -bench . -benchmem ./internal/can ./internal/sim

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"canec/internal/binding"
+	"canec/internal/control"
 	"canec/internal/core"
 	"canec/internal/gateway"
 	"canec/internal/obs"
@@ -123,6 +124,8 @@ func run() int {
 		slo       = flag.Bool("slo", true, "run the SLO engine (default objective set)")
 		profile   = flag.Bool("profile", true, "attach the kernel profiler (publish→deliver stage timing, /profile on the admin plane)")
 		sloSRT    = flag.Float64("slo-srt-budget", 0.05, "SRT deadline-miss budget (fraction of published events)")
+		sloCtl    = flag.Float64("slo-control-budget", 0, "control-cost SLO budget: tolerated quadratic cost per long window (0 disables the objective)")
+		ctlDemo   = flag.Bool("control", false, "run a demo closed PID control loop (double integrator over SRT channels on stations 0/1) and serve its QoC at /control")
 	)
 	flag.Parse()
 	if *segment == "" {
@@ -152,6 +155,7 @@ func run() int {
 	if *slo {
 		sloCfg := obs.DefaultSLOConfig()
 		sloCfg.SRTMissBudget = *sloSRT
+		sloCfg.ControlCostBudget = *sloCtl
 		obsCfg.SLO = &sloCfg
 	}
 	k := sim.NewKernel(*seed)
@@ -175,6 +179,30 @@ func run() int {
 		if reg := sys.Obs.Registry(); reg != nil {
 			prof.Register(reg)
 		}
+	}
+
+	// Demo closed loop: a PID-controlled double integrator whose sensor
+	// and command frames ride SRT channels between stations 0 and 1. Its
+	// live QoC is served at /control and its cost feeds the control-cost
+	// SLO objective when -slo-control-budget is set.
+	var loops []*control.Loop
+	if *ctlDemo {
+		l, err := control.NewLoop(control.LoopConfig{
+			Name: "demo", Plant: control.PlantDoubleIntegrator, Controller: control.ControllerPID,
+			Class: core.SRT, Sensor: 0, ControllerNode: 1, Actuator: 0,
+			SensorSubject: 0x7C0, CommandSubject: 0x7C1,
+			Period: 5 * sim.Millisecond, Setpoint: 0, Initial: 1,
+		}, sys.Obs)
+		if err != nil {
+			return die("control loop: %v", err)
+		}
+		ctlEnd := sys.Cfg.Epoch + sim.Time(2*dur.Nanoseconds())
+		if err := l.Install(k, sys.Cfg.Epoch, ctlEnd, func(n int) *core.Middleware {
+			return sys.Node(n).MW
+		}, nil); err != nil {
+			return die("control loop: %v", err)
+		}
+		loops = append(loops, l)
 	}
 
 	cfg := relay.Config{
@@ -266,6 +294,10 @@ func run() int {
 
 	// Admin introspection plane: kernel-owned state is snapshotted via
 	// paced.Call so HTTP handlers never race the simulation.
+	var ctlRows func() []admin.ControlRow
+	if len(loops) > 0 {
+		ctlRows = admin.LoopRows(loops)
+	}
 	if *adminAddr != "" {
 		adm, err := admin.Serve(*adminAddr, admin.Options{
 			Segment:    *segment,
@@ -277,6 +309,7 @@ func run() int {
 			ErrorState: admin.SystemErrorState(sys),
 			Profiler:   prof,
 			InKernel:   paced.Call,
+			Control:    ctlRows,
 			Relay: func() []admin.RelayRow {
 				rows := make([]admin.RelayRow, 0, len(relayRows))
 				for _, fn := range relayRows {

@@ -17,6 +17,8 @@ import (
 	"canec"
 	"canec/internal/can"
 	"canec/internal/chaos"
+	"canec/internal/control"
+	"canec/internal/core"
 	"canec/internal/obs"
 	"canec/internal/obs/admin"
 	"canec/internal/scenario"
@@ -33,6 +35,7 @@ func main() {
 		bulk     = flag.Int("bulk", 16384, "bytes of NRT bulk data to stream (0 disables)")
 		faults   = flag.Float64("faults", 0, "per-frame consistent error probability")
 		omission = flag.Int("omission", 1, "HRT omission degree k")
+		nCtl     = flag.Int("control", 0, "number of closed PID control loops riding event channels (classes cycle SRT/HRT/NRT)")
 		dur      = flag.Duration("dur", 2*time.Second, "simulated duration")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		drift    = flag.Float64("drift", 100, "max clock drift (ppm)")
@@ -67,7 +70,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*nodes, *hrt, *srtLoad, *bulk, *faults, *omission, sim.Duration(dur.Nanoseconds()), *seed, *drift, *traceN, *hist, plane, *pace); err != nil {
+	if err := run(*nodes, *hrt, *srtLoad, *bulk, *faults, *omission, *nCtl, sim.Duration(dur.Nanoseconds()), *seed, *drift, *traceN, *hist, plane, *pace); err != nil {
 		fmt.Fprintln(os.Stderr, "canecsim:", err)
 		os.Exit(1)
 	}
@@ -91,9 +94,13 @@ func (p obsPlane) config() *obs.Config {
 
 // serve starts the admin plane over a paced run; the returned stop is
 // safe to call unconditionally.
-func (p obsPlane) serve(sys *canec.System, paced *sim.Paced) (stop func(), err error) {
+func (p obsPlane) serve(sys *canec.System, paced *sim.Paced, loops []*control.Loop) (stop func(), err error) {
 	if p.adminAddr == "" {
 		return func() {}, nil
+	}
+	var ctl func() []admin.ControlRow
+	if len(loops) > 0 {
+		ctl = admin.LoopRows(loops)
 	}
 	adm, err := admin.Serve(p.adminAddr, admin.Options{
 		Segment:    "canecsim",
@@ -104,6 +111,7 @@ func (p obsPlane) serve(sys *canec.System, paced *sim.Paced) (stop func(), err e
 		Channels:   admin.SystemChannels(sys),
 		ErrorState: admin.SystemErrorState(sys),
 		Admission:  admin.SystemAdmission(sys),
+		Control:    ctl,
 		InKernel:   paced.Call,
 	})
 	if err != nil {
@@ -170,7 +178,7 @@ func runConfig(path string, plane obsPlane, chaosPath string) error {
 }
 
 func run(nodes, nHRT int, srtLoad float64, bulkBytes int, faultRate float64,
-	omission int, dur sim.Duration, seed uint64, drift float64, traceN int, hist bool, plane obsPlane, pace float64) error {
+	omission, nCtl int, dur sim.Duration, seed uint64, drift float64, traceN int, hist bool, plane obsPlane, pace float64) error {
 
 	if nHRT >= nodes {
 		return fmt.Errorf("need more nodes (%d) than HRT channels (%d)", nodes, nHRT)
@@ -183,8 +191,34 @@ func run(nodes, nHRT int, srtLoad float64, bulkBytes int, faultRate float64,
 			Subject: uint64(0x100 + i), Publisher: canec.TxNode(i), Payload: 8, Periodic: true,
 		})
 	}
+
+	// Closed control loops: PID on a double integrator, classes cycling
+	// SRT/HRT/NRT so one run contrasts the quality of control each class
+	// delivers. HRT legs need calendar slots, planned with the rest.
+	ctlClasses := []core.Class{core.SRT, core.HRT, core.NRT}
+	var loopCfgs []control.LoopConfig
+	for i := 0; i < nCtl; i++ {
+		cfg := control.LoopConfig{
+			Name:  fmt.Sprintf("loop%d", i),
+			Plant: control.PlantDoubleIntegrator, Controller: control.ControllerPID,
+			Class:  ctlClasses[i%len(ctlClasses)],
+			Sensor: i % nodes, ControllerNode: (i + 1) % nodes, Actuator: i % nodes,
+			SensorSubject: uint64(0x600 + 2*i), CommandSubject: uint64(0x601 + 2*i),
+			Period: 10 * canec.Millisecond, Setpoint: 0, Initial: 1,
+		}
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		loopCfgs = append(loopCfgs, cfg)
+		if cfg.Class == core.HRT {
+			slots = append(slots,
+				canec.Slot{Subject: cfg.SensorSubject, Publisher: canec.TxNode(cfg.Sensor), Payload: 8, Periodic: true},
+				canec.Slot{Subject: cfg.CommandSubject, Publisher: canec.TxNode(cfg.ControllerNode), Payload: 5, Periodic: true})
+		}
+	}
+
 	var cal *canec.Calendar
-	if nHRT > 0 {
+	if len(slots) > 0 {
 		var err error
 		cal, err = canec.PackCalendar(calCfg, 10*canec.Millisecond, slots...)
 		if err != nil {
@@ -322,13 +356,28 @@ func run(nodes, nHRT int, srtLoad float64, bulkBytes int, faultRate float64,
 		sys.K.At(sys.Cfg.Epoch, feed)
 	}
 
+	// Closed control loops over real event channels.
+	var loops []*control.Loop
+	for _, cfg := range loopCfgs {
+		l, err := control.NewLoop(cfg, sys.Obs)
+		if err != nil {
+			return err
+		}
+		if err := l.Install(sys.K, sys.Cfg.Epoch, end, func(n int) *core.Middleware {
+			return sys.Node(n).MW
+		}, nil); err != nil {
+			return fmt.Errorf("control loop %s: %w", cfg.Name, err)
+		}
+		loops = append(loops, l)
+	}
+
 	if pace > 0 {
 		// Paced mode: the same discrete-event run, throttled against the
 		// wall clock (1.0 = real time). Opt-in; free-running stays default
 		// so results remain bit-reproducible. The admin plane, when
 		// requested, serves live state for the run's duration.
 		paced := sim.NewPaced(sys.K, pace)
-		stopAdmin, err := plane.serve(sys, paced)
+		stopAdmin, err := plane.serve(sys, paced, loops)
 		if err != nil {
 			return err
 		}
@@ -363,6 +412,13 @@ func run(nodes, nHRT int, srtLoad float64, bulkBytes int, faultRate float64,
 		sys.Bus.Stats().IDRewrites)
 	fmt.Printf("redundancy: %d copies suppressed, %d redundant copies sent, %d duplicates dropped\n",
 		c.CopiesSuppressed, c.RedundantCopiesSent, c.DuplicatesDropped)
+	if len(loops) > 0 {
+		fmt.Printf("\nquality of control:\n")
+		for _, l := range loops {
+			q := l.Report()
+			fmt.Printf("  %s\n", q.String())
+		}
+	}
 	if hist {
 		h := stats.NewHistogram("SRT latency µs", 0, 2*srtLat.Quantile(0.99)/1000+1, 24)
 		// Re-bin from the retained series (histograms are for display; the

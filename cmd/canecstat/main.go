@@ -46,6 +46,7 @@ type target struct {
 	relay     []admin.RelayRow
 	profile   admin.ProfileView
 	admission admin.AdmissionView
+	control   admin.ControlView
 	validated bool
 	promErr   error
 }
@@ -120,6 +121,11 @@ func poll(client *http.Client, addrs []string, validate bool) []*target {
 		if err := getJSON(client, base+"/admission", &tg.admission); err != nil {
 			tg.admission = admin.AdmissionView{}
 		}
+		// /control likewise: a 404 or a daemon without closed-loop
+		// workloads (enabled:false) dashes the QOC column.
+		if err := getJSON(client, base+"/control", &tg.control); err != nil {
+			tg.control = admin.ControlView{}
+		}
 		if validate {
 			tg.validated = true
 			tg.promErr = validateMetrics(client, base+"/metrics")
@@ -165,11 +171,11 @@ func traceStatus(targets []*target) map[*target]string {
 
 func render(w io.Writer, targets []*target) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "SEGMENT\tADDR\tHEALTH\tERRST\tSRT MISS (s/l)\tADMIT\tBREACHED\tLINKS\tQ(H/S/N)\tDROPS\tEV/S\tHEAP HW\tALLOC/FR\tTRACE\tMETRICS")
+	fmt.Fprintln(tw, "SEGMENT\tADDR\tHEALTH\tERRST\tSRT MISS (s/l)\tADMIT\tQOC\tBREACHED\tLINKS\tQ(H/S/N)\tDROPS\tEV/S\tHEAP HW\tALLOC/FR\tTRACE\tMETRICS")
 	traces := traceStatus(targets)
 	for _, tg := range targets {
 		if tg.err != nil {
-			fmt.Fprintf(tw, "?\t%s\tUNREACHABLE\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t%v\n", tg.addr, tg.err)
+			fmt.Fprintf(tw, "?\t%s\tUNREACHABLE\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t%v\n", tg.addr, tg.err)
 			continue
 		}
 		var breached []string
@@ -205,6 +211,20 @@ func render(w io.Writer, targets []*target) {
 			admitCol = fmt.Sprintf("%d/%d/%d", tg.admission.AdmittedTotal,
 				tg.admission.RejectedTotal, tg.admission.ShedTotal)
 		}
+		// Quality-of-control summary for segments running closed-loop
+		// workloads: settled/total loops and the summed cost burn rate.
+		qocCol := "-"
+		if tg.control.Enabled && len(tg.control.Loops) > 0 {
+			settled := 0
+			var rate float64
+			for _, l := range tg.control.Loops {
+				if l.Settled {
+					settled++
+				}
+				rate += l.CostPerSec
+			}
+			qocCol = fmt.Sprintf("%d/%d %.2f/s", settled, len(tg.control.Loops), rate)
+		}
 		evCol, heapCol, allocCol := "-", "-", "-"
 		if tg.profile.Enabled {
 			evCol = fmt.Sprintf("%.0f", tg.profile.Profile.EventsPerSec)
@@ -224,9 +244,9 @@ func render(w io.Writer, targets []*target) {
 		if tg.health.ErrorPassive > 0 || tg.health.BusOff > 0 || tg.health.BusOffTotal > 0 {
 			errstCol = fmt.Sprintf("%dp/%db/%dt", tg.health.ErrorPassive, tg.health.BusOff, tg.health.BusOffTotal)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d/%d\t%d/%d/%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d/%d\t%d/%d/%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
 			tg.health.Segment, tg.addr, strings.ToUpper(tg.health.Status), errstCol,
-			missCol, admitCol, breachCol, up, len(tg.relay), h, sq, n, drops,
+			missCol, admitCol, qocCol, breachCol, up, len(tg.relay), h, sq, n, drops,
 			evCol, heapCol, allocCol, traces[tg], metricsCol)
 	}
 	tw.Flush()

@@ -99,9 +99,9 @@ func TestFleetTableProfilerColumns(t *testing.T) {
 	if row == "" {
 		t.Fatalf("no row for segment perf:\n%s", out)
 	}
-	// Dashes allowed: SRT MISS, ADMIT and BREACHED have no data in this
-	// minimal setup; the three perf columns must not add any more.
-	if strings.Count(row, "-") >= 4 {
+	// Dashes allowed: SRT MISS, ADMIT, QOC and BREACHED have no data in
+	// this minimal setup; the three perf columns must not add any more.
+	if strings.Count(row, "-") >= 5 {
 		t.Fatalf("perf columns still dashed:\n%s", row)
 	}
 }

@@ -1,0 +1,73 @@
+package control
+
+import (
+	"fmt"
+
+	"canec/internal/sim"
+	"canec/internal/stats"
+)
+
+// QoC is the quality-of-control report of one closed loop: the
+// application-level answer to "did the bus do its job". Cost is the
+// time-integrated quadratic state+input cost — the canonical LQ measure;
+// a loop whose frames arrive on time accrues it only during the initial
+// transient, while late or lost frames keep the plant away from its
+// setpoint and make cost burn for the whole run.
+type QoC struct {
+	// Loop is the loop's configured name; Class the channel class its
+	// sensor and command legs ride.
+	Loop  string
+	Class string
+
+	// Cost is ∫ (q·e² + q_v·v² + r·u²) dt over the run; CostPerSec
+	// normalises it by the simulated span for cross-run comparison.
+	Cost       float64
+	CostPerSec float64
+	// Settled reports whether the plant output entered the settling band
+	// around the setpoint and never left it again for at least the
+	// settling hold; SettlingTime is when it last entered for good.
+	Settled      bool
+	SettlingTime sim.Duration
+	// Overshoot is the worst excursion past the setpoint on the far side
+	// of the initial error, as a fraction of that initial error.
+	Overshoot float64
+	// MaxDev is the worst absolute deviation from the setpoint over the
+	// whole run; FinalDev the deviation at the end.
+	MaxDev   float64
+	FinalDev float64
+	// Stale counts plant ticks executed under a held command older than
+	// the loop's staleness bound — the zero-order hold running blind.
+	Stale uint64
+	// Steps counts plant integration ticks.
+	Steps uint64
+
+	// Leg counters: samples published by the sensor, commands published
+	// by the controller, commands latched by the actuator, actuator acks
+	// delivered back to the controller (0 unless the ack leg is enabled).
+	Samples  uint64
+	Commands uint64
+	Applied  uint64
+	Acks     uint64
+
+	// Latency aggregates the measured sensor-sample → actuator-apply
+	// latency in microseconds, exactly mergeable across loops and
+	// segments (stats.LogHistogram).
+	Latency *stats.LogHistogram
+}
+
+// String renders the canonical single-line report, stable for smoke
+// scripts: cost with fixed precision, settling verdict, overshoot,
+// staleness and the measured loop latency quantiles.
+func (q *QoC) String() string {
+	settled := "not settled"
+	if q.Settled {
+		settled = fmt.Sprintf("settled at %d ms", int64(q.SettlingTime/sim.Millisecond))
+	}
+	lat := "-"
+	if q.Latency != nil && q.Latency.N() > 0 {
+		lat = fmt.Sprintf("%.0f/%.0f µs", q.Latency.Quantile(0.50), q.Latency.Quantile(0.99))
+	}
+	return fmt.Sprintf("control %s[%s]: cost %.4f (%.4f/s), %s, overshoot %.1f%%, maxDev %.4f, stale %d, cmds %d/%d applied, lat p50/p99 %s",
+		q.Loop, q.Class, q.Cost, q.CostPerSec, settled, 100*q.Overshoot,
+		q.MaxDev, q.Stale, q.Applied, q.Commands, lat)
+}

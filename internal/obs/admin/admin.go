@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"canec/internal/can"
+	"canec/internal/control"
 	"canec/internal/core"
 	"canec/internal/obs"
 	"canec/internal/obs/perf"
@@ -114,6 +115,33 @@ type AdmissionView struct {
 	prob.Snapshot
 }
 
+// ControlRow is one closed control loop as served at /control: the
+// loop's live quality-of-control snapshot projected into flat JSON.
+type ControlRow struct {
+	Loop       string  `json:"loop"`
+	Class      string  `json:"class"`
+	Cost       float64 `json:"cost"`
+	CostPerSec float64 `json:"cost_per_sec"`
+	Settled    bool    `json:"settled"`
+	SettlingMs float64 `json:"settling_ms"`
+	Overshoot  float64 `json:"overshoot"`
+	MaxDev     float64 `json:"max_dev"`
+	FinalDev   float64 `json:"final_dev"`
+	Stale      uint64  `json:"stale"`
+	Applied    uint64  `json:"applied"`
+	Commands   uint64  `json:"commands"`
+	LatP50Us   float64 `json:"lat_p50_us"`
+	LatP99Us   float64 `json:"lat_p99_us"`
+}
+
+// ControlView is the /control payload.
+type ControlView struct {
+	Segment    string       `json:"segment"`
+	VirtualNow int64        `json:"virtual_now_ns"`
+	Enabled    bool         `json:"enabled"`
+	Loops      []ControlRow `json:"loops"`
+}
+
 // flightView is the /flight payload.
 type flightView struct {
 	Enabled bool     `json:"enabled"`
@@ -153,6 +181,10 @@ type Options struct {
 	// SystemAdmission for the stock core.System adapter; nil serves
 	// enabled:false.
 	Admission func() prob.Snapshot
+	// Control produces the /control rows (kernel context — loop state is
+	// kernel-owned). See LoopRows for the stock control.Loop adapter; nil
+	// serves enabled:false.
+	Control func() []ControlRow
 	// ErrorState summarizes the fault-confinement plane for /healthz:
 	// controllers currently error-passive, currently bus-off, and total
 	// bus-off entries. Reads kernel-owned controller state, so the
@@ -193,6 +225,7 @@ func Serve(addr string, opts Options) (*Server, error) {
 	mux.HandleFunc("/flight", s.handleFlight)
 	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/admission", s.handleAdmission)
+	mux.HandleFunc("/control", s.handleControl)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -257,7 +290,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "canec admin plane (segment %q)\n\n", s.opts.Segment)
 	for _, ep := range []string{
-		"/metrics", "/healthz", "/channels", "/slo", "/relay", "/flight", "/profile", "/admission", "/debug/pprof/",
+		"/metrics", "/healthz", "/channels", "/slo", "/relay", "/flight", "/profile", "/admission", "/control", "/debug/pprof/",
 	} {
 		fmt.Fprintln(w, ep)
 	}
@@ -426,6 +459,53 @@ func (s *Server) handleAdmission(w http.ResponseWriter, _ *http.Request) {
 		view.Rejected = map[string]uint64{}
 	}
 	writeJSON(w, view)
+}
+
+func (s *Server) handleControl(w http.ResponseWriter, _ *http.Request) {
+	view := ControlView{Segment: s.opts.Segment, Loops: []ControlRow{}}
+	s.inKernel(func() {
+		if s.opts.Now != nil {
+			view.VirtualNow = int64(s.opts.Now())
+		}
+		if s.opts.Control != nil {
+			view.Enabled = true
+			if rows := s.opts.Control(); rows != nil {
+				view.Loops = rows
+			}
+		}
+	})
+	sort.Slice(view.Loops, func(i, j int) bool { return view.Loops[i].Loop < view.Loops[j].Loop })
+	writeJSON(w, view)
+}
+
+// QoCRow projects one control.QoC report into its /control row.
+func QoCRow(q control.QoC) ControlRow {
+	row := ControlRow{
+		Loop: q.Loop, Class: q.Class,
+		Cost: q.Cost, CostPerSec: q.CostPerSec,
+		Settled: q.Settled, SettlingMs: float64(q.SettlingTime) / float64(sim.Millisecond),
+		Overshoot: q.Overshoot, MaxDev: q.MaxDev, FinalDev: q.FinalDev,
+		Stale: q.Stale, Applied: q.Applied, Commands: q.Commands,
+	}
+	if q.Latency != nil && q.Latency.N() > 0 {
+		row.LatP50Us = q.Latency.Quantile(0.50)
+		row.LatP99Us = q.Latency.Quantile(0.99)
+	}
+	return row
+}
+
+// LoopRows adapts a set of control loops into the /control row
+// producer. The returned closure must run in kernel context (the Server
+// routes it through Options.InKernel) because Report reads live loop
+// state.
+func LoopRows(loops []*control.Loop) func() []ControlRow {
+	return func() []ControlRow {
+		rows := make([]ControlRow, 0, len(loops))
+		for _, l := range loops {
+			rows = append(rows, QoCRow(l.Report()))
+		}
+		return rows
+	}
 }
 
 // SystemAdmission adapts a core.System into the /admission snapshot

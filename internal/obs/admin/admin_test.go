@@ -12,6 +12,7 @@ import (
 
 	"canec/internal/binding"
 	"canec/internal/chaos"
+	"canec/internal/control"
 	"canec/internal/core"
 	"canec/internal/gateway"
 	"canec/internal/obs"
@@ -79,6 +80,11 @@ func TestAdminBareOptions(t *testing.T) {
 	getJSON(t, base+"/flight", &fv)
 	if fv.Enabled {
 		t.Fatalf("flight = %+v", fv)
+	}
+	var cv ControlView
+	getJSON(t, base+"/control", &cv)
+	if cv.Enabled || len(cv.Loops) != 0 {
+		t.Fatalf("control = %+v", cv)
 	}
 	if code, _ := getBody(t, base+"/metrics"); code != http.StatusNotFound {
 		t.Fatalf("/metrics without registry: code %d", code)
@@ -186,6 +192,64 @@ func TestAdminSystemEndpoints(t *testing.T) {
 	mu.Unlock()
 	if calls < 3 {
 		t.Fatalf("InKernel used %d times, want one per kernel-touching endpoint", calls)
+	}
+}
+
+// TestAdminControlEndpoint wires a real closed loop over SRT channels
+// and checks /control serves its live QoC snapshot through InKernel.
+func TestAdminControlEndpoint(t *testing.T) {
+	k := sim.NewKernel(9)
+	sys, err := core.NewSystem(core.SystemConfig{Nodes: 4, Kernel: k,
+		Observe: &obs.Config{Metrics: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := control.NewLoop(control.LoopConfig{
+		Name: "cart", Plant: control.PlantDoubleIntegrator, Controller: control.ControllerPID,
+		Class: core.SRT, Sensor: 1, ControllerNode: 2, Actuator: 1,
+		SensorSubject: 0x311, CommandSubject: 0x312, Period: 5 * sim.Millisecond,
+		Setpoint: 0, Initial: 1,
+	}, sys.Obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := sys.Cfg.Epoch + sim.Time(1200*sim.Millisecond)
+	if err := l.Install(k, sys.Cfg.Epoch, end, func(n int) *core.Middleware {
+		return sys.Node(n).MW
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(end)
+
+	inKernel := 0
+	s, err := Serve("127.0.0.1:0", Options{
+		Segment: "ctl", Now: k.Now,
+		Control:  LoopRows([]*control.Loop{l}),
+		InKernel: func(fn func()) { inKernel++; fn() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var cv ControlView
+	getJSON(t, "http://"+s.Addr()+"/control", &cv)
+	if !cv.Enabled || len(cv.Loops) != 1 {
+		t.Fatalf("control view = %+v", cv)
+	}
+	row := cv.Loops[0]
+	if row.Loop != "cart" || row.Class != "SRT" {
+		t.Fatalf("row identity = %+v", row)
+	}
+	if !row.Settled || row.Cost <= 0 || row.Applied == 0 || row.LatP50Us <= 0 {
+		t.Fatalf("row QoC = %+v", row)
+	}
+	if inKernel == 0 {
+		t.Fatal("/control bypassed InKernel")
+	}
+	if code, body := getBody(t, "http://"+s.Addr()+"/"); code != http.StatusOK ||
+		!strings.Contains(string(body), "/control") {
+		t.Fatalf("index misses /control: %s", body)
 	}
 }
 

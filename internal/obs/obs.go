@@ -125,6 +125,10 @@ type Observer struct {
 	relayDrop   map[string]*Counter // relay drops, by class:reason
 	relayLink   map[string]*Counter // relay link transitions, by stage
 	relayBytes  map[string]*Counter // relay bytes, by direction
+	ctrlStages  map[string]*Counter // control-loop stages, by loop:stage
+	ctrlStale   map[string]*Counter // stale plant ticks, by loop
+	ctrlCost    map[string]*Counter // accrued quadratic control cost, by loop
+	ctrlLat     map[string]*Histogram // sample→actuate loop latency, by loop
 	txStartAt   sim.Time
 	txStartBand string
 	txOpen      bool
@@ -165,6 +169,10 @@ func New(cfg Config, now func() sim.Time, bm BandMap) *Observer {
 		o.relayDrop = make(map[string]*Counter)
 		o.relayLink = make(map[string]*Counter)
 		o.relayBytes = make(map[string]*Counter)
+		o.ctrlStages = make(map[string]*Counter)
+		o.ctrlStale = make(map[string]*Counter)
+		o.ctrlCost = make(map[string]*Counter)
+		o.ctrlLat = make(map[string]*Histogram)
 		o.retries = o.reg.Counter("canec_arb_retries_total",
 			"Transmission attempts beyond the first (retransmissions after error frames).", nil)
 		o.arbLosses = o.reg.Counter("canec_arb_losses_total",
@@ -619,6 +627,94 @@ func (o *Observer) ControlPlane(stage Stage, node int, at sim.Time, detail strin
 		c.Inc()
 	}
 	o.emitRecord(Record{Stage: stage, At: at, Node: node, Prio: -1, Detail: detail})
+}
+
+// ControlLoopStage counts one closed-loop workload stage (StageCtrlSample,
+// StageCtrlCommand, StageCtrlApply) for one named loop and, when tracing,
+// emits the stage record. The records carry trace ID 0: they belong to the
+// loop, not one bus event — the underlying sensor and command frames trace
+// normally under their own IDs.
+func (o *Observer) ControlLoopStage(stage Stage, loop, class string, node int, at sim.Time) {
+	if o == nil {
+		return
+	}
+	if o.reg != nil {
+		key := loop + "|" + string(stage)
+		c, ok := o.ctrlStages[key]
+		if !ok {
+			c = o.reg.Counter("canec_control_loop_stages_total",
+				"Closed-loop control workload stages (ctrl_sample, ctrl_command, ctrl_apply), by loop.",
+				Labels{"loop": loop, "stage": string(stage)})
+			o.ctrlStages[key] = c
+		}
+		c.Inc()
+	}
+	o.emitRecord(Record{Stage: stage, At: at, Node: node, Class: class, Prio: -1, Detail: loop})
+}
+
+// ControlStale counts one plant tick driven by a held command older than
+// the loop's staleness bound, and emits StageCtrlStale when tracing — the
+// application-visible damage of late or lost frames.
+func (o *Observer) ControlStale(loop, class string, node int, at sim.Time) {
+	if o == nil {
+		return
+	}
+	if o.reg != nil {
+		c, ok := o.ctrlStale[loop]
+		if !ok {
+			c = o.reg.Counter("canec_control_stale_ticks_total",
+				"Plant ticks executed under a stale held command (older than the loop's staleness bound), by loop.",
+				Labels{"loop": loop})
+			o.ctrlStale[loop] = c
+		}
+		c.Inc()
+	}
+	o.emitRecord(Record{Stage: StageCtrlStale, At: at, Node: node, Class: class, Prio: -1, Detail: loop})
+}
+
+// ControlCost accrues quadratic control cost for one loop: delta is one
+// plant tick's contribution (state and input error weighted by the loop's
+// cost matrices, integrated over the tick). The SLO engine budgets
+// against the sum across loops.
+func (o *Observer) ControlCost(loop string, delta float64) {
+	if o == nil || o.reg == nil {
+		return
+	}
+	c, ok := o.ctrlCost[loop]
+	if !ok {
+		c = o.reg.Counter("canec_control_cost_total",
+			"Accrued quadratic control cost (state + input, time-integrated), by loop.",
+			Labels{"loop": loop})
+		o.ctrlCost[loop] = c
+	}
+	c.Add(delta)
+}
+
+// ControlLatency records one measured sensor-sample → actuator-apply loop
+// latency in microseconds.
+func (o *Observer) ControlLatency(loop string, us float64) {
+	if o == nil || o.reg == nil {
+		return
+	}
+	h, ok := o.ctrlLat[loop]
+	if !ok {
+		h = o.reg.LogHistogram("canec_control_loop_latency_microseconds",
+			"Sensor-sample to actuator-apply latency of closed control loops, in microseconds.",
+			Labels{"loop": loop}, 1, 1e6, 60)
+		o.ctrlLat[loop] = h
+	}
+	h.Observe(us)
+}
+
+// RegisterControlLoop installs a collection-time gauge exposing one loop's
+// instantaneous absolute deviation from its setpoint.
+func (o *Observer) RegisterControlLoop(loop string, deviation func() float64) {
+	if o == nil || o.reg == nil {
+		return
+	}
+	o.reg.GaugeFunc("canec_control_deviation",
+		"Instantaneous absolute deviation of each control loop's plant output from its setpoint.",
+		Labels{"loop": loop}, deviation)
 }
 
 // RegisterQueueDepth installs a collection-time gauge for one node-local

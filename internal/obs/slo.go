@@ -44,6 +44,12 @@ type SLOConfig struct {
 	// per LongWindow — a bus-off under an attack campaign is an incident
 	// worth a flight-recorder post-mortem. 0 disables.
 	BusOffBudget float64
+	// ControlCostBudget is the tolerated quadratic control cost accrued
+	// across all closed control loops per LongWindow — the application-
+	// level objective: a healthy bus keeps plants near their setpoints,
+	// so cost accrues slowly; late or lost frames make it burn. 0
+	// disables.
+	ControlCostBudget float64
 	// SRTPredictedMiss, when set, closes the admission loop: it feeds
 	// the admission controller's current predicted SRT deadline-miss
 	// probability into the burn-rate engine as a dynamic budget. The
@@ -134,6 +140,7 @@ type sloSample struct {
 	mutes     float64
 	holdovers float64
 	busoffs   float64
+	ctrlCost  float64
 	jit       jitSnap
 }
 
@@ -202,6 +209,11 @@ func (o *Observer) StartSLO(k *sim.Kernel, cfg SLOConfig) *SLO {
 		s.objectives = append(s.objectives, &Objective{
 			Name:   "busoff-events",
 			Budget: cfg.BusOffBudget, Unit: fmt.Sprintf("entries/%v", cfg.LongWindow)})
+	}
+	if cfg.ControlCostBudget > 0 {
+		s.objectives = append(s.objectives, &Objective{
+			Name:   "control-cost",
+			Budget: cfg.ControlCostBudget, Unit: fmt.Sprintf("cost/%v", cfg.LongWindow)})
 	}
 	s.samples = append(s.samples, s.snapshot(k.Now()))
 	k.After(cfg.Interval, s.tick)
@@ -281,6 +293,7 @@ func (s *SLO) snapshot(at sim.Time) sloSample {
 		mutes:     counterSum(o.guardian, ""),
 		holdovers: counterVal(o.ctrlplane, string(StageHoldoverEnter)),
 		busoffs:   counterSum(o.busoff, ""),
+		ctrlCost:  counterSum(o.ctrlCost, ""),
 	}
 	if h := o.JitterHist("HRT"); h != nil {
 		sm.jit.ok = true
@@ -408,6 +421,10 @@ func (s *SLO) windowValue(ob *Objective, cur, base sloSample, w sim.Duration) (v
 		return n, n / budget
 	case "busoff-events":
 		n := cur.busoffs - base.busoffs
+		budget := ob.Budget * float64(w) / float64(s.cfg.LongWindow)
+		return n, n / budget
+	case "control-cost":
+		n := cur.ctrlCost - base.ctrlCost
 		budget := ob.Budget * float64(w) / float64(s.cfg.LongWindow)
 		return n, n / budget
 	default: // hrt-jitter-p*

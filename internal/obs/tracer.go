@@ -168,6 +168,26 @@ const (
 	// segment, not a station); Detail names the objective and the burn
 	// factors, and Class the guarded channel class when class-bound.
 	StageSLOBreach Stage = "slo_breach"
+
+	// Control-loop stages record the closed-loop plant/controller
+	// workload (internal/control). They carry trace ID 0 (the stage
+	// concerns the loop, not one bus event — the underlying sensor and
+	// command frames trace normally); Detail names the loop, Class its
+	// sensor/command channel class, Node the station the stage ran on.
+
+	// StageCtrlSample marks a sensor sampling the plant state and
+	// publishing it on the loop's sensor channel.
+	StageCtrlSample Stage = "ctrl_sample"
+	// StageCtrlCommand marks the controller computing a control input
+	// from a delivered sample and publishing it on the command channel.
+	StageCtrlCommand Stage = "ctrl_command"
+	// StageCtrlApply marks the actuator receiving a command and latching
+	// it into the zero-order hold.
+	StageCtrlApply Stage = "ctrl_apply"
+	// StageCtrlStale marks a plant tick driven by a held command older
+	// than the loop's staleness bound — the visible cost of late or lost
+	// frames.
+	StageCtrlStale Stage = "ctrl_stale"
 )
 
 // Record is one timestamped stage of one event's life cycle.

@@ -1,0 +1,160 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"canec/internal/chaos"
+)
+
+func controlScenario() *Scenario {
+	return &Scenario{
+		Name:       "control-test",
+		Nodes:      6,
+		Seed:       21,
+		DurationMs: 1200,
+		Control: []ControlLoop{{
+			Name: "cart", Plant: "double_integrator", Controller: "pid",
+			Class: "srt", Sensor: 2, ControllerNode: 3, Actuator: 2,
+			SensorSubject: 0x341, CommandSubject: 0x342,
+			PeriodUs: 5000, Setpoint: 0, Initial: 1,
+		}},
+	}
+}
+
+func TestControlLoopScenarioSettles(t *testing.T) {
+	rep, err := controlScenario().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Control) != 1 {
+		t.Fatalf("control reports = %d, want 1", len(rep.Control))
+	}
+	q := rep.Control[0]
+	if !q.Settled {
+		t.Fatalf("loop did not settle on a clean bus: %s", q.String())
+	}
+	if q.Applied == 0 || q.Samples == 0 || q.Commands == 0 {
+		t.Fatalf("leg counters empty: %s", q.String())
+	}
+	if !strings.Contains(rep.String(), "control cart[SRT]: cost ") {
+		t.Fatalf("report misses the control line:\n%s", rep.String())
+	}
+}
+
+func TestControlLoopMPCAndAckLeg(t *testing.T) {
+	s := controlScenario()
+	s.Control[0].Controller = "mpc"
+	s.Control[0].AckSubject = 0x343
+	s.Control[0].AckClass = "nrt"
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rep.Control[0]
+	if !q.Settled {
+		t.Fatalf("mpc loop did not settle: %s", q.String())
+	}
+	if q.Acks == 0 {
+		t.Fatalf("ack leg enabled but no acks delivered: %s", q.String())
+	}
+}
+
+func TestControlLoopHRTClass(t *testing.T) {
+	s := controlScenario()
+	s.Control[0].Class = "hrt"
+	s.Control[0].PeriodUs = 10000
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rep.Control[0]
+	if !q.Settled {
+		t.Fatalf("hrt loop did not settle: %s", q.String())
+	}
+	if q.Latency.N() == 0 {
+		t.Fatalf("no latency measured on the hrt loop: %s", q.String())
+	}
+}
+
+// TestControlLoopDeterministicUnderChaos pins the satellite contract:
+// same seed + same chaos shard → byte-identical QoC report (run under
+// -race by make race / make chaos-smoke discipline).
+func TestControlLoopDeterministicUnderChaos(t *testing.T) {
+	build := func() *Scenario {
+		s := controlScenario()
+		s.Chaos = &chaos.Script{Events: []chaos.Event{
+			{Kind: "crash", AtMS: 300, Node: 3},
+			{Kind: "restart", AtMS: 500, Node: 3},
+			{Kind: "burst", AtMS: 700, UntilMS: 800},
+		}}
+		return s
+	}
+	rep1, err := build().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := build().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.String() != rep2.String() {
+		t.Fatalf("chaos run not deterministic:\n--- first\n%s\n--- second\n%s",
+			rep1.String(), rep2.String())
+	}
+	q := rep1.Control[0]
+	if q.Applied == 0 {
+		t.Fatalf("no commands applied under chaos: %s", q.String())
+	}
+}
+
+// TestNodeRefErrorTyped pins the typed malformed-spec error: a spec
+// referencing an undefined node index must surface a *NodeRefError, not
+// a silent skip or an anonymous string.
+func TestNodeRefErrorTyped(t *testing.T) {
+	s := controlScenario()
+	s.Control[0].ControllerNode = 17
+	err := s.Validate()
+	var nre *NodeRefError
+	if !errors.As(err, &nre) {
+		t.Fatalf("Validate() = %v, want *NodeRefError", err)
+	}
+	if nre.Field != "controlLoops.controllerNode" || nre.Node != 17 || nre.Nodes != 6 || nre.Index != 0 {
+		t.Fatalf("NodeRefError fields = %+v", nre)
+	}
+	if !strings.Contains(err.Error(), "references node 17 of 6") {
+		t.Fatalf("error text changed: %v", err)
+	}
+
+	// The legacy stream specs surface the same typed error.
+	s = controlScenario()
+	s.HRT = []HRTStream{{Subject: 0x101, Publisher: 9, Subscriber: 0, PeriodUs: 10000, Payload: 7}}
+	if err := s.Validate(); !errors.As(err, &nre) {
+		t.Fatalf("hrt Validate() = %v, want *NodeRefError", err)
+	} else if nre.Field != "hrt.publisher" || nre.Node != 9 {
+		t.Fatalf("NodeRefError fields = %+v", nre)
+	}
+}
+
+func TestControlLoopSpecValidation(t *testing.T) {
+	for _, tc := range []struct {
+		mutate func(*Scenario)
+		want   string
+	}{
+		{func(s *Scenario) { s.Control[0].Class = "best-effort" }, "unknown channel class"},
+		{func(s *Scenario) { s.Control[0].Plant = "rocket" }, "unknown plant"},
+		{func(s *Scenario) { s.Control[0].PeriodUs = 0 }, "period"},
+		{func(s *Scenario) { s.Control[0].CommandSubject = 0x341 }, "distinct"},
+		{func(s *Scenario) {
+			s.Control = append(s.Control, s.Control[0])
+		}, "duplicate loop name"},
+	} {
+		s := controlScenario()
+		tc.mutate(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("Validate() = %v, want mention of %q", err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzControlLoops feeds arbitrary bytes through the scenario loader:
+// Load must either return an error or a scenario whose Validate passes
+// (Load validates), and it must never panic — the loader fronts every
+// operator-supplied JSON file. Seeds cover the controlLoops block in
+// valid, node-out-of-range, subject-colliding and type-mangled forms.
+func FuzzControlLoops(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"nodes":4,"durationMs":100,"controlLoops":[{"name":"cart",` +
+		`"plant":"double_integrator","controller":"pid","class":"SRT",` +
+		`"sensor":1,"controllerNode":2,"actuator":1,` +
+		`"sensorSubject":785,"commandSubject":786,"periodUs":5000,"initial":1}]}`))
+	f.Add([]byte(`{"nodes":4,"durationMs":100,"controlLoops":[{"name":"x",` +
+		`"plant":"thermal","controller":"mpc","class":"HRT","ackClass":"NRT",` +
+		`"sensor":9,"controllerNode":2,"actuator":1,` +
+		`"sensorSubject":1,"commandSubject":2,"ackSubject":3,"periodUs":5000}]}`))
+	f.Add([]byte(`{"nodes":4,"durationMs":100,"controlLoops":[` +
+		`{"name":"a","plant":"thermal","controller":"pid","class":"SRT",` +
+		`"sensor":0,"controllerNode":1,"actuator":0,"sensorSubject":7,"commandSubject":7,"periodUs":1}]}`))
+	f.Add([]byte(`{"nodes":2,"durationMs":1,"controlLoops":[{"periodUs":"soon"}]}`))
+	f.Add([]byte(`{"nodes":3,"durationMs":50,"hrt":[{"subject":5,"publisher":0,` +
+		`"subscriber":1,"periodUs":10000,"payload":4}],"controlLoops":null}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Load(bytes.NewReader(data))
+		if err != nil {
+			// A node-range failure must be the typed error, never a bare
+			// fmt.Errorf that callers cannot unwrap.
+			var nre *NodeRefError
+			if errors.As(err, &nre) && (nre.Node >= 0 && nre.Node < nre.Nodes) {
+				t.Fatalf("NodeRefError for in-range node: %v", err)
+			}
+			return
+		}
+		if s == nil {
+			t.Fatal("Load returned nil scenario and nil error")
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Load accepted a scenario Validate rejects: %v", err)
+		}
+	})
+}

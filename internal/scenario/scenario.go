@@ -18,6 +18,7 @@ import (
 	"canec/internal/can"
 	"canec/internal/chaos"
 	"canec/internal/clock"
+	"canec/internal/control"
 	"canec/internal/core"
 	"canec/internal/obs"
 	"canec/internal/prob"
@@ -54,6 +55,79 @@ type NRTBulk struct {
 	Bytes      int    `json:"bytes"`
 	RepeatMs   int64  `json:"repeatMs"` // 0: send once
 	Prio       int    `json:"prio"`     // 0: lowest
+}
+
+// ControlLoop describes one closed sensor → controller → actuator loop
+// (internal/control): a discrete-time plant stepped on the kernel whose
+// sample, command and ack frames ride real event channels of the given
+// class, with per-loop quality-of-control reported after the run.
+type ControlLoop struct {
+	Name string `json:"name"`
+	// Plant is "double_integrator" or "thermal"; Controller "pid" or
+	// "mpc".
+	Plant      string `json:"plant"`
+	Controller string `json:"controller"`
+	// Class ("hrt", "srt" or "nrt") is the channel class of the sensor
+	// and command legs; AckClass enables nothing by itself — the ack leg
+	// exists when AckSubject is set, riding AckClass (default: Class).
+	Class    string `json:"class"`
+	AckClass string `json:"ackClass,omitempty"`
+	// Sensor, ControllerNode and Actuator are the hosting stations.
+	Sensor         int `json:"sensor"`
+	ControllerNode int `json:"controllerNode"`
+	Actuator       int `json:"actuator"`
+	// SensorSubject and CommandSubject name the loop's two channels;
+	// AckSubject (0: off) adds the actuator-ack leg.
+	SensorSubject  uint64 `json:"sensorSubject"`
+	CommandSubject uint64 `json:"commandSubject"`
+	AckSubject     uint64 `json:"ackSubject,omitempty"`
+	// PeriodUs is the sampling period; StaleAfterUs the held-command age
+	// a plant tick counts as stale at (default 2× the period).
+	PeriodUs     int64 `json:"periodUs"`
+	StaleAfterUs int64 `json:"staleAfterUs,omitempty"`
+	// Setpoint and Initial parameterise the regulation transient.
+	Setpoint float64 `json:"setpoint"`
+	Initial  float64 `json:"initial"`
+	// Horizon is the MPC prediction horizon (0: default).
+	Horizon int `json:"horizon,omitempty"`
+}
+
+// parseClass maps the JSON class names onto core classes.
+func parseClass(s string) (core.Class, error) {
+	switch s {
+	case "hrt", "HRT":
+		return core.HRT, nil
+	case "srt", "SRT":
+		return core.SRT, nil
+	case "nrt", "NRT":
+		return core.NRT, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown channel class %q", s)
+}
+
+// loopConfig lowers the JSON spec into the control package's config.
+func (c ControlLoop) loopConfig() (control.LoopConfig, error) {
+	class, err := parseClass(c.Class)
+	if err != nil {
+		return control.LoopConfig{}, err
+	}
+	ackClass := class
+	if c.AckClass != "" {
+		if ackClass, err = parseClass(c.AckClass); err != nil {
+			return control.LoopConfig{}, err
+		}
+	}
+	cfg := control.LoopConfig{
+		Name: c.Name, Plant: c.Plant, Controller: c.Controller,
+		Class: class, AckClass: ackClass,
+		Sensor: c.Sensor, ControllerNode: c.ControllerNode, Actuator: c.Actuator,
+		SensorSubject: c.SensorSubject, CommandSubject: c.CommandSubject,
+		AckSubject: c.AckSubject,
+		Period:     sim.Duration(c.PeriodUs) * sim.Microsecond,
+		StaleAfter: sim.Duration(c.StaleAfterUs) * sim.Microsecond,
+		Setpoint:   c.Setpoint, Initial: c.Initial, Horizon: c.Horizon,
+	}
+	return cfg, cfg.Validate()
 }
 
 // AdmissionSpec enables the probabilistic admission controller for the
@@ -105,6 +179,10 @@ type Scenario struct {
 	SRT         []SRTStream `json:"srt"`
 	NRT         []NRTBulk   `json:"nrt"`
 
+	// Control closes plant/controller loops over the segment's event
+	// channels; each loop's quality-of-control lands in Report.Control.
+	Control []ControlLoop `json:"controlLoops,omitempty"`
+
 	// Admission, when present, installs the probabilistic admission
 	// controller with the given error model and per-class targets. SRT
 	// channels then declare their period and deadline at announce time;
@@ -144,6 +222,24 @@ func Load(r io.Reader) (*Scenario, error) {
 	return &s, nil
 }
 
+// NodeRefError is the typed validation error for a spec entry that
+// references a station outside the scenario's node range. It is returned
+// (never silently skipped) by Validate, Load and Run; callers unwrap it
+// with errors.As to tell a malformed reference from other spec errors.
+type NodeRefError struct {
+	// Field names the offending spec entry ("hrt.publisher",
+	// "controlLoops.sensor", …); Index is its position in that list.
+	Field string
+	Index int
+	// Node is the referenced station; Nodes the scenario's node count.
+	Node  int
+	Nodes int
+}
+
+func (e *NodeRefError) Error() string {
+	return fmt.Sprintf("scenario: %s[%d] references node %d of %d", e.Field, e.Index, e.Node, e.Nodes)
+}
+
 // Validate checks structural consistency.
 func (s *Scenario) Validate() error {
 	if s.Nodes < 2 || s.Nodes > can.MaxTxNode {
@@ -154,7 +250,7 @@ func (s *Scenario) Validate() error {
 	}
 	node := func(n int, what string, i int) error {
 		if n < 0 || n >= s.Nodes {
-			return fmt.Errorf("scenario: %s[%d] references node %d of %d", what, i, n, s.Nodes)
+			return &NodeRefError{Field: what, Index: i, Node: n, Nodes: s.Nodes}
 		}
 		return nil
 	}
@@ -189,6 +285,35 @@ func (s *Scenario) Validate() error {
 		}
 		if b.Bytes <= 0 {
 			return fmt.Errorf("scenario: nrt[%d] invalid size", i)
+		}
+	}
+	names := make(map[string]bool, len(s.Control))
+	subjects := make(map[uint64]bool, 3*len(s.Control))
+	for i, c := range s.Control {
+		if err := node(c.Sensor, "controlLoops.sensor", i); err != nil {
+			return err
+		}
+		if err := node(c.ControllerNode, "controlLoops.controllerNode", i); err != nil {
+			return err
+		}
+		if err := node(c.Actuator, "controlLoops.actuator", i); err != nil {
+			return err
+		}
+		if _, err := c.loopConfig(); err != nil {
+			return fmt.Errorf("scenario: controlLoops[%d]: %w", i, err)
+		}
+		if names[c.Name] {
+			return fmt.Errorf("scenario: controlLoops[%d]: duplicate loop name %q", i, c.Name)
+		}
+		names[c.Name] = true
+		for _, subj := range []uint64{c.SensorSubject, c.CommandSubject, c.AckSubject} {
+			if subj == 0 {
+				continue
+			}
+			if subjects[subj] {
+				return fmt.Errorf("scenario: controlLoops[%d]: subject 0x%x used by another loop", i, subj)
+			}
+			subjects[subj] = true
 		}
 	}
 	if s.SyncMaster < 0 || s.SyncMaster >= s.Nodes {
@@ -247,6 +372,9 @@ type Report struct {
 	// at startup announce with their typed reasons, in scenario order.
 	Admission *prob.Snapshot
 	Rejected  []string
+	// Control holds each closed loop's quality-of-control report, in
+	// scenario order.
+	Control []control.QoC
 }
 
 // String renders the report for terminals.
@@ -266,6 +394,9 @@ func (r *Report) String() string {
 	}
 	out += fmt.Sprintf("NRT: %d messages, %d KiB transferred, fragErrors %d\n",
 		c.DeliveredNRT, r.NRTBytes/1024, c.FragErrors)
+	for i := range r.Control {
+		out += r.Control[i].String() + "\n"
+	}
 	if ch := r.Chaos; ch != nil {
 		out += fmt.Sprintf("chaos: %d crashes, %d restarts, guardian muted %d frames (isolated %d nodes), babbler sent %d / muted %d\n",
 			ch.Crashes, ch.Restarts, ch.GuardianMuted, ch.GuardianIsolated, ch.BabbleSent, ch.BabbleMuted)
@@ -341,17 +472,27 @@ func (s *Scenario) Run() (*Report, error) {
 	if s.OmissionDegree > 0 {
 		calCfg.OmissionDegree = s.OmissionDegree
 	}
-	if len(s.HRT) > 0 {
-		reqs := make([]calendar.Request, len(s.HRT))
-		for i, h := range s.HRT {
-			reqs[i] = calendar.Request{
-				Subject:   h.Subject,
-				Publisher: can.TxNode(h.Publisher),
-				Payload:   h.Payload + 1, // middleware header byte
-				Period:    sim.Duration(h.PeriodUs) * sim.Microsecond,
-				Periodic:  true,
-			}
+	reqs := make([]calendar.Request, len(s.HRT))
+	for i, h := range s.HRT {
+		reqs[i] = calendar.Request{
+			Subject:   h.Subject,
+			Publisher: can.TxNode(h.Publisher),
+			Payload:   h.Payload + 1, // middleware header byte
+			Period:    sim.Duration(h.PeriodUs) * sim.Microsecond,
+			Periodic:  true,
 		}
+	}
+	// Control loops riding HRT channels reserve their own slots.
+	loopCfgs := make([]control.LoopConfig, len(s.Control))
+	for i, c := range s.Control {
+		lc, err := c.loopConfig()
+		if err != nil {
+			return nil, err
+		}
+		loopCfgs[i] = lc
+		reqs = append(reqs, lc.CalendarRequests()...)
+	}
+	if len(reqs) > 0 {
 		var err error
 		cal, err = calendar.Plan(calCfg, reqs)
 		if err != nil {
@@ -620,6 +761,30 @@ func (s *Scenario) Run() (*Report, error) {
 		sys.K.At(sys.Cfg.Epoch, send)
 	}
 
+	// Closed control loops: the plant physics tick on the kernel for the
+	// whole run, while the sensor/controller/actuator software legs ride
+	// real channels and die/rewire with their stations like any other
+	// scenario application.
+	loops := make([]*control.Loop, 0, len(loopCfgs))
+	for _, lcfg := range loopCfgs {
+		lp, err := control.NewLoop(lcfg, sys.Obs)
+		if err != nil {
+			return nil, err
+		}
+		if err := lp.Install(sys.K, sys.Cfg.Epoch, end,
+			func(n int) *core.Middleware { return sys.Node(n).MW }, down); err != nil {
+			var admErr *core.AdmissionError
+			if errors.As(err, &admErr) {
+				rep.Rejected = append(rep.Rejected,
+					fmt.Sprintf("control %s: %s (predicted miss %.3g, target %.3g)",
+						lcfg.Name, admErr.Reason, admErr.MissProb, admErr.Target))
+				continue
+			}
+			return nil, err
+		}
+		loops = append(loops, lp)
+	}
+
 	if lc != nil {
 		lc.OnRestart = func(n int, mw *core.Middleware) {
 			for i, h := range s.HRT {
@@ -648,6 +813,11 @@ func (s *Scenario) Run() (*Report, error) {
 					_ = subscribeNRT(b, mw)
 				}
 			}
+			for _, lp := range loops {
+				if lp.Hosts(n) {
+					lp.Rewire(n, mw)
+				}
+			}
 		}
 		camp.Install()
 	}
@@ -663,6 +833,9 @@ func (s *Scenario) Run() (*Report, error) {
 	if sys.Admission != nil {
 		snap := sys.Admission.Snapshot()
 		rep.Admission = &snap
+	}
+	for _, lp := range loops {
+		rep.Control = append(rep.Control, lp.Report())
 	}
 	if cal != nil && len(firstHRTTimes) > 1 {
 		period := cal.SlotsForSubject(s.HRT[0].Subject)[0].Period(cal.Round)

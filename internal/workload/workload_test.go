@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -137,6 +138,37 @@ func TestMixedSetReachesTarget(t *testing.T) {
 				t.Fatalf("node %d out of range", s.Node)
 			}
 		}
+	}
+}
+
+// TestMixedSetProperty pins the MixedSet contract across the whole input
+// space: the offered utilization lands in [target, target+maxStep) where
+// maxStep is the largest single stream the generator can add (densest
+// template period, largest payload), and the same seed always yields a
+// byte-identical stream set — experiments feeding competing schedulers
+// depend on both.
+func TestMixedSetProperty(t *testing.T) {
+	f := func(seed uint64, nodesRaw uint8, targetRaw uint16) bool {
+		nodes := int(nodesRaw%31) + 2
+		target := 0.05 + float64(targetRaw%1200)/1000 // 0.05 .. 1.249
+		set := MixedSet(nodes, target, frameTime, sim.NewRNG(seed))
+		u := Utilization(set, frameTime)
+		maxStep := float64(frameTime(8)) / float64(2*sim.Millisecond)
+		if u < target || u >= target+maxStep {
+			t.Logf("seed %d nodes %d target %v: utilization %v outside [target, target+%v)",
+				seed, nodes, target, u, maxStep)
+			return false
+		}
+		for _, s := range set {
+			if s.Node < 0 || s.Node >= nodes {
+				return false
+			}
+		}
+		again := MixedSet(nodes, target, frameTime, sim.NewRNG(seed))
+		return reflect.DeepEqual(set, again)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
 	}
 }
 

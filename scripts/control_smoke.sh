@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# control_smoke: the closed-loop control gate. Runs the demo control
+# scenario (testdata/scenario-control.json: a PID cart loop whose
+# controller is station 2 and a bystander thermal loop on stations 4/5)
+# clean, then replays it under the scripted bus-off attack on the cart's
+# controller (testdata/chaos-control-attack.json). The clean run must
+# settle both loops with zero stale ticks; the attacked run must show
+# the outage in the quality-of-control measure (strictly higher cart
+# cost, stale ticks while the controller is bus-off) yet still recover
+# and settle before the horizon, leave the bystander loop untouched and
+# hold every chaos trace invariant — twice, bit-identically.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+GO="${GO:-go}"
+"$GO" build -o "$workdir/canecsim" ./cmd/canecsim
+
+"$workdir/canecsim" -config testdata/scenario-control.json > "$workdir/clean.out" || {
+    echo "control-smoke: clean run failed" >&2; cat "$workdir/clean.out" >&2; exit 1; }
+
+for loop in cart heat; do
+    grep -q "control $loop\[SRT\]: .* settled at .* stale 0," "$workdir/clean.out" || {
+        echo "control-smoke: $loop loop did not settle cleanly on an idle bus" >&2
+        cat "$workdir/clean.out" >&2; exit 1; }
+done
+
+attack() {
+    "$workdir/canecsim" -config testdata/scenario-control.json \
+        -chaos testdata/chaos-control-attack.json
+}
+
+attack > "$workdir/attack.out" || {
+    echo "control-smoke: attacked run failed" >&2; cat "$workdir/attack.out" >&2; exit 1; }
+
+grep -q 'chaos: bus-off: [1-9][0-9]* event(s), [1-9][0-9]* supervised recovery(ies)' "$workdir/attack.out" || {
+    echo "control-smoke: controller never went bus-off or never recovered" >&2
+    cat "$workdir/attack.out" >&2; exit 1; }
+grep -q 'chaos: all trace invariants hold' "$workdir/attack.out" || {
+    echo "control-smoke: invariant violations" >&2
+    cat "$workdir/attack.out" >&2; exit 1; }
+
+# The attack must be visible in the loop through the victim: strictly
+# higher quadratic cost, stale ticks during the outage, and — because
+# the supervisor recovers the station — the loop must still settle.
+cart_cost() { awk '/^control cart/ { sub(/.*cost /, ""); print $1 }' "$1"; }
+clean_cost="$(cart_cost "$workdir/clean.out")"
+attack_cost="$(cart_cost "$workdir/attack.out")"
+awk -v a="$attack_cost" -v c="$clean_cost" 'BEGIN { exit !(a > c) }' || {
+    echo "control-smoke: attack did not raise cart cost ($attack_cost vs $clean_cost)" >&2
+    cat "$workdir/attack.out" >&2; exit 1; }
+grep -q 'control cart\[SRT\]: .* stale [1-9][0-9]*,' "$workdir/attack.out" || {
+    echo "control-smoke: no stale ticks during the controller outage" >&2
+    cat "$workdir/attack.out" >&2; exit 1; }
+grep -q 'control cart\[SRT\]: .* settled at ' "$workdir/attack.out" || {
+    echo "control-smoke: cart loop never re-settled after the attack" >&2
+    cat "$workdir/attack.out" >&2; exit 1; }
+
+# The bystander loop on stations 4/5 must ride out the attack untouched.
+grep -q 'control heat\[SRT\]: .* settled at .* stale 0,' "$workdir/attack.out" || {
+    echo "control-smoke: bystander loop was disturbed by the attack" >&2
+    cat "$workdir/attack.out" >&2; exit 1; }
+
+# Same seed, same script: the second attacked run must be bit-identical.
+attack > "$workdir/attack2.out" || {
+    echo "control-smoke: second attacked run failed" >&2; cat "$workdir/attack2.out" >&2; exit 1; }
+diff "$workdir/attack.out" "$workdir/attack2.out" > /dev/null || {
+    echo "control-smoke: campaign is not deterministic" >&2
+    diff "$workdir/attack.out" "$workdir/attack2.out" >&2 || true
+    exit 1; }
+
+echo "control-smoke: OK"
+cat "$workdir/attack.out"
