@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos-smoke busoff-smoke admission-smoke control-smoke fuzz-smoke relay-smoke obs-smoke bench bench-record bench-check bench-smoke tidy
+.PHONY: all build vet test race check chaos-smoke busoff-smoke admission-smoke control-smoke fuzz-smoke relay-smoke obs-smoke why-smoke bench bench-record bench-check bench-smoke tidy
 
 all: check
 
@@ -54,6 +54,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzClientHandleFrame -fuzztime 5s ./internal/binding/
 	$(GO) test -run '^$$' -fuzz FuzzPut56RoundTrip -fuzztime 5s ./internal/binding/
 	$(GO) test -run '^$$' -fuzz FuzzSyncerHandleFrame -fuzztime 5s ./internal/clock/
+	$(GO) test -run '^$$' -fuzz FuzzTraceJSONL -fuzztime 5s ./internal/obs/
 	$(GO) test -run '^$$' -fuzz FuzzTSRoundTrip -fuzztime 5s ./internal/clock/
 	$(GO) test -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime 5s ./internal/can/
 	$(GO) test -run '^$$' -fuzz FuzzScript -fuzztime 5s ./internal/chaos/
@@ -72,6 +73,14 @@ relay-smoke:
 obs-smoke:
 	./scripts/obs_smoke.sh
 
+# why-smoke is the root-cause attribution gate: the E19 injected-fault
+# campaigns run under the race detector (known causes attributed, zero
+# control-group misattribution, residual-zero exact), then a scripted
+# bit-error campaign drives an SLO breach whose post-mortem must carry
+# the correct top cause through canecwhy — bit-identically, twice.
+why-smoke:
+	./scripts/why_smoke.sh
+
 # bench-smoke is the performance-trajectory gate: the committed
 # BENCH_seed.json self-compares clean, an injected regression trips the
 # canecbench -compare gate, a short live recording round-trips the JSON
@@ -82,9 +91,9 @@ bench-smoke:
 # check is the PR gate: compile everything, vet, run the full suite under
 # the race detector, replay the chaos smoke sweep, the bus-off adversary
 # campaign and the probabilistic-admission gate, smoke the fuzz targets,
-# run the two-daemon relay and introspection smokes, and gate the
-# performance trajectory.
-check: build vet race chaos-smoke busoff-smoke admission-smoke control-smoke fuzz-smoke relay-smoke obs-smoke bench-smoke
+# run the two-daemon relay and introspection smokes, verify root-cause
+# attribution, and gate the performance trajectory.
+check: build vet race chaos-smoke busoff-smoke admission-smoke control-smoke fuzz-smoke relay-smoke obs-smoke why-smoke bench-smoke
 
 bench:
 	$(GO) test -bench . -benchmem ./internal/can ./internal/sim

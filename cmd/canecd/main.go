@@ -30,6 +30,7 @@ import (
 	"canec/internal/gateway"
 	"canec/internal/obs"
 	"canec/internal/obs/admin"
+	"canec/internal/obs/causal"
 	"canec/internal/obs/perf"
 	"canec/internal/relay"
 	"canec/internal/sim"
@@ -122,6 +123,8 @@ func run() int {
 		flightN   = flag.Int("flight", 2048, "flight-recorder retention, trace records per node (0 disables)")
 		flightDir = flag.String("flight-dir", ".", "directory for flight-recorder post-mortem dumps")
 		slo       = flag.Bool("slo", true, "run the SLO engine (default objective set)")
+		whyOn     = flag.Bool("why", true, "run the causal why-late engine (/why on the admin plane, canec_why_* metrics, root causes on SLO breach post-mortems)")
+		whyLate   = flag.String("why-late-over", "", "comma list class=duration marking delivered chains late (e.g. srt=5ms); empty attributes drops only")
 		profile   = flag.Bool("profile", true, "attach the kernel profiler (publish→deliver stage timing, /profile on the admin plane)")
 		sloSRT    = flag.Float64("slo-srt-budget", 0.05, "SRT deadline-miss budget (fraction of published events)")
 		sloCtl    = flag.Float64("slo-control-budget", 0, "control-cost SLO budget: tolerated quadratic cost per long window (0 disables the objective)")
@@ -168,6 +171,21 @@ func run() int {
 		return die("system: %v", err)
 	}
 	paced := sim.NewPaced(k, *pace)
+
+	// Causal why-late engine: attributes every chain's publish→deliver
+	// latency to typed causes, feeds canec_why_* metrics, /why on the
+	// admin plane and the root-cause line on SLO breach post-mortems.
+	var why *causal.Analyzer
+	if *whyOn {
+		bounds, err := causal.ParseLateOver(*whyLate)
+		if err != nil {
+			return die("-why-late-over: %v", err)
+		}
+		why = causal.New(causal.Config{
+			Registry: sys.Obs.Registry(), LateOver: bounds, KeepRecent: 16,
+		})
+		sys.Obs.AttachCausal(why)
+	}
 
 	// Kernel profiler: stage-level wall-clock attribution for the whole
 	// publish→deliver chain, served at /profile and folded into /metrics.
@@ -308,6 +326,7 @@ func run() int {
 			Channels:   admin.SystemChannels(sys),
 			ErrorState: admin.SystemErrorState(sys),
 			Profiler:   prof,
+			Why:        admin.SystemWhy(why),
 			InKernel:   paced.Call,
 			Control:    ctlRows,
 			Relay: func() []admin.RelayRow {

@@ -21,6 +21,7 @@ import (
 	"canec/internal/core"
 	"canec/internal/obs"
 	"canec/internal/obs/admin"
+	"canec/internal/obs/causal"
 	"canec/internal/scenario"
 	"canec/internal/sim"
 	"canec/internal/stats"
@@ -102,6 +103,13 @@ func (p obsPlane) serve(sys *canec.System, paced *sim.Paced, loops []*control.Lo
 	if len(loops) > 0 {
 		ctl = admin.LoopRows(loops)
 	}
+	// A paced run with an admin plane gets the why-late engine for free:
+	// /why and the canec_why_* families go live on the same registry.
+	why, _ := sys.Obs.Causal().(*causal.Analyzer)
+	if why == nil {
+		why = causal.New(causal.Config{Registry: sys.Obs.Registry(), KeepRecent: 16})
+		sys.Obs.AttachCausal(why)
+	}
 	adm, err := admin.Serve(p.adminAddr, admin.Options{
 		Segment:    "canecsim",
 		Registry:   sys.Obs.Registry(),
@@ -112,6 +120,7 @@ func (p obsPlane) serve(sys *canec.System, paced *sim.Paced, loops []*control.Lo
 		ErrorState: admin.SystemErrorState(sys),
 		Admission:  admin.SystemAdmission(sys),
 		Control:    ctl,
+		Why:        admin.SystemWhy(why),
 		InKernel:   paced.Call,
 	})
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"canec/internal/obs/admin"
+	"canec/internal/obs/causal"
 )
 
 func main() { os.Exit(run()) }
@@ -47,6 +48,7 @@ type target struct {
 	profile   admin.ProfileView
 	admission admin.AdmissionView
 	control   admin.ControlView
+	why       admin.WhyView
 	validated bool
 	promErr   error
 }
@@ -126,6 +128,11 @@ func poll(client *http.Client, addrs []string, validate bool) []*target {
 		if err := getJSON(client, base+"/control", &tg.control); err != nil {
 			tg.control = admin.ControlView{}
 		}
+		// /why likewise: a 404 or a daemon without the why-late engine
+		// (enabled:false) dashes the TOPCAUSE column.
+		if err := getJSON(client, base+"/why", &tg.why); err != nil {
+			tg.why = admin.WhyView{}
+		}
 		if validate {
 			tg.validated = true
 			tg.promErr = validateMetrics(client, base+"/metrics")
@@ -171,11 +178,11 @@ func traceStatus(targets []*target) map[*target]string {
 
 func render(w io.Writer, targets []*target) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "SEGMENT\tADDR\tHEALTH\tERRST\tSRT MISS (s/l)\tADMIT\tQOC\tBREACHED\tLINKS\tQ(H/S/N)\tDROPS\tEV/S\tHEAP HW\tALLOC/FR\tTRACE\tMETRICS")
+	fmt.Fprintln(tw, "SEGMENT\tADDR\tHEALTH\tERRST\tSRT MISS (s/l)\tADMIT\tQOC\tTOPCAUSE\tBREACHED\tLINKS\tQ(H/S/N)\tDROPS\tEV/S\tHEAP HW\tALLOC/FR\tTRACE\tMETRICS")
 	traces := traceStatus(targets)
 	for _, tg := range targets {
 		if tg.err != nil {
-			fmt.Fprintf(tw, "?\t%s\tUNREACHABLE\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t%v\n", tg.addr, tg.err)
+			fmt.Fprintf(tw, "?\t%s\tUNREACHABLE\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t%v\n", tg.addr, tg.err)
 			continue
 		}
 		var breached []string
@@ -225,6 +232,12 @@ func render(w io.Writer, targets []*target) {
 			}
 			qocCol = fmt.Sprintf("%d/%d %.2f/s", settled, len(tg.control.Loops), rate)
 		}
+		// Dominant root cause of late/dropped chains for segments running
+		// the why-late engine ("none" when nothing was late yet).
+		whyCol := "-"
+		if tg.why.Enabled {
+			whyCol = topCauseCol(tg.why)
+		}
 		evCol, heapCol, allocCol := "-", "-", "-"
 		if tg.profile.Enabled {
 			evCol = fmt.Sprintf("%.0f", tg.profile.Profile.EventsPerSec)
@@ -244,12 +257,41 @@ func render(w io.Writer, targets []*target) {
 		if tg.health.ErrorPassive > 0 || tg.health.BusOff > 0 || tg.health.BusOffTotal > 0 {
 			errstCol = fmt.Sprintf("%dp/%db/%dt", tg.health.ErrorPassive, tg.health.BusOff, tg.health.BusOffTotal)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d/%d\t%d/%d/%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d/%d\t%d/%d/%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
 			tg.health.Segment, tg.addr, strings.ToUpper(tg.health.Status), errstCol,
-			missCol, admitCol, qocCol, breachCol, up, len(tg.relay), h, sq, n, drops,
+			missCol, admitCol, qocCol, whyCol, breachCol, up, len(tg.relay), h, sq, n, drops,
 			evCol, heapCol, allocCol, traces[tg], metricsCol)
 	}
 	tw.Flush()
+}
+
+// topCauseCol folds a /why snapshot into the TOPCAUSE cell: the cause
+// topping the most late/dropped chains across classes (ties broken by
+// attributed debit, then taxonomy order), with the incident count.
+func topCauseCol(view admin.WhyView) string {
+	counts := map[causal.Cause]uint64{}
+	debits := map[causal.Cause]int64{}
+	for _, cp := range view.Classes {
+		for _, cs := range cp.Causes {
+			counts[cs.Cause] += cs.Late
+			debits[cs.Cause] += int64(cs.DebitNS)
+		}
+	}
+	best := causal.CauseNone
+	var bestN uint64
+	for _, cause := range causal.Causes() {
+		n := counts[cause]
+		if n == 0 {
+			continue
+		}
+		if n > bestN || (n == bestN && debits[cause] > debits[best]) {
+			best, bestN = cause, n
+		}
+	}
+	if bestN == 0 {
+		return "none"
+	}
+	return fmt.Sprintf("%s×%d", best, bestN)
 }
 
 // fleetStatus folds the poll into the -once exit code.

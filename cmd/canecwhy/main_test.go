@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"canec/internal/obs"
+	"canec/internal/sim"
+)
+
+func TestParseLateOver(t *testing.T) {
+	bounds, err := parseLateOver("HRT=1ms, srt=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounds["HRT"] != sim.Duration(1_000_000) || bounds["SRT"] != sim.Duration(5_000_000) {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	if _, err := parseLateOver("HRT"); err == nil {
+		t.Fatal("missing '=' accepted")
+	}
+	if _, err := parseLateOver("HRT=fast"); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+}
+
+// TestCanecwhyEndToEnd runs the built binary over a post-mortem style
+// dump with a known injected cause and checks the ranked output.
+func TestCanecwhyEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "canecwhy")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	dump := filepath.Join(dir, "postmortem.jsonl")
+	f, err := os.Create(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []obs.Record{
+		{ID: 1, Stage: obs.StagePublished, At: 0, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageEnqueued, At: 0, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageTxStart, At: 10_000, Node: 0, Subject: 0x300, Attempt: 1},
+		{ID: 1, Stage: obs.StageTxErr, At: 50_000, Node: 0, Subject: 0x300, Attempt: 1, Detail: "bit corrupt"},
+		{ID: 1, Stage: obs.StageTxStart, At: 80_000, Node: 0, Subject: 0x300, Attempt: 2},
+		{ID: 1, Stage: obs.StageTxOK, At: 180_000, Node: 0, Subject: 0x300, Attempt: 2},
+		{ID: 1, Stage: obs.StageRx, At: 180_000, Node: 1, Subject: 0x300},
+		{ID: 1, Stage: obs.StageDelivered, At: 190_000, Node: 1, Class: "SRT", Subject: 0x300},
+	}
+	if err := obs.WriteVersionedJSONL(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out, err := exec.Command(bin, "-late-over", "SRT=100us", dump).CombinedOutput()
+	if err != nil {
+		t.Fatalf("canecwhy: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"canec-trace/1", "top causes: error_retransmit",
+		"error_retransmit", "worst chains", "0x300",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+
+	// Determinism: two runs over the same dump are byte-identical.
+	out2, err := exec.Command(bin, "-late-over", "SRT=100us", dump).CombinedOutput()
+	if err != nil || string(out2) != text {
+		t.Fatalf("reruns differ: %v\n%s\nvs\n%s", err, text, out2)
+	}
+
+	// A missing file fails with a non-zero status.
+	if out, err := exec.Command(bin, filepath.Join(dir, "nope.jsonl")).CombinedOutput(); err == nil {
+		t.Fatalf("missing file accepted:\n%s", out)
+	}
+}

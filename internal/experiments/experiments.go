@@ -101,6 +101,7 @@ func All() []Experiment {
 		{"E16", "busoff-attack", "bus-off adversary sweep: attack rate vs confinement and isolation (Bosch §8)", E16BusOffAttack},
 		{"E17", "prob-validation", "probabilistic WCRT predictions vs seeded chaos campaigns (§4 extension)", E17ProbValidation},
 		{"E18", "control-qoc", "closed-loop quality of control vs load, class and faults (§2.2 application view)", E18ControlQoC},
+		{"E19", "why-late", "causal lateness attribution: injected faults vs root-cause verdicts (observability extension)", E19WhyLate},
 		{"A1", "promotion-ablation", "ablation: dynamic priority promotion on/off (§3.4)", A1PromotionAblation},
 		{"A2", "dejitter-ablation", "ablation: delivery-at-deadline on/off (§3.2)", A2DejitterAblation},
 		{"A3", "value-shedding", "extension: value-based load shedding (ref [11])", A3ValueShedding},

@@ -8,8 +8,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("registry has %d experiments, want 18 (E1-E12 + E16-E18 + A1-A3)", len(all))
+	if len(all) != 19 {
+		t.Fatalf("registry has %d experiments, want 19 (E1-E12 + E16-E19 + A1-A3)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -25,6 +25,7 @@ import (
 	"canec/internal/control"
 	"canec/internal/core"
 	"canec/internal/obs"
+	"canec/internal/obs/causal"
 	"canec/internal/obs/perf"
 	"canec/internal/prob"
 	"canec/internal/sim"
@@ -142,6 +143,15 @@ type ControlView struct {
 	Loops      []ControlRow `json:"loops"`
 }
 
+// WhyView is the /why payload: the why-late engine's cause profiles and
+// recent incident chains, or enabled:false when no analyzer is attached.
+type WhyView struct {
+	Segment    string `json:"segment"`
+	VirtualNow int64  `json:"virtual_now_ns"`
+	Enabled    bool   `json:"enabled"`
+	causal.Snapshot
+}
+
 // flightView is the /flight payload.
 type flightView struct {
 	Enabled bool     `json:"enabled"`
@@ -185,6 +195,10 @@ type Options struct {
 	// kernel-owned). See LoopRows for the stock control.Loop adapter; nil
 	// serves enabled:false.
 	Control func() []ControlRow
+	// Why produces the /why snapshot (kernel context — the analyzer is
+	// kernel-owned). See SystemWhy for the stock adapter over an
+	// attached causal.Analyzer; nil serves enabled:false.
+	Why func() causal.Snapshot
 	// ErrorState summarizes the fault-confinement plane for /healthz:
 	// controllers currently error-passive, currently bus-off, and total
 	// bus-off entries. Reads kernel-owned controller state, so the
@@ -226,6 +240,7 @@ func Serve(addr string, opts Options) (*Server, error) {
 	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/admission", s.handleAdmission)
 	mux.HandleFunc("/control", s.handleControl)
+	mux.HandleFunc("/why", s.handleWhy)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -290,7 +305,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "canec admin plane (segment %q)\n\n", s.opts.Segment)
 	for _, ep := range []string{
-		"/metrics", "/healthz", "/channels", "/slo", "/relay", "/flight", "/profile", "/admission", "/control", "/debug/pprof/",
+		"/metrics", "/healthz", "/channels", "/slo", "/relay", "/flight", "/profile", "/admission", "/control", "/why", "/debug/pprof/",
 	} {
 		fmt.Fprintln(w, ep)
 	}
@@ -476,6 +491,35 @@ func (s *Server) handleControl(w http.ResponseWriter, _ *http.Request) {
 	})
 	sort.Slice(view.Loops, func(i, j int) bool { return view.Loops[i].Loop < view.Loops[j].Loop })
 	writeJSON(w, view)
+}
+
+func (s *Server) handleWhy(w http.ResponseWriter, _ *http.Request) {
+	view := WhyView{Segment: s.opts.Segment}
+	s.inKernel(func() {
+		if s.opts.Now != nil {
+			view.VirtualNow = int64(s.opts.Now())
+		}
+		if s.opts.Why != nil {
+			view.Enabled = true
+			view.Snapshot = s.opts.Why()
+		}
+	})
+	if view.Classes == nil {
+		view.Classes = []causal.ClassProfile{}
+	}
+	if view.Recent == nil {
+		view.Recent = []causal.ChainSummary{}
+	}
+	writeJSON(w, view)
+}
+
+// SystemWhy adapts an attached causal analyzer into Options.Why; a nil
+// analyzer yields a nil producer (endpoint serves enabled:false).
+func SystemWhy(a *causal.Analyzer) func() causal.Snapshot {
+	if a == nil {
+		return nil
+	}
+	return a.Snapshot
 }
 
 // QoCRow projects one control.QoC report into its /control row.

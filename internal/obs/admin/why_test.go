@@ -1,0 +1,76 @@
+package admin
+
+import (
+	"net/http"
+	"testing"
+
+	"canec/internal/obs"
+	"canec/internal/obs/causal"
+	"canec/internal/sim"
+)
+
+// TestAdminWhyEndpoint covers /why both bare (enabled:false) and wired
+// to an analyzer that has attributed a late chain.
+func TestAdminWhyEndpoint(t *testing.T) {
+	bare, err := Serve("127.0.0.1:0", Options{Segment: "bare"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	var off WhyView
+	if code := getJSON(t, "http://"+bare.Addr()+"/why", &off); code != http.StatusOK {
+		t.Fatalf("/why code %d", code)
+	}
+	if off.Enabled || len(off.Classes) != 0 {
+		t.Fatalf("bare /why = %+v, want enabled:false", off)
+	}
+
+	a := causal.Analyze([]obs.Record{
+		{ID: 9, Stage: obs.StageTxStart, At: 0, Node: 5, Subject: 0x42, Attempt: 1},
+		{ID: 1, Stage: obs.StagePublished, At: 10, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageEnqueued, At: 10, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 9, Stage: obs.StageTxOK, At: 200_000, Node: 5, Subject: 0x42},
+		{ID: 1, Stage: obs.StageTxStart, At: 200_000, Node: 0, Subject: 0x300, Attempt: 1},
+		{ID: 1, Stage: obs.StageTxOK, At: 300_000, Node: 0, Subject: 0x300},
+		{ID: 1, Stage: obs.StageRx, At: 300_000, Node: 1, Subject: 0x300},
+		{ID: 1, Stage: obs.StageDelivered, At: 300_000, Node: 1, Class: "SRT", Subject: 0x300},
+	}, causal.Config{LateOver: map[string]sim.Duration{"SRT": 100_000}})
+
+	kernelCalls := 0
+	s, err := Serve("127.0.0.1:0", Options{
+		Segment: "why",
+		Why:     SystemWhy(a),
+		Now:     func() sim.Time { return 300_000 },
+		InKernel: func(fn func()) {
+			kernelCalls++
+			fn()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var view WhyView
+	if code := getJSON(t, "http://"+s.Addr()+"/why", &view); code != http.StatusOK {
+		t.Fatalf("/why code %d", code)
+	}
+	if !view.Enabled || view.VirtualNow != 300_000 {
+		t.Fatalf("/why = %+v", view)
+	}
+	if kernelCalls == 0 {
+		t.Fatal("/why snapshot did not go through InKernel")
+	}
+	if view.Chains != 1 || len(view.Classes) != 1 {
+		t.Fatalf("/why chains=%d classes=%d, want 1/1", view.Chains, len(view.Classes))
+	}
+	cp := view.Classes[0]
+	if cp.Class != "SRT" || cp.Late != 1 || cp.Top != causal.CauseArbInterference {
+		t.Fatalf("class profile = %+v", cp)
+	}
+	if len(view.Recent) != 1 || view.Recent[0].Top != causal.CauseArbInterference {
+		t.Fatalf("recent = %+v", view.Recent)
+	}
+	if SystemWhy(nil) != nil {
+		t.Fatal("SystemWhy(nil) must yield a nil producer")
+	}
+}

@@ -1,0 +1,67 @@
+package causal
+
+import (
+	"testing"
+
+	"canec/internal/obs"
+	"canec/internal/sim"
+)
+
+// seq is the hot publish→deliver emission sequence, as in
+// BenchmarkObserverOverhead.
+func seq(o *obs.Observer, at sim.Time) {
+	id := o.Begin("SRT", 0, 0x42, at)
+	o.Emit(id, obs.StageEnqueued, "SRT", 0, 0x42, at+10, "")
+	o.Delivered(id, "SRT", 1, 0x42, at+200_000, "")
+}
+
+// TestCausalDetachedZeroAllocs is the companion of
+// TestNilObserverZeroAllocs for the why-late engine: an observer that
+// had a causal analyzer attached and then detached must allocate exactly
+// as much per frame as one that never saw the analyzer — the engine-off
+// hot path is a single nil check.
+func TestCausalDetachedZeroAllocs(t *testing.T) {
+	build := func() *obs.Observer {
+		return obs.New(obs.Config{Metrics: true}, func() sim.Time { return 0 }, obs.BandMap{})
+	}
+	baseline := build()
+	detached := build()
+	detached.AttachCausal(New(Config{}))
+	detached.AttachCausal(nil)
+	if detached.Causal() != nil {
+		t.Fatal("AttachCausal(nil) did not detach")
+	}
+	// Warm both observers identically so label-map growth is behind us.
+	var at sim.Time
+	for i := 0; i < 100; i++ {
+		seq(baseline, at)
+		seq(detached, at)
+		at += 1000
+	}
+	base := testing.AllocsPerRun(1000, func() { seq(baseline, at); at += 1000 })
+	at -= 1001 * 1000
+	got := testing.AllocsPerRun(1000, func() { seq(detached, at); at += 1000 })
+	if got != base {
+		t.Fatalf("detached causal path allocates %v allocs/op, baseline %v — engine-off must add 0", got, base)
+	}
+}
+
+// BenchmarkCausalOverhead measures the attached analyzer's per-frame
+// cost next to the plain metrics path.
+func BenchmarkCausalOverhead(b *testing.B) {
+	b.Run("metrics", func(b *testing.B) {
+		o := obs.New(obs.Config{Metrics: true}, func() sim.Time { return 0 }, obs.BandMap{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seq(o, sim.Time(i)*1000)
+		}
+	})
+	b.Run("metrics+causal", func(b *testing.B) {
+		o := obs.New(obs.Config{Metrics: true}, func() sim.Time { return 0 }, obs.BandMap{})
+		o.AttachCausal(New(Config{}))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seq(o, sim.Time(i)*1000)
+		}
+	})
+}

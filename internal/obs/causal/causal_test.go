@@ -1,0 +1,380 @@
+package causal
+
+import (
+	"reflect"
+	"testing"
+
+	"canec/internal/obs"
+	"canec/internal/sim"
+)
+
+// assertExact checks the engine's core invariant on every chain.
+func assertExact(t *testing.T, a *Analyzer) {
+	t.Helper()
+	for _, ch := range a.Chains() {
+		if res := ch.Residual(); res != 0 {
+			t.Fatalf("chain %d residual = %v ns, want 0 (segments %s, latency %v)",
+				ch.ID, res, FormatSegments(ch.Segments), ch.Latency)
+		}
+	}
+}
+
+func one(t *testing.T, a *Analyzer) Chain {
+	t.Helper()
+	if len(a.Chains()) != 1 {
+		t.Fatalf("chains = %d, want 1", len(a.Chains()))
+	}
+	return a.Chains()[0]
+}
+
+func TestCleanChainBaselineOnly(t *testing.T) {
+	a := Analyze([]obs.Record{
+		{ID: 1, Stage: obs.StagePublished, At: 0, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageEnqueued, At: 0, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageTxStart, At: 10, Node: 0, Subject: 0x300, Attempt: 1},
+		{ID: 1, Stage: obs.StageTxOK, At: 110, Node: 0, Subject: 0x300, Attempt: 1},
+		{ID: 1, Stage: obs.StageRx, At: 110, Node: 1, Subject: 0x300},
+		{ID: 1, Stage: obs.StageDelivered, At: 120, Node: 1, Class: "SRT", Subject: 0x300},
+	}, Config{})
+	assertExact(t, a)
+	ch := one(t, a)
+	if ch.Latency != 120 || ch.Outcome != "delivered" {
+		t.Fatalf("latency %v outcome %q", ch.Latency, ch.Outcome)
+	}
+	if ch.Top != CauseNone {
+		t.Fatalf("top = %v, want none (segments %s)", ch.Top, FormatSegments(ch.Segments))
+	}
+	if d := ch.Debit(CauseWireTx); d != 100 {
+		t.Fatalf("wire_tx = %v, want 100", d)
+	}
+	if d := ch.Debit(CauseQueueWait); d != 10 {
+		t.Fatalf("queue_wait = %v, want 10", d)
+	}
+	if d := ch.Debit(CauseDelivery); d != 10 {
+		t.Fatalf("delivery = %v, want 10", d)
+	}
+}
+
+func TestInterferenceCarving(t *testing.T) {
+	a := Analyze([]obs.Record{
+		// Foreign frame 9 occupies the wire over [0, 100).
+		{ID: 9, Stage: obs.StageTxStart, At: 0, Node: 5, Subject: 0x42, Attempt: 1},
+		{ID: 1, Stage: obs.StagePublished, At: 20, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageEnqueued, At: 20, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 9, Stage: obs.StageTxOK, At: 100, Node: 5, Subject: 0x42},
+		{ID: 1, Stage: obs.StageTxStart, At: 100, Node: 0, Subject: 0x300, Attempt: 1},
+		{ID: 1, Stage: obs.StageTxOK, At: 200, Node: 0, Subject: 0x300},
+		{ID: 1, Stage: obs.StageRx, At: 200, Node: 1, Subject: 0x300},
+		{ID: 1, Stage: obs.StageDelivered, At: 200, Node: 1, Class: "SRT", Subject: 0x300},
+	}, Config{LateOver: map[string]sim.Duration{"SRT": 150}})
+	assertExact(t, a)
+	ch := one(t, a)
+	if !ch.Late {
+		t.Fatal("chain not late under 150 ns bound")
+	}
+	if ch.Top != CauseArbInterference {
+		t.Fatalf("top = %v, want arb_interference", ch.Top)
+	}
+	if d := ch.Debit(CauseArbInterference); d != 80 {
+		t.Fatalf("interference = %v, want 80", d)
+	}
+	found := false
+	for _, s := range ch.Segments {
+		if s.Cause == CauseArbInterference && s.Label == "subject=0x42" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing interferer label: %s", FormatSegments(ch.Segments))
+	}
+}
+
+func TestErrorRetransmitAttribution(t *testing.T) {
+	a := Analyze([]obs.Record{
+		{ID: 1, Stage: obs.StagePublished, At: 0, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageEnqueued, At: 0, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageTxStart, At: 10, Node: 0, Subject: 0x300, Attempt: 1},
+		{ID: 1, Stage: obs.StageTxErr, At: 50, Node: 0, Subject: 0x300, Attempt: 1},
+		{ID: 1, Stage: obs.StageTxStart, At: 80, Node: 0, Subject: 0x300, Attempt: 2},
+		{ID: 1, Stage: obs.StageTxOK, At: 180, Node: 0, Subject: 0x300, Attempt: 2},
+		{ID: 1, Stage: obs.StageRx, At: 180, Node: 1, Subject: 0x300},
+		{ID: 1, Stage: obs.StageDelivered, At: 180, Node: 1, Class: "SRT", Subject: 0x300},
+	}, Config{LateOver: map[string]sim.Duration{"SRT": 150}})
+	assertExact(t, a)
+	ch := one(t, a)
+	if ch.Top != CauseErrorRetransmit {
+		t.Fatalf("top = %v, want error_retransmit", ch.Top)
+	}
+	// Corrupted attempt (40) + recovery to the retry (30).
+	if d := ch.Debit(CauseErrorRetransmit); d != 70 {
+		t.Fatalf("error_retransmit = %v, want 70", d)
+	}
+	if d := ch.Debit(CauseWireTx); d != 100 {
+		t.Fatalf("wire_tx = %v, want 100", d)
+	}
+}
+
+func TestBusoffRecoveryWindow(t *testing.T) {
+	a := Analyze([]obs.Record{
+		{Stage: obs.StageBusOff, At: 100, Node: 0},
+		{ID: 1, Stage: obs.StagePublished, At: 150, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageEnqueued, At: 150, Node: 0, Class: "SRT", Subject: 0x300},
+		{Stage: obs.StageBusOffRecovered, At: 500, Node: 0},
+		{ID: 1, Stage: obs.StageTxStart, At: 510, Node: 0, Subject: 0x300, Attempt: 1},
+		{ID: 1, Stage: obs.StageTxOK, At: 610, Node: 0, Subject: 0x300},
+		{ID: 1, Stage: obs.StageRx, At: 610, Node: 1, Subject: 0x300},
+		{ID: 1, Stage: obs.StageDelivered, At: 620, Node: 1, Class: "SRT", Subject: 0x300},
+	}, Config{LateOver: map[string]sim.Duration{"SRT": 200}})
+	assertExact(t, a)
+	ch := one(t, a)
+	if ch.Top != CauseBusoffRecovery {
+		t.Fatalf("top = %v, want busoff_recovery", ch.Top)
+	}
+	if d := ch.Debit(CauseBusoffRecovery); d != 350 {
+		t.Fatalf("busoff_recovery = %v, want 350 ([150,500))", d)
+	}
+	if d := ch.Debit(CauseQueueWait); d != 10 {
+		t.Fatalf("queue_wait = %v, want 10", d)
+	}
+}
+
+func TestBusoffStillOpenAtDrop(t *testing.T) {
+	// The chain dies while its node is still bus-off: the open window
+	// must be charged even though no recovery record exists yet.
+	a := Analyze([]obs.Record{
+		{Stage: obs.StageBusOff, At: 100, Node: 0},
+		{ID: 1, Stage: obs.StagePublished, At: 150, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageEnqueued, At: 150, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageDropped, At: 400, Node: 0, Class: "SRT", Subject: 0x300, Detail: "tx_abandoned"},
+	}, Config{})
+	assertExact(t, a)
+	ch := one(t, a)
+	if ch.Top != CauseBusoffRecovery {
+		t.Fatalf("top = %v, want busoff_recovery", ch.Top)
+	}
+	if ch.Outcome != "dropped(tx_abandoned)" {
+		t.Fatalf("outcome = %q", ch.Outcome)
+	}
+	if d := ch.Debit(CauseBusoffRecovery); d != 250 {
+		t.Fatalf("busoff_recovery = %v, want 250", d)
+	}
+}
+
+func TestHoldoverWideningOnHRTHold(t *testing.T) {
+	a := Analyze([]obs.Record{
+		{Stage: obs.StageHoldoverEnter, At: 0, Node: 2},
+		{ID: 1, Stage: obs.StagePublished, At: 100, Node: 0, Class: "HRT", Subject: 0x700},
+		{ID: 1, Stage: obs.StageEnqueued, At: 100, Node: 0, Class: "HRT", Subject: 0x700},
+		{ID: 1, Stage: obs.StageTxStart, At: 110, Node: 0, Subject: 0x700, Attempt: 1},
+		{ID: 1, Stage: obs.StageTxOK, At: 210, Node: 0, Subject: 0x700},
+		{ID: 1, Stage: obs.StageRx, At: 210, Node: 1, Subject: 0x700},
+		{ID: 1, Stage: obs.StageDelivered, At: 900, Node: 1, Class: "HRT", Subject: 0x700},
+		{Stage: obs.StageHoldoverExit, At: 1000, Node: 2},
+	}, Config{LateOver: map[string]sim.Duration{"HRT": 700}})
+	assertExact(t, a)
+	ch := one(t, a)
+	if ch.Top != CauseHoldoverWidening {
+		t.Fatalf("top = %v, want holdover_widening (%s)", ch.Top, FormatSegments(ch.Segments))
+	}
+	if d := ch.Debit(CauseHoldoverWidening); d != 690 {
+		t.Fatalf("holdover_widening = %v, want 690", d)
+	}
+	// Waiting for the slot is a scheduled baseline cause, never a "why".
+	if d := ch.Debit(CauseSlotWait); d != 10 {
+		t.Fatalf("slot_wait = %v, want 10", d)
+	}
+}
+
+func TestDejitterHoldIsBaselineWithoutHoldover(t *testing.T) {
+	a := Analyze([]obs.Record{
+		{ID: 1, Stage: obs.StagePublished, At: 0, Node: 0, Class: "HRT", Subject: 0x700},
+		{ID: 1, Stage: obs.StageEnqueued, At: 0, Node: 0, Class: "HRT", Subject: 0x700},
+		{ID: 1, Stage: obs.StageTxStart, At: 10, Node: 0, Subject: 0x700, Attempt: 1},
+		{ID: 1, Stage: obs.StageTxOK, At: 110, Node: 0, Subject: 0x700},
+		{ID: 1, Stage: obs.StageRx, At: 110, Node: 1, Subject: 0x700},
+		{ID: 1, Stage: obs.StageDelivered, At: 800, Node: 1, Class: "HRT", Subject: 0x700},
+	}, Config{})
+	assertExact(t, a)
+	ch := one(t, a)
+	if ch.Top != CauseNone {
+		t.Fatalf("top = %v, want none", ch.Top)
+	}
+	if d := ch.Debit(CauseDejitterHold); d != 690 {
+		t.Fatalf("dejitter_hold = %v, want 690", d)
+	}
+}
+
+func TestRelaySegments(t *testing.T) {
+	a := Analyze([]obs.Record{
+		{ID: 1, Stage: obs.StagePublished, At: 0, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageEnqueued, At: 0, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageTxStart, At: 0, Node: 0, Subject: 0x300, Attempt: 1},
+		{ID: 1, Stage: obs.StageTxOK, At: 100, Node: 0, Subject: 0x300},
+		{ID: 1, Stage: obs.StageRx, At: 100, Node: 3, Subject: 0x300},
+		{ID: 1, Stage: obs.StageRelayTx, At: 150, Node: 3, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageRelayDrop, At: 250, Node: 3, Class: "SRT", Subject: 0x300, Detail: "backpressure"},
+	}, Config{})
+	assertExact(t, a)
+	ch := one(t, a)
+	if d := ch.Debit(CauseRelayQueue); d != 50 {
+		t.Fatalf("relay_queue = %v, want 50", d)
+	}
+	if d := ch.Debit(CauseRelayLink); d != 100 {
+		t.Fatalf("relay_link = %v, want 100", d)
+	}
+	if ch.Outcome != "relay_drop(backpressure)" {
+		t.Fatalf("outcome = %q", ch.Outcome)
+	}
+}
+
+func TestAdmissionBackoffOverride(t *testing.T) {
+	a := Analyze([]obs.Record{
+		{ID: 1, Stage: obs.StagePublished, At: 0, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageEnqueued, At: 0, Node: 0, Class: "SRT", Subject: 0x300},
+		{Stage: obs.StageAdmitShed, At: 50, Node: 0, Class: "SRT", Subject: 0x300, Detail: "error-rate miss 0.2 target 0.05"},
+		{ID: 1, Stage: obs.StageDropped, At: 100, Node: 0, Class: "SRT", Subject: 0x300, Detail: "tx_abandoned"},
+	}, Config{})
+	assertExact(t, a)
+	ch := one(t, a)
+	if ch.Top != CauseAdmissionBackoff {
+		t.Fatalf("top = %v, want admission_backoff", ch.Top)
+	}
+	if d := ch.Debit(CauseAdmissionBackoff); d != 100 {
+		t.Fatalf("admission_backoff = %v, want 100", d)
+	}
+}
+
+func TestGuardianMuteAttribution(t *testing.T) {
+	a := Analyze([]obs.Record{
+		{ID: 1, Stage: obs.StagePublished, At: 0, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageEnqueued, At: 0, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageGuardMuted, At: 10, Node: 0, Subject: 0x300},
+		{ID: 1, Stage: obs.StageTxStart, At: 200, Node: 0, Subject: 0x300, Attempt: 1},
+		{ID: 1, Stage: obs.StageTxOK, At: 300, Node: 0, Subject: 0x300},
+		{ID: 1, Stage: obs.StageRx, At: 300, Node: 1, Subject: 0x300},
+		{ID: 1, Stage: obs.StageDelivered, At: 300, Node: 1, Class: "SRT", Subject: 0x300},
+	}, Config{LateOver: map[string]sim.Duration{"SRT": 200}})
+	assertExact(t, a)
+	ch := one(t, a)
+	if ch.Top != CauseGuardianMute {
+		t.Fatalf("top = %v, want guardian_mute", ch.Top)
+	}
+	if d := ch.Debit(CauseGuardianMute); d != 190 {
+		t.Fatalf("guardian_mute = %v, want 190", d)
+	}
+}
+
+func TestSecondDeliveryIgnored(t *testing.T) {
+	recs := []obs.Record{
+		{ID: 1, Stage: obs.StagePublished, At: 0, Node: 0, Class: "HRT", Subject: 0x700},
+		{ID: 1, Stage: obs.StageEnqueued, At: 0, Node: 0, Class: "HRT", Subject: 0x700},
+		{ID: 1, Stage: obs.StageDelivered, At: 100, Node: 1, Class: "HRT", Subject: 0x700},
+		{ID: 1, Stage: obs.StageDelivered, At: 120, Node: 2, Class: "HRT", Subject: 0x700},
+		{ID: 1, Stage: obs.StageDropped, At: 130, Node: 3, Class: "HRT", Subject: 0x700, Detail: "duplicate"},
+	}
+	a := Analyze(recs, Config{})
+	assertExact(t, a)
+	ch := one(t, a)
+	if ch.Latency != 100 {
+		t.Fatalf("latency = %v, want 100 (first delivery closes the chain)", ch.Latency)
+	}
+	if s := a.Snapshot(); s.Chains != 1 {
+		t.Fatalf("snapshot chains = %d, want 1", s.Chains)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	recs := []obs.Record{
+		{ID: 9, Stage: obs.StageTxStart, At: 0, Node: 5, Subject: 0x42, Attempt: 1},
+		{ID: 1, Stage: obs.StagePublished, At: 10, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageEnqueued, At: 10, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 9, Stage: obs.StageTxOK, At: 100, Node: 5, Subject: 0x42},
+		{ID: 1, Stage: obs.StageTxStart, At: 110, Node: 0, Subject: 0x300, Attempt: 1},
+		{ID: 1, Stage: obs.StageTxErr, At: 150, Node: 0, Subject: 0x300, Attempt: 1},
+		{ID: 1, Stage: obs.StageTxStart, At: 160, Node: 0, Subject: 0x300, Attempt: 2},
+		{ID: 1, Stage: obs.StageTxOK, At: 260, Node: 0, Subject: 0x300, Attempt: 2},
+		{ID: 1, Stage: obs.StageRx, At: 260, Node: 1, Subject: 0x300},
+		{ID: 1, Stage: obs.StageDelivered, At: 270, Node: 1, Class: "SRT", Subject: 0x300},
+	}
+	cfg := Config{LateOver: map[string]sim.Duration{"SRT": 100}}
+	a, b := Analyze(recs, cfg), Analyze(recs, cfg)
+	assertExact(t, a)
+	if !reflect.DeepEqual(a.Chains(), b.Chains()) {
+		t.Fatal("chains differ across identical replays")
+	}
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("snapshots differ across identical replays")
+	}
+	if a.BreachSummary("", 3) != b.BreachSummary("", 3) {
+		t.Fatal("breach summaries differ across identical replays")
+	}
+	if a.BreachSummary("SRT", 3) == "" {
+		t.Fatal("late chain produced no breach summary")
+	}
+}
+
+func TestEvictionBound(t *testing.T) {
+	a := New(Config{MaxOpen: 4})
+	for i := uint64(1); i <= 10; i++ {
+		a.Add(obs.Record{ID: i, Stage: obs.StagePublished, At: sim.Time(i), Node: 0, Class: "SRT", Subject: 0x300})
+	}
+	if len(a.open) != 4 {
+		t.Fatalf("open = %d, want 4", len(a.open))
+	}
+	if a.evicted != 6 {
+		t.Fatalf("evicted = %d, want 6", a.evicted)
+	}
+	// A terminal record for an evicted chain is ignored, not resurrected.
+	a.Add(obs.Record{ID: 1, Stage: obs.StageDelivered, At: 100, Node: 1, Class: "SRT", Subject: 0x300})
+	if s := a.Snapshot(); s.Chains != 0 || s.Evicted != 6 {
+		t.Fatalf("snapshot = %+v, want 0 chains / 6 evicted", s)
+	}
+}
+
+func TestMetricsFamilies(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := Analyze([]obs.Record{
+		{ID: 1, Stage: obs.StagePublished, At: 0, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageEnqueued, At: 0, Node: 0, Class: "SRT", Subject: 0x300},
+		{ID: 1, Stage: obs.StageTxStart, At: 10, Node: 0, Subject: 0x300, Attempt: 1},
+		{ID: 1, Stage: obs.StageTxErr, At: 50, Node: 0, Subject: 0x300, Attempt: 1},
+		{ID: 1, Stage: obs.StageTxStart, At: 400, Node: 0, Subject: 0x300, Attempt: 2},
+		{ID: 1, Stage: obs.StageTxOK, At: 500, Node: 0, Subject: 0x300, Attempt: 2},
+		{ID: 1, Stage: obs.StageRx, At: 500, Node: 1, Subject: 0x300},
+		{ID: 1, Stage: obs.StageDelivered, At: 510, Node: 1, Class: "SRT", Subject: 0x300},
+	}, Config{Registry: reg, LateOver: map[string]sim.Duration{"SRT": 100}})
+	assertExact(t, a)
+	var b []byte
+	w := &bytesWriter{&b}
+	if err := reg.WriteText(w); err != nil {
+		t.Fatal(err)
+	}
+	text := string(b)
+	for _, fam := range []string{
+		"canec_why_chains_total", "canec_why_debit_ns_total",
+		"canec_why_late_total", "canec_why_debit_microseconds",
+	} {
+		if !contains(text, fam) {
+			t.Fatalf("exposition missing %s:\n%s", fam, text)
+		}
+	}
+	if !contains(text, `cause="error_retransmit"`) {
+		t.Fatalf("exposition missing error_retransmit label:\n%s", text)
+	}
+}
+
+type bytesWriter struct{ b *[]byte }
+
+func (w *bytesWriter) Write(p []byte) (int, error) {
+	*w.b = append(*w.b, p...)
+	return len(p), nil
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

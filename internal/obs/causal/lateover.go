@@ -1,0 +1,31 @@
+package causal
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"canec/internal/sim"
+)
+
+// ParseLateOver parses a "HRT=1ms,SRT=5ms" spec into per-class lateness
+// bounds for Config.LateOver. Class names are case-insensitive; an empty
+// spec yields an empty map (only drops count as incidents).
+func ParseLateOver(s string) (map[string]sim.Duration, error) {
+	bounds := make(map[string]sim.Duration)
+	if s == "" {
+		return bounds, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		class, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad late-over entry %q (want CLASS=duration)", part)
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return nil, fmt.Errorf("bad late-over bound %q: %v", part, err)
+		}
+		bounds[strings.ToUpper(strings.TrimSpace(class))] = sim.Duration(d.Nanoseconds())
+	}
+	return bounds, nil
+}

@@ -1,9 +1,12 @@
 package obs
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // WriteJSONL dumps stage records one JSON object per line, in emission
@@ -16,6 +19,76 @@ func WriteJSONL(w io.Writer, recs []Record) error {
 		}
 	}
 	return nil
+}
+
+// StageSchema marks the self-describing header line of a versioned trace
+// JSONL stream. The header is itself a valid Record (Detail carries the
+// schema tag), so consumers that predate it — or replay tools switching
+// on stages — skip it like any unknown stage.
+const StageSchema Stage = "_schema"
+
+// TraceSchema tags the current trace JSONL schema. Bump the suffix when
+// Record grows fields old readers must not misinterpret; ReadJSONL
+// ignores unknown fields, so additive growth keeps old dumps readable.
+const TraceSchema = "canec-trace/1"
+
+// WriteVersionedJSONL writes the schema header line followed by the
+// records — the flight-recorder post-mortem format.
+func WriteVersionedJSONL(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(Record{Stage: StageSchema, Node: -1, Prio: -1,
+		Detail: TraceSchema}); err != nil {
+		return err
+	}
+	return WriteJSONL(w, recs)
+}
+
+// JSONLInfo is the result of a tolerant trace JSONL read.
+type JSONLInfo struct {
+	// Schema is the header's schema tag ("" for pre-versioning dumps).
+	Schema string
+	// Records holds every stage record, header and meta lines stripped.
+	Records []Record
+}
+
+// ReadJSONL parses a trace JSONL stream (a tracer export or a
+// flight-recorder post-mortem) back into records, dropping schema/meta
+// lines (stages beginning with "_"). It is deliberately tolerant:
+// blank lines are skipped and unknown fields ignored, so dumps written
+// by newer builds with additive Record fields still load.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	info, err := ReadJSONLInfo(r)
+	return info.Records, err
+}
+
+// ReadJSONLInfo is ReadJSONL surfacing the schema header as well.
+func ReadJSONLInfo(r io.Reader) (JSONLInfo, error) {
+	var info JSONLInfo
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return info, fmt.Errorf("trace jsonl line %d: %w", line, err)
+		}
+		if strings.HasPrefix(string(rec.Stage), "_") {
+			if rec.Stage == StageSchema && info.Schema == "" {
+				info.Schema = rec.Detail
+			}
+			continue
+		}
+		info.Records = append(info.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return info, err
+	}
+	return info, nil
 }
 
 // chromeEvent is one entry of the Chrome trace_event format

@@ -158,7 +158,7 @@ func (f *FlightRecorder) Dump(reason string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	err = WriteJSONL(jf, recs)
+	err = WriteVersionedJSONL(jf, recs)
 	if cerr := jf.Close(); err == nil {
 		err = cerr
 	}

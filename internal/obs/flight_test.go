@@ -72,8 +72,8 @@ func TestFlightRecorderDump(t *testing.T) {
 		}
 		lines++
 	}
-	if lines != 2 {
-		t.Fatalf("jsonl lines = %d, want 2", lines)
+	if lines != 3 { // schema header + 2 records
+		t.Fatalf("jsonl lines = %d, want 3", lines)
 	}
 	raw, err := os.ReadFile(paths[1])
 	if err != nil {

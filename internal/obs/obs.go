@@ -88,6 +88,7 @@ type Observer struct {
 	tracer *Tracer
 	reg    *Registry
 	flight *FlightRecorder
+	causal CausalSink
 
 	// nextID and pubAt live on the observer (not the tracer) because the
 	// e2e latency metric needs publish times even when tracing is off.
@@ -111,23 +112,23 @@ type Observer struct {
 	retries     *Counter
 	arbLosses   *Counter
 	promotions  *Counter
-	slots       map[string]*Counter // fired / unused
-	copies      map[string]*Counter // redundant / suppressed
-	frames      map[string]*Counter // ok / err / abort
-	exceptions  map[string]*Counter // by exception kind
-	watchdog    map[string]*Counter // by new state
-	guardian    map[string]*Counter // by band
-	busoff      map[string]*Counter // bus-off entries, by node
-	admission   map[string]*Counter // admission decisions, by class/decision/reason
-	lifecycle   map[string]*Counter // by lifecycle stage
-	ctrlplane   map[string]*Counter // by control-plane stage
-	relayFwd    map[string]*Counter // relay forwarded, by class
-	relayDrop   map[string]*Counter // relay drops, by class:reason
-	relayLink   map[string]*Counter // relay link transitions, by stage
-	relayBytes  map[string]*Counter // relay bytes, by direction
-	ctrlStages  map[string]*Counter // control-loop stages, by loop:stage
-	ctrlStale   map[string]*Counter // stale plant ticks, by loop
-	ctrlCost    map[string]*Counter // accrued quadratic control cost, by loop
+	slots       map[string]*Counter   // fired / unused
+	copies      map[string]*Counter   // redundant / suppressed
+	frames      map[string]*Counter   // ok / err / abort
+	exceptions  map[string]*Counter   // by exception kind
+	watchdog    map[string]*Counter   // by new state
+	guardian    map[string]*Counter   // by band
+	busoff      map[string]*Counter   // bus-off entries, by node
+	admission   map[string]*Counter   // admission decisions, by class/decision/reason
+	lifecycle   map[string]*Counter   // by lifecycle stage
+	ctrlplane   map[string]*Counter   // by control-plane stage
+	relayFwd    map[string]*Counter   // relay forwarded, by class
+	relayDrop   map[string]*Counter   // relay drops, by class:reason
+	relayLink   map[string]*Counter   // relay link transitions, by stage
+	relayBytes  map[string]*Counter   // relay bytes, by direction
+	ctrlStages  map[string]*Counter   // control-loop stages, by loop:stage
+	ctrlStale   map[string]*Counter   // stale plant ticks, by loop
+	ctrlCost    map[string]*Counter   // accrued quadratic control cost, by loop
 	ctrlLat     map[string]*Histogram // sample→actuate loop latency, by loop
 	txStartAt   sim.Time
 	txStartBand string
@@ -251,9 +252,40 @@ func (o *Observer) TraceBase() uint64 {
 	return o.cfg.TraceIDBase
 }
 
+// CausalSink consumes the full stage-record stream for root-cause
+// attribution (internal/obs/causal implements it). The interface lives
+// here so the observer can feed the engine without importing it; the
+// SLO engine calls BreachSummary to stamp breach post-mortems with the
+// current top causes.
+type CausalSink interface {
+	// Add ingests one stage record. Kernel context.
+	Add(Record)
+	// BreachSummary renders the top-n incident causes for a class (""
+	// = all classes), or "" when nothing was attributed yet.
+	BreachSummary(class string, n int) string
+}
+
+// AttachCausal installs (or, with nil, detaches) the causal analyzer.
+// Like the flight recorder it works with tracing off: emitRecord feeds
+// it independently. Detached, the hot path keeps its single nil check.
+func (o *Observer) AttachCausal(s CausalSink) {
+	if o == nil {
+		return
+	}
+	o.causal = s
+}
+
+// Causal returns the attached causal sink (nil when detached).
+func (o *Observer) Causal() CausalSink {
+	if o == nil {
+		return nil
+	}
+	return o.causal
+}
+
 // emitRecord fans one stage record out to the tracer (when tracing is
-// on) and the flight recorder (when attached). Callers already hold a
-// non-nil observer; either sink may still be absent.
+// on), the flight recorder and the causal analyzer (when attached).
+// Callers already hold a non-nil observer; any sink may still be absent.
 func (o *Observer) emitRecord(r Record) {
 	if o.tracer != nil {
 		o.tracer.add(r)
@@ -261,12 +293,15 @@ func (o *Observer) emitRecord(r Record) {
 	if o.flight != nil {
 		o.flight.Add(r)
 	}
+	if o.causal != nil {
+		o.causal.Add(r)
+	}
 }
 
 // recording reports whether any record sink is attached, so call sites
 // can skip assembling records that nobody would retain.
 func (o *Observer) recording() bool {
-	return o.tracer != nil || o.flight != nil
+	return o.tracer != nil || o.flight != nil || o.causal != nil
 }
 
 // Begin opens a trace for a freshly published event and returns its

@@ -484,9 +484,18 @@ func (s *SLO) enterBreach(ob *Objective, now sim.Time) {
 		o.sloBreach[ob.Name] = c
 	}
 	c.Inc()
+	detail := fmt.Sprintf("%s: %.4g %s over short %.2fx / long %.2fx of budget %.4g",
+		ob.Name, ob.Long, ob.Unit, ob.ShortBurn, ob.LongBurn, ob.Budget)
+	// With the causal engine attached, the breach record carries the
+	// current top-cause attribution — emitted before the flight dump, so
+	// every breach post-mortem names its own "why" in the JSONL itself.
+	if o.causal != nil {
+		if why := o.causal.BreachSummary(ob.Class, 3); why != "" {
+			detail += "; why: " + why
+		}
+	}
 	o.emitRecord(Record{Stage: StageSLOBreach, At: now, Node: -1, Class: ob.Class,
-		Prio: -1, Detail: fmt.Sprintf("%s: %.4g %s over short %.2fx / long %.2fx of budget %.4g",
-			ob.Name, ob.Long, ob.Unit, ob.ShortBurn, ob.LongBurn, ob.Budget)})
+		Prio: -1, Detail: detail})
 	if o.flight != nil {
 		if paths, err := o.flight.Dump("slo-" + ob.Name); err == nil {
 			s.LastDump = paths

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"canec/internal/binding"
 	"canec/internal/calendar"
@@ -21,6 +22,7 @@ import (
 	"canec/internal/control"
 	"canec/internal/core"
 	"canec/internal/obs"
+	"canec/internal/obs/causal"
 	"canec/internal/prob"
 	"canec/internal/sim"
 	"canec/internal/stats"
@@ -150,6 +152,67 @@ type AdmissionSpec struct {
 	VictimProb   float64 `json:"victimProb,omitempty"`
 }
 
+// SLOSpec starts the objective engine for the run. Zero fields inherit
+// the production defaults (obs.DefaultSLOConfig); enabling it forces
+// metrics on.
+type SLOSpec struct {
+	// HRTJitterBoundUs bounds the p99 HRT delivery jitter (0: default
+	// 1000 µs); SRTMissBudget the SRT miss fraction (0: default 0.05).
+	HRTJitterBoundUs int64   `json:"hrtJitterBoundUs,omitempty"`
+	SRTMissBudget    float64 `json:"srtMissBudget,omitempty"`
+	// IntervalMs, ShortWindowMs and LongWindowMs override the burn-rate
+	// engine's tick and windows (0: defaults 100 ms / 1 s / 10 s).
+	IntervalMs    int64 `json:"intervalMs,omitempty"`
+	ShortWindowMs int64 `json:"shortWindowMs,omitempty"`
+	LongWindowMs  int64 `json:"longWindowMs,omitempty"`
+}
+
+// sloConfig lowers the spec onto the engine's config.
+func (s SLOSpec) sloConfig() *obs.SLOConfig {
+	cfg := obs.DefaultSLOConfig()
+	if s.HRTJitterBoundUs > 0 {
+		cfg.HRTJitterBound = sim.Duration(s.HRTJitterBoundUs) * sim.Microsecond
+	}
+	if s.SRTMissBudget > 0 {
+		cfg.SRTMissBudget = s.SRTMissBudget
+	}
+	if s.IntervalMs > 0 {
+		cfg.Interval = sim.Duration(s.IntervalMs) * sim.Millisecond
+	}
+	if s.ShortWindowMs > 0 {
+		cfg.ShortWindow = sim.Duration(s.ShortWindowMs) * sim.Millisecond
+	}
+	if s.LongWindowMs > 0 {
+		cfg.LongWindow = sim.Duration(s.LongWindowMs) * sim.Millisecond
+	}
+	return &cfg
+}
+
+// WhySpec attaches the causal lateness ("why-late") engine to the run:
+// every delivered-late or dropped event chain is attributed to typed
+// root causes, aggregated into Report.Why and the canec_why_* metric
+// families, and — with an SLO — stamped onto breach post-mortems.
+type WhySpec struct {
+	// LateOverUs maps a class (HRT/SRT/NRT) to the publish→deliver
+	// latency, in microseconds, beyond which a delivered chain counts as
+	// late. Classes without a bound only contribute drop incidents.
+	LateOverUs map[string]int64 `json:"lateOverUs,omitempty"`
+	// KeepRecent bounds the retained worst-chain list (0: default 32).
+	KeepRecent int `json:"keepRecent,omitempty"`
+}
+
+// causalConfig lowers the spec onto the analyzer's config.
+func (w WhySpec) causalConfig(reg *obs.Registry) causal.Config {
+	cfg := causal.Config{Registry: reg, KeepRecent: w.KeepRecent}
+	if len(w.LateOverUs) > 0 {
+		cfg.LateOver = make(map[string]sim.Duration, len(w.LateOverUs))
+		for class, us := range w.LateOverUs {
+			cfg.LateOver[strings.ToUpper(class)] = sim.Duration(us) * sim.Microsecond
+		}
+	}
+	return cfg
+}
+
 // Scenario is the top-level description.
 type Scenario struct {
 	Name           string  `json:"name"`
@@ -195,6 +258,17 @@ type Scenario struct {
 	// run is forced to record a trace and the campaign's invariant checkers
 	// replay it into Report.Chaos.
 	Chaos *chaos.Script `json:"chaos,omitempty"`
+
+	// SLO, when present, runs the burn-rate objective engine during the
+	// scenario (forcing metrics on); breaches dump flight-recorder
+	// post-mortems when FlightRecords is set too. Final objective states
+	// land in Report.SLO.
+	SLO *SLOSpec `json:"slo,omitempty"`
+
+	// Why, when present, attaches the causal lateness engine: per-chain
+	// root-cause attribution into Report.Why, canec_why_* metrics, and
+	// breach post-mortems annotated with their top causes.
+	Why *WhySpec `json:"why,omitempty"`
 
 	// FlightRecords, when positive, attaches a flight recorder retaining
 	// that many trace records per node; a chaos campaign that ends with
@@ -375,6 +449,12 @@ type Report struct {
 	// Control holds each closed loop's quality-of-control report, in
 	// scenario order.
 	Control []control.QoC
+	// SLO holds the final objective states (nil unless Scenario.SLO ran).
+	SLO []obs.Objective
+	// Why is the causal lateness engine's final snapshot (nil unless
+	// Scenario.Why ran); WhyTop its merged dominant incident cause.
+	Why    *causal.Snapshot
+	WhyTop causal.Cause
 }
 
 // String renders the report for terminals.
@@ -438,6 +518,22 @@ func (r *Report) String() string {
 			out += fmt.Sprintf("admission: rejected %s\n", line)
 		}
 	}
+	for _, o := range r.SLO {
+		if o.Breaches > 0 {
+			out += fmt.Sprintf("slo: %s breached ×%d, burn %.3g (long window)\n",
+				o.Name, o.Breaches, o.LongBurn)
+		}
+	}
+	if w := r.Why; w != nil {
+		out += fmt.Sprintf("why: %d chains attributed (%d evicted)\n", w.Chains, w.Evicted)
+		for _, cp := range w.Classes {
+			if cp.Late == 0 && cp.Dropped == 0 {
+				continue
+			}
+			out += fmt.Sprintf("why: %s: %d late, %d dropped, top cause %s\n",
+				cp.Class, cp.Late, cp.Dropped, cp.Top)
+		}
+	}
 	return out
 }
 
@@ -464,6 +560,20 @@ func (s *Scenario) Run() (*Report, error) {
 		cp := *s.Observe
 		cp.FlightRecords = s.FlightRecords
 		cp.FlightDir = s.FlightDir
+		s.Observe = &cp
+	}
+	// The SLO engine reads every input from the metrics side; the why
+	// engine needs the registry for its canec_why_* families. Both force
+	// metrics on.
+	if s.SLO != nil || s.Why != nil {
+		if s.Observe == nil {
+			s.Observe = &obs.Config{}
+		}
+		cp := *s.Observe
+		cp.Metrics = true
+		if s.SLO != nil {
+			cp.SLO = s.SLO.sloConfig()
+		}
 		s.Observe = &cp
 	}
 	// Calendar from the HRT streams via the planner.
@@ -525,6 +635,11 @@ func (s *Scenario) Run() (*Report, error) {
 	}
 	if s.FaultRate > 0 {
 		sys.Bus.Injector = can.RandomErrors{Rate: s.FaultRate}
+	}
+	var why *causal.Analyzer
+	if s.Why != nil {
+		why = causal.New(s.Why.causalConfig(sys.Obs.Registry()))
+		sys.Obs.AttachCausal(why)
 	}
 	recoverOff := s.BusOffAutoRecover != nil && !*s.BusOffAutoRecover
 	if s.ConfineFaults && recoverOff {
@@ -836,6 +951,14 @@ func (s *Scenario) Run() (*Report, error) {
 	}
 	for _, lp := range loops {
 		rep.Control = append(rep.Control, lp.Report())
+	}
+	if sys.SLO != nil {
+		rep.SLO = sys.SLO.Snapshot()
+	}
+	if why != nil {
+		snap := why.Snapshot()
+		rep.Why = &snap
+		rep.WhyTop = why.TopCause("")
 	}
 	if cal != nil && len(firstHRTTimes) > 1 {
 		period := cal.SlotsForSubject(s.HRT[0].Subject)[0].Period(cal.Round)

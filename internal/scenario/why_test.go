@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"canec/internal/obs/causal"
+)
+
+// whySampleJSON drives SRT traffic through a lossy bus with the why-late
+// engine and the SLO plane both declared in the scenario file.
+const whySampleJSON = `{
+  "name": "why-sample",
+  "nodes": 4,
+  "seed": 11,
+  "durationMs": 400,
+  "faultRate": 0.05,
+  "srt": [
+    {"subject": 512, "publisher": 0, "subscriber": 1, "meanPeriodUs": 2000,
+     "deadlineUs": 8000, "expirationUs": 30000, "payload": 8, "sporadic": true},
+    {"subject": 513, "publisher": 2, "subscriber": 3, "meanPeriodUs": 3000,
+     "deadlineUs": 8000, "expirationUs": 30000, "payload": 8}
+  ],
+  "hrt": [],
+  "nrt": [],
+  "slo": {"srtMissBudget": 0.5, "intervalMs": 20},
+  "why": {"lateOverUs": {"srt": 900}, "keepRecent": 4}
+}`
+
+// TestLoadWhySection checks the slo/why scenario sections decode under
+// DisallowUnknownFields and lower to the right engine configs.
+func TestLoadWhySection(t *testing.T) {
+	s, err := Load(strings.NewReader(whySampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SLO == nil || s.Why == nil {
+		t.Fatalf("sections missing: slo=%v why=%v", s.SLO, s.Why)
+	}
+	sloCfg := s.SLO.sloConfig()
+	if sloCfg.SRTMissBudget != 0.5 || sloCfg.Interval != 20_000_000 {
+		t.Fatalf("slo config: %+v", sloCfg)
+	}
+	cc := s.Why.causalConfig(nil)
+	if cc.LateOver["SRT"] != 900_000 {
+		t.Fatalf("lateOver not normalised: %v", cc.LateOver)
+	}
+	if cc.KeepRecent != 4 {
+		t.Fatalf("keepRecent: %d", cc.KeepRecent)
+	}
+	// An unknown key inside the why section must be rejected.
+	bad := strings.Replace(whySampleJSON, `"keepRecent": 4`, `"keepRecnt": 4`, 1)
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Fatal("unknown why field accepted")
+	}
+}
+
+// TestRunWithWhySection runs the scenario end to end: the report must
+// carry an attributed snapshot whose chains are exact (the run had real
+// bit errors, so error_retransmit debit must be visible), and the whole
+// thing must replay deterministically.
+func TestRunWithWhySection(t *testing.T) {
+	run := func() *Report {
+		s, err := Load(strings.NewReader(whySampleJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep := run()
+	if rep.Why == nil {
+		t.Fatal("report missing why snapshot")
+	}
+	if rep.Why.Chains == 0 {
+		t.Fatal("no chains attributed")
+	}
+	var srt causal.ClassProfile
+	for _, cp := range rep.Why.Classes {
+		if cp.Class == "SRT" {
+			srt = cp
+		}
+	}
+	if srt.Chains == 0 {
+		t.Fatalf("no SRT profile: %+v", rep.Why.Classes)
+	}
+	// 5% bit errors over ~300 SRT frames: retransmit debit must show up.
+	var retrans bool
+	for _, cs := range srt.Causes {
+		if cs.Cause == causal.CauseErrorRetransmit && cs.DebitNS > 0 {
+			retrans = true
+		}
+	}
+	if !retrans {
+		t.Fatalf("error_retransmit not attributed: %+v", srt.Causes)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "why: ") {
+		t.Fatalf("report text missing why lines:\n%s", out)
+	}
+
+	rep2 := run()
+	if !reflect.DeepEqual(rep.Why, rep2.Why) {
+		t.Fatalf("why snapshot diverged:\n%+v\nvs\n%+v", rep.Why, rep2.Why)
+	}
+	if rep.String() != rep2.String() {
+		t.Fatalf("report diverged:\n%s\nvs\n%s", rep.String(), rep2.String())
+	}
+}

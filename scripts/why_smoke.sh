@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# why_smoke: the root-cause attribution gate. First the E19 campaigns run
+# under the race detector — injected faults must be attributed to their
+# cause families with zero misattribution of the control group and the
+# residual-zero invariant (segment debits tile publish→deliver exactly)
+# holding for every chain. Then the full pipeline goes end to end: a
+# scripted bit-error campaign drives an SRT deadline-miss SLO breach, the
+# breach post-mortem must carry the correct top cause on its slo_breach
+# record, and canecwhy over the dump must rank the same cause first —
+# twice, bit-identically, for determinism.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+repo="$(pwd)"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+GO="${GO:-go}"
+
+"$GO" test -race -run 'TestE19Attribution' ./internal/experiments/ > "$workdir/e19.out" 2>&1 || {
+    echo "why-smoke: E19 attribution failed under -race" >&2
+    cat "$workdir/e19.out" >&2; exit 1; }
+
+"$GO" build -o "$workdir/canecsim" ./cmd/canecsim
+"$GO" build -o "$workdir/canecwhy" ./cmd/canecwhy
+
+run() { # $1 = run directory
+    mkdir -p "$1"
+    (cd "$1" && "$workdir/canecsim" \
+        -config "$repo/testdata/scenario-why.json" \
+        -chaos "$repo/testdata/chaos-why.json") > "$1/report.out"
+}
+
+run "$workdir/run1" || {
+    echo "why-smoke: campaign failed" >&2; cat "$workdir/run1/report.out" >&2; exit 1; }
+
+grep -q 'slo: srt-miss-rate breached' "$workdir/run1/report.out" || {
+    echo "why-smoke: the campaign never breached the SRT miss SLO" >&2
+    cat "$workdir/run1/report.out" >&2; exit 1; }
+grep -q 'why: SRT: [1-9][0-9]* late, .* top cause error_retransmit' "$workdir/run1/report.out" || {
+    echo "why-smoke: report did not attribute the injected bit errors" >&2
+    cat "$workdir/run1/report.out" >&2; exit 1; }
+
+pm="$(ls "$workdir"/run1/postmortem-*-slo-srt-miss-rate.jsonl 2>/dev/null | head -1)"
+[ -n "$pm" ] || {
+    echo "why-smoke: SLO breach produced no post-mortem dump" >&2
+    ls "$workdir/run1" >&2; exit 1; }
+grep -q 'why: top causes: error_retransmit' "$pm" || {
+    echo "why-smoke: breach record missing the attributed top cause" >&2
+    grep -o '"stage":"slo_breach".*' "$pm" >&2 || true; exit 1; }
+
+"$workdir/canecwhy" -late-over srt=700us "$pm" > "$workdir/run1/why.out" || {
+    echo "why-smoke: canecwhy failed on the post-mortem" >&2; exit 1; }
+grep -q 'top causes: error_retransmit' "$workdir/run1/why.out" || {
+    echo "why-smoke: canecwhy ranked the wrong root cause" >&2
+    cat "$workdir/run1/why.out" >&2; exit 1; }
+
+# Same seed, same script: report, post-mortem and canecwhy verdict must
+# all be bit-identical on a second run.
+run "$workdir/run2" || {
+    echo "why-smoke: second campaign failed" >&2; cat "$workdir/run2/report.out" >&2; exit 1; }
+pm2="$(ls "$workdir"/run2/postmortem-*-slo-srt-miss-rate.jsonl | head -1)"
+"$workdir/canecwhy" -late-over srt=700us "$pm2" | \
+    sed "s|$workdir/run2|$workdir/run1|" > "$workdir/run2/why.out"
+for pair in "report.out report.out" "why.out why.out"; do
+    set -- $pair
+    diff "$workdir/run1/$1" "$workdir/run2/$2" > /dev/null || {
+        echo "why-smoke: $1 is not deterministic" >&2
+        diff "$workdir/run1/$1" "$workdir/run2/$2" >&2 || true; exit 1; }
+done
+diff "$pm" "$pm2" > /dev/null || {
+    echo "why-smoke: post-mortem dumps differ between runs" >&2; exit 1; }
+
+echo "why-smoke: OK"
+cat "$workdir/run1/report.out"
